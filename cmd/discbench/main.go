@@ -1,0 +1,83 @@
+// Command discbench regenerates the tables and figures of the DISC paper's
+// evaluation (§VI) on the synthetic dataset analogs.
+//
+// Usage:
+//
+//	discbench -fig 4            # one figure (4..12)
+//	discbench -fig table2       # the parameter table
+//	discbench -fig all          # everything, in paper order
+//	discbench -fig 9 -scale 0.5 # half-size windows (faster)
+//
+// Fig. 12 additionally writes CSV cluster dumps under -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"disc/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4..12, table2, or all")
+	scale := flag.Float64("scale", 1, "window scale relative to the (already scaled-down) Table II defaults")
+	strides := flag.Int("strides", 10, "measured strides per engine run")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-engine-run time budget (DNF beyond)")
+	memcap := flag.Int64("memcap", 5_000_000, "EXTRA-N resident bookkeeping budget in items (DNF beyond)")
+	outdir := flag.String("outdir", "out", "directory for Fig. 12 cluster dumps")
+	seed := flag.Int64("seed", 0, "dataset seed override (0 keeps defaults)")
+	csvPath := flag.String("csv", "", "also export every measured row to this CSV file")
+	flag.Parse()
+
+	opts := bench.Options{
+		Out:       os.Stdout,
+		Scale:     *scale,
+		Strides:   *strides,
+		Timeout:   *timeout,
+		MemoryCap: *memcap,
+		OutDir:    *outdir,
+		Seed:      *seed,
+	}
+
+	var allRows []bench.Row
+	run := func(id string) error {
+		if id == "table2" {
+			fmt.Println("\n[Table II] thresholds and window sizes (scaled analogs)")
+			return bench.Table2(opts)
+		}
+		f, ok := bench.Figures()[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (have table2, %v)", id, bench.FigureIDs())
+		}
+		start := time.Now()
+		rows, err := f(opts)
+		allRows = append(allRows, rows...)
+		fmt.Printf("\n  (figure %s regenerated in %v)\n", id, time.Since(start).Round(time.Millisecond))
+		return err
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "discbench:", err)
+		os.Exit(1)
+	}
+	if *fig == "all" {
+		if err := run("table2"); err != nil {
+			fail(err)
+		}
+		for _, id := range bench.FigureIDs() {
+			if err := run(id); err != nil {
+				fail(err)
+			}
+		}
+	} else if err := run(*fig); err != nil {
+		fail(err)
+	}
+	if *csvPath != "" {
+		if err := bench.WriteRowsCSV(*csvPath, allRows); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n%d rows exported to %s\n", len(allRows), *csvPath)
+	}
+}

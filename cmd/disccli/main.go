@@ -1,0 +1,163 @@
+// Command disccli clusters a CSV point stream continuously with a sliding
+// window, printing a per-stride summary and finally the labeling of the last
+// window.
+//
+// Input format: one point per line, "id,time,x0[,x1[,x2[,x3]]]" with an
+// optional header line (detected and skipped). Extra columns are ignored.
+//
+// Usage:
+//
+//	datagen -dataset dtg -n 50000 | disccli -dims 2 -eps 0.002 -minpts 40 \
+//	    -window 20000 -stride 1000 -engine disc
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"disc/internal/bench"
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+func main() {
+	dims := flag.Int("dims", 2, "number of coordinates per point (1-4)")
+	eps := flag.Float64("eps", 1.0, "distance threshold ε")
+	minPts := flag.Int("minpts", 5, "density threshold τ (count includes the point itself)")
+	win := flag.Int("window", 10000, "sliding window size in points")
+	stride := flag.Int("stride", 500, "stride size in points")
+	engine := flag.String("engine", "disc", "engine: "+strings.Join(bench.EngineKinds(), ", "))
+	in := flag.String("i", "-", "input file (default stdin)")
+	dump := flag.String("dump", "", "write the final window's labeling as CSV to this file")
+	quiet := flag.Bool("q", false, "suppress per-stride lines")
+	flag.Parse()
+
+	cfg := model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+	eng, err := bench.NewEngine(*engine, cfg, *win, *stride)
+	if err != nil {
+		fail(err)
+	}
+	slider, err := window.NewCountSlider(*win, *stride)
+	if err != nil {
+		fail(err)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var lastWindow []model.Point
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		p, err := parsePoint(line, *dims)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			fail(fmt.Errorf("line %d: %w", lineNo, err))
+		}
+		step := slider.Push(p)
+		if step == nil {
+			continue
+		}
+		t0 := time.Now()
+		eng.Advance(step.In, step.Out)
+		el := time.Since(t0)
+		lastWindow = append(lastWindow[:0], step.Window...)
+		if !*quiet {
+			snap := eng.Snapshot()
+			clusters := map[int]int{}
+			noise := 0
+			for _, a := range snap {
+				if a.ClusterID == model.NoCluster {
+					noise++
+				} else {
+					clusters[a.ClusterID]++
+				}
+			}
+			s := eng.Stats()
+			fmt.Printf("stride %4d: window=%d clusters=%d noise=%d elapsed=%s searches=%d splits=%d merges=%d\n",
+				s.Strides, len(step.Window), len(clusters), noise, el.Round(time.Microsecond),
+				s.RangeSearches, s.Splits, s.Merges)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fail(err)
+	}
+
+	if *dump != "" && lastWindow != nil {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		header := "id"
+		for d := 0; d < *dims; d++ {
+			header += fmt.Sprintf(",x%d", d)
+		}
+		fmt.Fprintln(w, header+",label,cluster")
+		for _, p := range lastWindow {
+			a, _ := eng.Assignment(p.ID)
+			fmt.Fprintf(w, "%d", p.ID)
+			for d := 0; d < *dims; d++ {
+				fmt.Fprintf(w, ",%g", p.Pos[d])
+			}
+			fmt.Fprintf(w, ",%s,%d\n", a.Label, a.ClusterID)
+		}
+		fmt.Fprintf(os.Stderr, "final labeling written to %s\n", *dump)
+	}
+}
+
+func parsePoint(line string, dims int) (model.Point, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 2+dims {
+		return model.Point{}, fmt.Errorf("need %d fields (id,time,%d coords), got %d", 2+dims, dims, len(fields))
+	}
+	id, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil {
+		return model.Point{}, fmt.Errorf("bad id %q", fields[0])
+	}
+	ts, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return model.Point{}, fmt.Errorf("bad time %q", fields[1])
+	}
+	var v geom.Vec
+	for d := 0; d < dims; d++ {
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[2+d]), 64)
+		if err != nil {
+			return model.Point{}, fmt.Errorf("bad coordinate %q", fields[2+d])
+		}
+		v[d] = x
+	}
+	return model.Point{ID: id, Time: ts, Pos: v}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "disccli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint("7,42,1.5,-2.25", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 7 || p.Time != 42 || p.Pos[0] != 1.5 || p.Pos[1] != -2.25 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePointHigherDims(t *testing.T) {
+	p, err := parsePoint("1,2,1,2,3,4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		if p.Pos[d] != float64(d+1) {
+			t.Fatalf("dim %d = %g", d, p.Pos[d])
+		}
+	}
+}
+
+func TestParsePointIgnoresExtraColumns(t *testing.T) {
+	p, err := parsePoint("1,2,3.5,4.5,GARBAGE,MORE", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pos[0] != 3.5 || p.Pos[1] != 4.5 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePointWhitespace(t *testing.T) {
+	p, err := parsePoint(" 1 , 2 , 3.5 , 4.5 ", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 1 || p.Pos[1] != 4.5 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePointErrors(t *testing.T) {
+	cases := []struct {
+		line string
+		dims int
+		want string
+	}{
+		{"1,2", 2, "need 4 fields"},
+		{"x,2,3,4", 2, "bad id"},
+		{"1,y,3,4", 2, "bad time"},
+		{"1,2,z,4", 2, "bad coordinate"},
+		{"", 1, "need 3 fields"},
+	}
+	for _, tc := range cases {
+		_, err := parsePoint(tc.line, tc.dims)
+		if err == nil {
+			t.Errorf("parsePoint(%q, %d) accepted", tc.line, tc.dims)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parsePoint(%q): error %q does not mention %q", tc.line, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command discplot renders DISC artifacts as SVG:
+//
+//   - scatter mode (default): a cluster dump (the CSV files discbench
+//     -fig 12 writes, or disccli -dump output), one color per cluster,
+//     gray for noise. The input needs header columns x,y,...,cluster.
+//   - timeline mode (-timeline): a cluster-evolution event log (the JSON
+//     the discserver /events endpoint returns) as a swim-lane chart, one
+//     lane per cluster.
+//
+// Usage:
+//
+//	discplot -i out/fig12_maze_disc.csv -o maze_disc.svg -title "Maze / DISC"
+//	curl -s localhost:8080/events | discplot -timeline -o events.svg
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"disc/internal/plot"
+)
+
+func main() {
+	in := flag.String("i", "-", "input CSV (default stdin)")
+	out := flag.String("o", "-", "output SVG (default stdout)")
+	title := flag.String("title", "", "plot title")
+	width := flag.Int("w", 800, "canvas width")
+	height := flag.Int("h", 600, "canvas height")
+	radius := flag.Float64("r", 2, "dot radius")
+	timeline := flag.Bool("timeline", false, "input is a JSON event log (discserver /events); render a swim-lane timeline")
+	flag.Parse()
+
+	var reader io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		reader = f
+	}
+	var writer io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		writer = f
+	}
+	opts := plot.Options{Width: *width, Height: *height, Radius: *radius, Title: *title}
+
+	if *timeline {
+		events, err := readEvents(reader)
+		if err != nil {
+			fail(err)
+		}
+		if err := plot.Timeline(writer, events, opts); err != nil {
+			fail(err)
+		}
+		if *out != "-" {
+			fmt.Fprintf(os.Stderr, "%d events -> %s\n", len(events), *out)
+		}
+		return
+	}
+
+	dots, err := readDots(reader)
+	if err != nil {
+		fail(err)
+	}
+	if err := plot.SVG(writer, dots, opts); err != nil {
+		fail(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "%d points -> %s\n", len(dots), *out)
+	}
+}
+
+// readEvents parses the JSON event array the discserver /events endpoint
+// emits.
+func readEvents(r io.Reader) ([]plot.TimelineEvent, error) {
+	var raw []struct {
+		Stride  uint64 `json:"stride"`
+		Type    string `json:"type"`
+		Cluster int    `json:"cluster"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("parsing event log: %w", err)
+	}
+	out := make([]plot.TimelineEvent, len(raw))
+	for i, e := range raw {
+		out[i] = plot.TimelineEvent{Stride: e.Stride, Type: e.Type, Cluster: e.Cluster}
+	}
+	return out, nil
+}
+
+// readDots parses x, y, and cluster columns (located by header name; x and
+// y default to the first two columns).
+func readDots(r io.Reader) ([]plot.Dot, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	xi, yi, ci := 0, 1, -1
+	for i, name := range header {
+		switch name {
+		case "x":
+			xi = i
+		case "y":
+			yi = i
+		case "cluster":
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("no 'cluster' column in header %v", header)
+	}
+	var dots []plot.Dot
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		x, err := strconv.ParseFloat(rec[xi], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad x %q", line, rec[xi])
+		}
+		y, err := strconv.ParseFloat(rec[yi], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad y %q", line, rec[yi])
+		}
+		c, err := strconv.Atoi(rec[ci])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad cluster %q", line, rec[ci])
+		}
+		dots = append(dots, plot.Dot{X: x, Y: y, Cluster: c})
+	}
+	return dots, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "discplot:", err)
+	os.Exit(1)
+}

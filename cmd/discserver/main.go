@@ -1,0 +1,56 @@
+// Command discserver runs the DISC stream-clustering HTTP service: ingest
+// points, query clusters and their evolution over a sliding window.
+//
+// Usage:
+//
+//	discserver -addr :8080 -dims 2 -eps 0.5 -minpts 5 -window 10000 -stride 500
+//
+// Endpoints:
+//
+//	POST /ingest        JSON array of {"id":1,"time":2,"coords":[x,y]}
+//	GET  /clusters      cluster census of the current window
+//	GET  /points/{id}   assignment of one point
+//	GET  /events        cluster-evolution log (?since=<seq>)
+//	GET  /stats         engine work counters and configuration
+//	GET  /checkpoint    binary service checkpoint (engine + window position)
+//	POST /checkpoint    restore from a checkpoint and resume the stream
+//	GET  /healthz       liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"disc/internal/model"
+	"disc/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dims := flag.Int("dims", 2, "coordinates per point (1-4)")
+	eps := flag.Float64("eps", 1.0, "distance threshold ε")
+	minPts := flag.Int("minpts", 5, "density threshold τ")
+	win := flag.Int("window", 10000, "sliding window size in points")
+	stride := flag.Int("stride", 500, "stride size in points")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Cluster: model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
+		Window:  *win,
+		Stride:  *stride,
+	})
+	if err != nil {
+		log.Fatalf("discserver: %v", err)
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d)\n",
+		*addr, *eps, *minPts, *win, *stride)
+	log.Fatal(httpServer.ListenAndServe())
+}

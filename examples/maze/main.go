@@ -1,0 +1,104 @@
+// Maze quality shoot-out: the paper's Fig. 9/12 scenario. One hundred seeds
+// spread trails through the plane; each trail is one ground-truth cluster.
+// The example runs DISC (exact) against the summarization-based DBSTREAM and
+// EDMStream and the approximate ρ²-DBSCAN on the same sliding window, and
+// prints each engine's ARI against the ground truth — showing why exact
+// high-resolution clustering matters once the window holds many fine
+// structures.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"disc"
+)
+
+func main() {
+	const (
+		n          = 30000
+		windowSize = 8000
+		stride     = 400 // 5%
+	)
+	ds, err := disc.GenerateDataset("maze", n, 42)
+	if err != nil {
+		panic(err)
+	}
+	cfg := disc.Config{Dims: 2, Eps: 0.6, MinPts: 4}
+
+	// Give the decay-based engines a forgetting horizon matched to the
+	// window, the best-effort setting the paper also granted them.
+	lambda := math.Ln2 / float64(windowSize)
+	dbs, err := disc.NewDBStream(cfg, disc.DBStreamOptions{Lambda: lambda})
+	if err != nil {
+		panic(err)
+	}
+	edm, err := disc.NewEDMStream(cfg, disc.EDMStreamOptions{Lambda: lambda})
+	if err != nil {
+		panic(err)
+	}
+	rho, err := disc.NewRho2DBSCAN(cfg, 0.001)
+	if err != nil {
+		panic(err)
+	}
+	den, err := disc.NewDenStream(cfg, disc.DenStreamOptions{Lambda: lambda})
+	if err != nil {
+		panic(err)
+	}
+	dst, err := disc.NewDStream(cfg, disc.DStreamOptions{Lambda: lambda})
+	if err != nil {
+		panic(err)
+	}
+	engines := []disc.Engine{disc.NewDISC(cfg), rho, dbs, edm, den, dst}
+
+	steps, err := disc.Steps(ds.Points, windowSize, stride)
+	if err != nil {
+		panic(err)
+	}
+
+	type score struct {
+		ariSum  float64
+		samples int
+		elapsed time.Duration
+		points  int
+	}
+	scores := make([]score, len(engines))
+	for si, st := range steps {
+		// Ground truth restricted to the current window.
+		truth := make(map[int64]int, len(st.Window))
+		for _, p := range st.Window {
+			truth[p.ID] = ds.Truth[p.ID]
+		}
+		for ei, eng := range engines {
+			t0 := time.Now()
+			eng.Advance(st.In, st.Out)
+			scores[ei].elapsed += time.Since(t0)
+			scores[ei].points += len(st.In)
+			if si%5 != 0 || si == 0 {
+				continue
+			}
+			pred := make(map[int64]int, len(st.Window))
+			for _, p := range st.Window {
+				if a, ok := eng.Assignment(p.ID); ok {
+					pred[p.ID] = a.ClusterID
+				}
+			}
+			scores[ei].ariSum += disc.ARI(truth, pred)
+			scores[ei].samples++
+		}
+	}
+
+	fmt.Printf("Maze, window=%d, stride=%d, eps=%g, minPts=%d\n\n", windowSize, stride, cfg.Eps, cfg.MinPts)
+	fmt.Printf("%-20s %8s %14s\n", "engine", "ARI", "µs per point")
+	for ei, eng := range engines {
+		sc := scores[ei]
+		fmt.Printf("%-20s %8.3f %14.1f\n", eng.Name(),
+			sc.ariSum/float64(sc.samples),
+			float64(sc.elapsed.Nanoseconds())/1000/float64(sc.points))
+	}
+	fmt.Println("\nExpected shape (paper Figs. 9 and 12): DISC holds ARI near 1;")
+	fmt.Println("ρ²-DBSCAN matches its quality at a higher per-point cost at this ε;")
+	fmt.Println("the summarization engines (DBSTREAM, EDMStream, and the extra")
+	fmt.Println("DenStream/D-Stream baselines) are fast but mix up the fine trails.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: cluster a small synthetic 2-D stream with DISC under a
+// count-based sliding window and print what the clustering looks like after
+// every stride — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disc"
+)
+
+func main() {
+	// Three drifting Gaussian blobs plus background noise.
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	stream := make([]disc.Point, 0, n)
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if rng.Float64() < 0.15 {
+			x, y = rng.Float64()*60, rng.Float64()*60 // noise
+		} else {
+			c := float64(rng.Intn(3)) * 20
+			drift := float64(i) / n * 8 // blobs wander as time passes
+			x = c + drift + rng.NormFloat64()*1.5
+			y = c + rng.NormFloat64()*1.5
+		}
+		p := disc.NewPoint(int64(i), x, y)
+		p.Time = int64(i)
+		stream = append(stream, p)
+	}
+
+	cfg := disc.Config{Dims: 2, Eps: 2.0, MinPts: 6}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := disc.NewDISC(cfg)
+	slider, err := disc.NewCountSlider(1500, 250) // window of 1500, slide by 250
+	if err != nil {
+		panic(err)
+	}
+
+	for _, p := range stream {
+		step := slider.Push(p)
+		if step == nil {
+			continue
+		}
+		eng.Advance(step.In, step.Out)
+
+		clusters := map[int]int{}
+		noise := 0
+		for _, a := range eng.Snapshot() {
+			if a.ClusterID == disc.NoCluster {
+				noise++
+			} else {
+				clusters[a.ClusterID]++
+			}
+		}
+		s := eng.Stats()
+		fmt.Printf("stride %2d: %d clusters, %3d noise points, %5d range searches so far, %d splits, %d merges\n",
+			s.Strides, len(clusters), noise, s.RangeSearches, s.Splits, s.Merges)
+	}
+
+	// Look up a single point.
+	if a, ok := eng.Assignment(stream[n-1].ID); ok {
+		fmt.Printf("\nnewest point: label=%s cluster=%d\n", a.Label, a.ClusterID)
+	}
+}

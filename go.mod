@@ -1,0 +1,3 @@
+module disc
+
+go 1.22

@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"bytes"
+
+	"disc/internal/model"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// small returns Options tuned for fast tests.
+func small() Options {
+	return Options{
+		Out:     &bytes.Buffer{},
+		Scale:   0.2,
+		Strides: 4,
+		Timeout: 30 * time.Second,
+	}
+}
+
+func TestDefaultsCoverEvalDatasets(t *testing.T) {
+	for _, name := range EvalDatasets() {
+		dc, err := Defaults(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dc.Cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", name, err)
+		}
+		if dc.Window <= 0 {
+			t.Errorf("%s: bad window", name)
+		}
+	}
+	if _, err := Defaults("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	dc, _ := Defaults("dtg")
+	half := dc.Scaled(0.5)
+	if half.Window != dc.Window/2 {
+		t.Errorf("window not scaled: %d", half.Window)
+	}
+	if half.Cfg.MinPts >= dc.Cfg.MinPts {
+		t.Errorf("DTG minPts must scale with window: %d", half.Cfg.MinPts)
+	}
+	tiny := dc.Scaled(0.000001)
+	if tiny.Window < 100 || tiny.Cfg.MinPts < 3 {
+		t.Errorf("floors not applied: %+v", tiny)
+	}
+	g, _ := Defaults("geolife")
+	if g.Scaled(0.5).Cfg.MinPts != g.Cfg.MinPts {
+		t.Error("non-DTG minPts must not scale")
+	}
+}
+
+func TestNewEngineKinds(t *testing.T) {
+	dc, _ := Defaults("covid")
+	for _, kind := range EngineKinds() {
+		eng, err := NewEngine(kind, dc.Cfg, 1000, 100)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if eng.Name() == "" {
+			t.Errorf("%s: empty name", kind)
+		}
+	}
+	if _, err := NewEngine("bogus", dc.Cfg, 1000, 100); err == nil {
+		t.Error("bogus engine kind accepted")
+	}
+}
+
+func TestRatioStrideDividesWindow(t *testing.T) {
+	for _, win := range []int{100, 4000, 20000, 12345} {
+		for _, ratio := range []float64{0.001, 0.01, 0.05, 0.10, 0.25, 1} {
+			s := ratioStride(win, ratio)
+			if s < 1 || s > win {
+				t.Fatalf("ratioStride(%d, %g) = %d out of range", win, ratio, s)
+			}
+			if win%s != 0 {
+				t.Fatalf("ratioStride(%d, %g) = %d does not divide", win, ratio, s)
+			}
+		}
+	}
+}
+
+func TestRunTimeoutDNF(t *testing.T) {
+	dc, _ := Defaults("covid")
+	dc = dc.Scaled(0.2)
+	stride := ratioStride(dc.Window, 0.25)
+	o := small()
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := NewEngine("dbscan", dc.Cfg, dc.Window, stride)
+	res := Run(eng, steps, RunOpts{Timeout: 1 * time.Nanosecond})
+	if !res.DNF || !strings.Contains(res.DNFReason, "timeout") {
+		t.Fatalf("expected timeout DNF, got %+v", res)
+	}
+}
+
+func TestRunMemoryCapDNF(t *testing.T) {
+	dc, _ := Defaults("covid")
+	dc = dc.Scaled(0.2)
+	stride := ratioStride(dc.Window, 0.25)
+	o := small()
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := NewEngine("extran", dc.Cfg, dc.Window, stride)
+	res := Run(eng, steps, RunOpts{MemoryCap: 1})
+	if !res.DNF || !strings.Contains(res.DNFReason, "memory") {
+		t.Fatalf("expected memory DNF, got %+v", res)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	o := small()
+	o.Out = &buf
+	if err := Table2(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DTG", "GeoLife", "COVID-19", "IRIS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %s", want)
+		}
+	}
+}
+
+// TestFig7Shape asserts the deterministic search-count ordering the paper
+// reports: DISC <= IncDBSCAN <= DBSCAN on every dataset.
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDataset := map[string]map[string]float64{}
+	for _, r := range rows {
+		if r.Figure != "7a" {
+			continue
+		}
+		if perDataset[r.Dataset] == nil {
+			perDataset[r.Dataset] = map[string]float64{}
+		}
+		perDataset[r.Dataset][r.Engine] = r.Value
+	}
+	if len(perDataset) != 4 {
+		t.Fatalf("7a covers %d datasets, want 4", len(perDataset))
+	}
+	for ds, m := range perDataset {
+		if !(m["DISC"] <= m["IncDBSCAN"] && m["IncDBSCAN"] <= m["DBSCAN"]) {
+			t.Errorf("%s: search ordering violated: %+v", ds, m)
+		}
+	}
+	// 7b: DISC's relative searches must stay below 1 (it beats DBSCAN).
+	for _, r := range rows {
+		if r.Figure == "7b" && r.Engine == "DISC" && r.Param != "stride=25%" && r.Value >= 1 {
+			t.Errorf("7b: DISC relative searches %.3f >= 1 at %s", r.Value, r.Param)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("Fig8 rows = %d, want 16 (4 datasets x 4 variants)", len(rows))
+	}
+	// "both" must not be slower than "neither" by more than noise.
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Param] = r.Value
+	}
+	for _, ds := range []string{"DTG", "IRIS"} {
+		if byKey[ds+"/both"] > byKey[ds+"/neither"] {
+			t.Errorf("%s: optimized DISC slower than unoptimized (%.1f > %.1f)",
+				ds, byKey[ds+"/both"], byKey[ds+"/neither"])
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality figure skipped in -short mode")
+	}
+	o := small()
+	o.Strides = 6
+	rows, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DISC must dominate the summarization engines on ARI at every window.
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Param+"/"+r.Engine] = r.Value
+	}
+	for _, r := range rows {
+		if r.Engine != "DISC" {
+			continue
+		}
+		if r.Value < 0.9 {
+			t.Errorf("DISC ARI %.3f < 0.9 at %s", r.Value, r.Param)
+		}
+		for _, summ := range []string{"DBSTREAM", "EDMStream"} {
+			if byKey[r.Param+"/"+summ] > r.Value {
+				t.Errorf("%s beats DISC on ARI at %s", summ, r.Param)
+			}
+		}
+	}
+}
+
+func TestFig12WritesArtifacts(t *testing.T) {
+	o := small()
+	o.OutDir = t.TempDir()
+	rows, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Fig12 rows = %d, want 6 (2 datasets x 3 engines)", len(rows))
+	}
+	files, _ := filepath.Glob(filepath.Join(o.OutDir, "fig12_*.csv"))
+	if len(files) != 6 {
+		t.Fatalf("found %d CSV dumps, want 6", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,y,label,cluster\n") {
+		t.Error("CSV dump missing header")
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing figure skipped in -short mode")
+	}
+	o := small()
+	o.Strides = 3
+	rows, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 datasets x 5 ratios x 3 engines.
+	if len(rows) != 60 {
+		t.Fatalf("Fig4 rows = %d, want 60", len(rows))
+	}
+	// At the smallest stride, DISC must beat from-scratch DBSCAN.
+	for _, r := range rows {
+		if r.Engine == "DISC" && r.Param == "stride=0.1%" && !r.DNF && r.Value <= 1 {
+			t.Errorf("%s: DISC speedup %.2fx <= 1 at 0.1%% stride", r.Dataset, r.Value)
+		}
+	}
+}
+
+func TestQualityHelper(t *testing.T) {
+	dc, _ := Defaults("maze")
+	dc = dc.Scaled(0.1)
+	stride := ratioStride(dc.Window, 0.10)
+	ds, err := dc.Stream(stride, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := small()
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := NewEngine("disc", dc.Cfg, dc.Window, stride)
+	ari, samples := Quality(eng, steps, 1, func(_ int, win []model.Point) map[int64]int {
+		t := make(map[int64]int, len(win))
+		for _, p := range win {
+			t[p.ID] = ds.Truth[p.ID]
+		}
+		return t
+	})
+	if samples == 0 {
+		t.Fatal("no quality samples")
+	}
+	if ari < 0.9 {
+		t.Errorf("DISC ARI on maze = %.3f", ari)
+	}
+}
+
+func TestWriteRowsCSV(t *testing.T) {
+	rows := []Row{
+		{Figure: "4", Dataset: "DTG", Param: "stride=5%", Engine: "DISC", Value: 2.5, Unit: "x"},
+		{Figure: "9", Dataset: "Maze", Param: "window=8000", Engine: "DBSTREAM", Value: 0.3, Unit: "ARI",
+			Extra: map[string]float64{"latency_us": 1.6}, DNF: false},
+		{Figure: "5", Dataset: "DTG", Param: "window=80000", Engine: "EXTRA-N", Value: 0, Unit: "x",
+			DNF: true, Note: "memory cap exceeded"},
+	}
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := WriteRowsCSV(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "figure,dataset,param,engine,value,unit,dnf,note,latency_us\n") {
+		t.Fatalf("bad header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "9,Maze,window=8000,DBSTREAM,0.3,ARI,false,,1.6") {
+		t.Fatalf("missing extra column row:\n%s", out)
+	}
+	if !strings.Contains(out, "memory cap exceeded") {
+		t.Fatal("DNF note lost")
+	}
+	if c := strings.Count(strings.TrimSpace(out), "\n"); c != 3 {
+		t.Fatalf("line count %d, want 3 data lines + header", c)
+	}
+}

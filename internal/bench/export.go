@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// WriteRowsCSV writes figure rows to a CSV file for plotting: one line per
+// (figure, dataset, param, engine) data point, with auxiliary metrics
+// flattened into extra columns. Rows from several figures can be appended
+// into one slice and exported together.
+func WriteRowsCSV(path string, rows []Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+
+	// Collect the union of extra-metric names for stable columns.
+	extraKeys := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Extra {
+			extraKeys[k] = true
+		}
+	}
+	extras := make([]string, 0, len(extraKeys))
+	for k := range extraKeys {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+
+	header := []string{"figure", "dataset", "param", "engine", "value", "unit", "dnf", "note"}
+	header = append(header, extras...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Dataset, r.Param, r.Engine,
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+			r.Unit, strconv.FormatBool(r.DNF), r.Note,
+		}
+		for _, k := range extras {
+			if v, ok := r.Extra[k]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

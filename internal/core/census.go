@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sort"
+
+	"disc/internal/model"
+)
+
+// ClusterInfo summarizes one cluster of the current window.
+type ClusterInfo struct {
+	ID      int
+	Cores   int
+	Borders int
+}
+
+// Size returns the total member count.
+func (c ClusterInfo) Size() int { return c.Cores + c.Borders }
+
+// Clusters returns a census of the current window's clusters, sorted by
+// descending size (ties by ascending id), plus the number of noise points.
+// Border points count toward the cluster their hint resolves to.
+func (e *Engine) Clusters() (clusters []ClusterInfo, noise int) {
+	byID := make(map[int]*ClusterInfo)
+	for id, st := range e.pts {
+		a := e.assignmentOf(id, st)
+		if a.ClusterID == model.NoCluster {
+			noise++
+			continue
+		}
+		ci := byID[a.ClusterID]
+		if ci == nil {
+			ci = &ClusterInfo{ID: a.ClusterID}
+			byID[a.ClusterID] = ci
+		}
+		if a.Label == model.Core {
+			ci.Cores++
+		} else {
+			ci.Borders++
+		}
+	}
+	clusters = make([]ClusterInfo, 0, len(byID))
+	for _, ci := range byID {
+		clusters = append(clusters, *ci)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].Size() != clusters[j].Size() {
+			return clusters[i].Size() > clusters[j].Size()
+		}
+		return clusters[i].ID < clusters[j].ID
+	})
+	return clusters, noise
+}
+
+// ClusterMembers returns the ids of every point assigned to the cluster,
+// cores first, then borders; nil if the cluster does not exist.
+func (e *Engine) ClusterMembers(clusterID int) []int64 {
+	var cores, borders []int64
+	for id, st := range e.pts {
+		a := e.assignmentOf(id, st)
+		if a.ClusterID != clusterID {
+			continue
+		}
+		if a.Label == model.Core {
+			cores = append(cores, id)
+		} else {
+			borders = append(borders, id)
+		}
+	}
+	if len(cores) == 0 && len(borders) == 0 {
+		return nil
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+	sort.Slice(borders, func(i, j int) bool { return borders[i] < borders[j] })
+	return append(cores, borders...)
+}

@@ -1,0 +1,565 @@
+// Package core implements DISC (Density-based Incremental Striding
+// Clustering), the primary contribution of Kim et al., ICDE 2021: an exact
+// incremental density-based clustering algorithm for the sliding-window
+// stream model that produces clusterings identical to DBSCAN while touching
+// only the neighborhood of change.
+//
+// Each window advance runs two steps (Fig. 2 of the paper):
+//
+//   - COLLECT (Algorithm 1) batch-updates the ε-neighbor count nε(p) of every
+//     point affected by the stride's arrivals (Δin) and departures (Δout) and
+//     identifies the ex-cores (were cores, no longer are or left the window)
+//     and neo-cores (are cores, were not or just arrived).
+//   - CLUSTER (Algorithm 2) resolves cluster evolution: for every connected
+//     component of ex-cores (one retro-reachable set R⁻) it gathers the
+//     minimal bonding cores M⁻ — the surviving cores directly ε-adjacent to
+//     the component — and checks their density-connectedness with MS-BFS
+//     (Algorithm 3) under epoch-based R-tree probing (Algorithm 4); a
+//     disconnected M⁻ is a cluster split. Neo-core components (R⁺) only
+//     inspect the cluster ids of their bonding cores M⁺ to decide emergence,
+//     expansion, or merger — no connectivity search is ever needed for them.
+//
+// Label maintenance (§V of the paper) is folded into the same range searches:
+// every point keeps the count of its current core ε-neighbors, which changes
+// exactly when a neighbor is an ex-core or neo-core — points we already
+// search around once per stride — so border/noise status updates are free,
+// and each border keeps a "hint" (the id of one core neighbor) through which
+// its cluster id resolves even across later splits and merges.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"disc/internal/dsu"
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/rtree"
+)
+
+// compactInterval is the number of strides between cluster-id compactions
+// (rewriting every stored cid to its union-find representative and resetting
+// the forest, so the id space does not grow without bound).
+const compactInterval = 1024
+
+// noHint marks an absent or invalidated border hint.
+const noHint = int64(-1)
+
+// Option configures optional behaviors of the engine. The two switches
+// correspond to the ablation study in Fig. 8 of the paper.
+type Option func(*Engine)
+
+// WithMSBFS enables (default) or disables the Multi-Starter BFS. When
+// disabled, connectivity of minimal bonding cores is checked by sequential
+// single-source BFS traversals that explore entire components.
+func WithMSBFS(on bool) Option { return func(e *Engine) { e.useMSBFS = on } }
+
+// WithEpochProbing enables (default) or disables epoch-based R-tree probing.
+// When disabled, reachability searches run as plain range searches and the
+// visited set is kept outside the index, paying the full index descent for
+// every already-visited point.
+func WithEpochProbing(on bool) Option { return func(e *Engine) { e.useEpoch = on } }
+
+// pstate is the per-point bookkeeping DISC maintains for every point in the
+// current window (plus, transiently, the exited ex-cores C_out).
+type pstate struct {
+	pos     geom.Vec
+	n       int32       // nε: neighbors within ε, the point itself included
+	coreDeg int32       // current core points within ε, itself excluded
+	cid     int         // raw cluster id for cores; resolve through Engine.cids
+	hint    int64       // id of one core ε-neighbor justifying Border status
+	label   model.Label // finalized label as of the last completed stride
+	wasCore bool        // was a core at the end of the previous stride
+
+	// Stride-scoped stamps; a field equals the current stride number when
+	// the mark is set, so no per-stride clearing pass is needed.
+	affStamp   uint64 // member of the affected set
+	enterStamp uint64 // member of Δin
+	exStamp    uint64 // visited by the retro-reachability (R⁻) traversal
+	neoStamp   uint64 // visited by the nascent-reachability (R⁺) traversal
+	bondStamp  uint64 // collected into the current component's M⁻ set
+}
+
+// Engine is the DISC clustering engine. It implements model.Engine. The
+// zero value is unusable; construct with New. Not safe for concurrent use.
+type Engine struct {
+	cfg       model.Config
+	tree      spatialIndex
+	indexKind indexKind
+	gridSide  float64
+	pts       map[int64]*pstate
+	cids      *dsu.Int
+	nextCID   int
+	stride    uint64 // current stride number; stamps compare against it
+	bondTick  uint64 // per-component counter for M⁻ deduplication
+
+	useMSBFS bool
+	useEpoch bool
+	onEvent  func(Event)
+
+	stats   model.Stats
+	timings PhaseTimings
+
+	// Scratch reused across strides.
+	affected []int64
+}
+
+// New returns a DISC engine for the given configuration. It panics on an
+// invalid configuration; use cfg.Validate to pre-check user input.
+func New(cfg model.Config, opts ...Option) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		tree:     rtree.New(cfg.Dims),
+		pts:      make(map[int64]*pstate),
+		cids:     dsu.NewInt(),
+		nextCID:  1,
+		useMSBFS: true,
+		useEpoch: true,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements model.Engine.
+func (e *Engine) Name() string { return "DISC" }
+
+// Advance implements model.Engine: it slides the window by one stride,
+// running COLLECT and CLUSTER and finalizing every affected label.
+func (e *Engine) Advance(in, out []model.Point) {
+	e.stride++
+	e.affected = e.affected[:0]
+	treeBefore := e.tree.Stats()
+
+	t0 := time.Now()
+	exCores, neoCores, cout := e.collect(in, out)
+	t1 := time.Now()
+	e.clusterExCores(exCores)
+	// Algorithm 2 line 8: ex-cores that exited the window stay in the R-tree
+	// through the ex-core phase (retro-reachability needs them) and are
+	// removed before neo-cores are processed.
+	for _, id := range cout {
+		e.tree.Delete(id, e.pts[id].pos)
+	}
+	t2 := time.Now()
+	e.clusterNeoCores(neoCores)
+	t3 := time.Now()
+	e.finalize()
+	t4 := time.Now()
+	e.timings.Collect += t1.Sub(t0)
+	e.timings.ExCores += t2.Sub(t1)
+	e.timings.NeoCores += t3.Sub(t2)
+	e.timings.Finalize += t4.Sub(t3)
+
+	treeAfter := e.tree.Stats()
+	e.stats.RangeSearches += treeAfter.RangeSearches - treeBefore.RangeSearches
+	e.stats.NodeAccesses += treeAfter.NodeAccesses - treeBefore.NodeAccesses
+	e.stats.Strides++
+	e.stats.MemoryItems = int64(len(e.pts))
+
+	if e.stride%compactInterval == 0 {
+		e.compactCIDs()
+	}
+}
+
+// markAffected adds id to the stride's affected set exactly once.
+func (e *Engine) markAffected(id int64, st *pstate) {
+	if st.affStamp != e.stride {
+		st.affStamp = e.stride
+		e.affected = append(e.affected, id)
+	}
+}
+
+// collect is the COLLECT step (Algorithm 1): apply Δout then Δin, updating
+// nε for all touched neighbors, and return the ex-cores, neo-cores, and the
+// exited ex-cores C_out (still resident in the R-tree).
+func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64) {
+	for _, p := range out {
+		st, ok := e.pts[p.ID]
+		if !ok {
+			panic(fmt.Sprintf("disc: point %d left the window but was never inserted", p.ID))
+		}
+		if st.label == model.Core {
+			cout = append(cout, p.ID) // keep in the R-tree until CLUSTER ends
+		} else {
+			e.tree.Delete(p.ID, st.pos)
+		}
+		e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+			if qid == p.ID {
+				return true
+			}
+			q := e.pts[qid]
+			if q.label == model.Deleted {
+				return true
+			}
+			q.n--
+			e.markAffected(qid, q)
+			return true
+		})
+		st.label = model.Deleted
+		st.n = 0
+		e.markAffected(p.ID, st)
+	}
+
+	for _, p := range in {
+		if _, dup := e.pts[p.ID]; dup {
+			panic(fmt.Sprintf("disc: duplicate point id %d entered the window", p.ID))
+		}
+		st := &pstate{pos: p.Pos, n: 1, hint: noHint, label: model.Unclassified, enterStamp: e.stride}
+		e.pts[p.ID] = st
+		e.tree.Insert(p.ID, p.Pos)
+		e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+			if qid == p.ID {
+				return true
+			}
+			q := e.pts[qid]
+			if q.label == model.Deleted {
+				return true
+			}
+			q.n++
+			st.n++
+			e.markAffected(qid, q)
+			// Initialize coreDeg against cores surviving from the previous
+			// window; transitions (ex-cores, neo-cores) correct it later.
+			if q.wasCore {
+				st.coreDeg++
+				if st.hint == noHint {
+					st.hint = qid
+				}
+			}
+			return true
+		})
+		e.markAffected(p.ID, st)
+	}
+
+	// Every point whose nε changed is in the affected set; core-status
+	// transitions can only happen there (Definitions 1 and 2).
+	for _, id := range e.affected {
+		st := e.pts[id]
+		if st.label == model.Deleted {
+			if st.wasCore {
+				exCores = append(exCores, id)
+			}
+			continue
+		}
+		isCore := st.n >= int32(e.cfg.MinPts)
+		switch {
+		case st.wasCore && !isCore:
+			exCores = append(exCores, id)
+		case !st.wasCore && isCore:
+			neoCores = append(neoCores, id)
+		}
+	}
+	return exCores, neoCores, cout
+}
+
+// isExCore reports whether st is an ex-core this stride: a previous-window
+// core that exited or fell below the density threshold.
+func (e *Engine) isExCore(st *pstate) bool {
+	return st.wasCore && (st.label == model.Deleted || st.n < int32(e.cfg.MinPts))
+}
+
+// isCoreNow reports whether st is a core of the current window.
+func (e *Engine) isCoreNow(st *pstate) bool {
+	return st.label != model.Deleted && st.n >= int32(e.cfg.MinPts)
+}
+
+// survivingCore reports whether st is a core in both the previous and the
+// current window — the membership condition of minimal bonding cores
+// (Definitions 4 and 6).
+func (e *Engine) survivingCore(st *pstate) bool {
+	return st.wasCore && e.isCoreNow(st)
+}
+
+// clusterExCores processes cluster evolution driven by ex-cores: for each
+// retro-reachable component it computes the minimal bonding cores M⁻ with
+// one range search per ex-core, then checks their density-connectedness.
+// Theorem 1 of the paper justifies retiring the entire component after a
+// single check. The same searches maintain coreDeg and border hints for all
+// neighbors of the ex-cores.
+func (e *Engine) clusterExCores(exCores []int64) {
+	for _, seed := range exCores {
+		if e.pts[seed].exStamp == e.stride {
+			continue // already covered by an earlier component (Alg. 2 line 7)
+		}
+		e.bondTick++
+		// All retro-reachable ex-cores shared one cluster in the previous
+		// window; remember it for event reporting before labels change.
+		oldCID := e.cids.Find(e.pts[seed].cid)
+		componentSize := 0
+		var bonding []int64 // M⁻ of this component, deduplicated via bondStamp
+		queue := []int64{seed}
+		e.pts[seed].exStamp = e.stride
+		for len(queue) > 0 {
+			eid := queue[0]
+			queue = queue[1:]
+			componentSize++
+			est := e.pts[eid]
+			exited := est.label == model.Deleted
+			e.tree.SearchBall(est.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+				if qid == eid {
+					return true
+				}
+				q := e.pts[qid]
+				if q.label != model.Deleted {
+					// The neighbor lost the core point eid. A point that
+					// entered this stride never counted an exited core in its
+					// coreDeg initialization, so skip that combination.
+					if !(exited && q.enterStamp == e.stride) {
+						q.coreDeg--
+					}
+					if q.hint == eid {
+						q.hint = noHint
+					}
+					e.markAffected(qid, q)
+				}
+				if e.isCoreNow(q) {
+					// Any current core serves as a border hint for the
+					// ex-core itself once it is demoted.
+					est.hint = qid
+					if q.wasCore && q.bondStamp != e.bondTick {
+						q.bondStamp = e.bondTick
+						bonding = append(bonding, qid)
+					}
+				} else if e.isExCore(q) && q.exStamp != e.stride {
+					q.exStamp = e.stride
+					queue = append(queue, qid)
+				}
+				return true
+			})
+		}
+
+		// Decide the evolution of the component's previous cluster: an empty
+		// M⁻ is a dissipation, a connected M⁻ a shrink, a disconnected M⁻ a
+		// split (Algorithm 2 lines 4-6).
+		if len(bonding) == 0 {
+			e.emit(Event{Type: Dissipation, ClusterID: oldCID, Cores: componentSize})
+			continue
+		}
+		if len(bonding) == 1 {
+			e.emit(Event{Type: Shrink, ClusterID: oldCID, Cores: componentSize})
+			continue
+		}
+		closed, ncc := e.connectivity(bonding)
+		if ncc <= 1 {
+			e.emit(Event{Type: Shrink, ClusterID: oldCID, Cores: componentSize})
+			continue
+		}
+		e.stats.Splits += int64(ncc - 1)
+		var fresh []int
+		for _, comp := range closed {
+			cid := e.nextCID
+			e.nextCID++
+			fresh = append(fresh, cid)
+			for _, id := range comp {
+				st := e.pts[id]
+				st.cid = cid
+				e.markAffected(id, st)
+			}
+		}
+		e.emit(Event{Type: Split, ClusterID: oldCID, NewClusters: fresh, Cores: componentSize})
+	}
+}
+
+// clusterNeoCores processes cluster evolution driven by neo-cores: each
+// nascent-reachable component gathers the cluster ids of its minimal bonding
+// cores M⁺; no ids means a new cluster emerges, one id means the cluster
+// expands, several mean those clusters merge (Algorithm 2 lines 9-13). The
+// same searches credit coreDeg and refresh border hints for all neighbors.
+func (e *Engine) clusterNeoCores(neoCores []int64) {
+	for _, seed := range neoCores {
+		if e.pts[seed].neoStamp == e.stride {
+			continue // covered by an earlier component
+		}
+		var comp []int64
+		cidSet := make(map[int]bool)
+		queue := []int64{seed}
+		e.pts[seed].neoStamp = e.stride
+		for len(queue) > 0 {
+			nid := queue[0]
+			queue = queue[1:]
+			comp = append(comp, nid)
+			nst := e.pts[nid]
+			e.markAffected(nid, nst)
+			e.tree.SearchBall(nst.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+				if qid == nid {
+					return true
+				}
+				q := e.pts[qid]
+				if q.label == model.Deleted {
+					return true
+				}
+				// The neighbor gained the core point nid.
+				q.coreDeg++
+				q.hint = nid
+				e.markAffected(qid, q)
+				if !e.isCoreNow(q) {
+					return true
+				}
+				if q.wasCore {
+					cidSet[e.cids.Find(q.cid)] = true
+				} else if q.neoStamp != e.stride {
+					q.neoStamp = e.stride
+					queue = append(queue, qid)
+				}
+				return true
+			})
+		}
+
+		var cid int
+		switch len(cidSet) {
+		case 0: // emergence
+			cid = e.nextCID
+			e.nextCID++
+			e.emit(Event{Type: Emergence, ClusterID: cid, Cores: len(comp)})
+		case 1: // expansion
+			for c := range cidSet {
+				cid = c
+			}
+			e.emit(Event{Type: Expansion, ClusterID: cid, Cores: len(comp)})
+		default: // merger
+			cid = -1
+			for c := range cidSet {
+				if cid == -1 || c < cid {
+					cid = c
+				}
+			}
+			var absorbed []int
+			for c := range cidSet {
+				if c != cid {
+					e.cids.UnionInto(cid, c)
+					e.stats.Merges++
+					absorbed = append(absorbed, c)
+				}
+			}
+			e.emit(Event{Type: Merger, ClusterID: cid, Absorbed: absorbed, Cores: len(comp)})
+		}
+		for _, id := range comp {
+			e.pts[id].cid = cid
+		}
+	}
+}
+
+// finalize recomputes the label of every affected point from its maintained
+// counters, refreshes wasCore for the next stride, re-acquires invalidated
+// border hints (one early-terminating range search each — the paper's
+// "updated later by examining labels of their ε-neighbors"), and drops the
+// state of departed points.
+func (e *Engine) finalize() {
+	minPts := int32(e.cfg.MinPts)
+	for _, id := range e.affected {
+		st := e.pts[id]
+		if st.label == model.Deleted {
+			delete(e.pts, id)
+			continue
+		}
+		if st.n >= minPts {
+			if st.cid == 0 {
+				panic(fmt.Sprintf("disc: core point %d finalized without a cluster id", id))
+			}
+			st.label = model.Core
+			st.wasCore = true
+			continue
+		}
+		st.wasCore = false
+		st.cid = 0
+		if st.coreDeg > 0 {
+			st.label = model.Border
+			if !e.hintValid(st) {
+				st.hint = e.findHint(id, st)
+			}
+		} else {
+			st.label = model.Noise
+			st.hint = noHint
+		}
+	}
+}
+
+// hintValid reports whether st's stored hint still names a live core.
+func (e *Engine) hintValid(st *pstate) bool {
+	if st.hint == noHint {
+		return false
+	}
+	h, ok := e.pts[st.hint]
+	return ok && e.isCoreNow(h)
+}
+
+// findHint locates one core ε-neighbor of the border point id, terminating
+// the range search as soon as one is found.
+func (e *Engine) findHint(id int64, st *pstate) int64 {
+	found := noHint
+	e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == id {
+			return true
+		}
+		if q := e.pts[qid]; e.isCoreNow(q) {
+			found = qid
+			return false
+		}
+		return true
+	})
+	if found == noHint {
+		panic(fmt.Sprintf("disc: point %d has coreDeg=%d but no core ε-neighbor", id, st.coreDeg))
+	}
+	return found
+}
+
+// compactCIDs rewrites every stored cluster id to its representative and
+// resets the union-find forest, bounding its growth.
+func (e *Engine) compactCIDs() {
+	for _, st := range e.pts {
+		if st.cid != 0 {
+			st.cid = e.cids.Find(st.cid)
+		}
+	}
+	e.cids.Reset()
+}
+
+// Assignment implements model.Engine.
+func (e *Engine) Assignment(id int64) (model.Assignment, bool) {
+	st, ok := e.pts[id]
+	if !ok {
+		return model.Assignment{}, false
+	}
+	return e.assignmentOf(id, st), true
+}
+
+// Snapshot implements model.Engine.
+func (e *Engine) Snapshot() map[int64]model.Assignment {
+	out := make(map[int64]model.Assignment, len(e.pts))
+	for id, st := range e.pts {
+		out[id] = e.assignmentOf(id, st)
+	}
+	return out
+}
+
+func (e *Engine) assignmentOf(id int64, st *pstate) model.Assignment {
+	switch st.label {
+	case model.Core:
+		return model.Assignment{Label: model.Core, ClusterID: e.cids.Find(st.cid)}
+	case model.Border:
+		h, ok := e.pts[st.hint]
+		if !ok {
+			panic(fmt.Sprintf("disc: border point %d hints at absent point %d", id, st.hint))
+		}
+		return model.Assignment{Label: model.Border, ClusterID: e.cids.Find(h.cid)}
+	default:
+		return model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}
+	}
+}
+
+// Stats implements model.Engine.
+func (e *Engine) Stats() model.Stats { return e.stats }
+
+// ResetStats implements model.Engine. It also zeroes the phase timings.
+func (e *Engine) ResetStats() {
+	e.stats = model.Stats{}
+	e.timings = PhaseTimings{}
+}
+
+// WindowSize returns the number of points currently tracked.
+func (e *Engine) WindowSize() int { return len(e.pts) }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+// benchAdvance measures one stride of a DISC variant over a synthetic
+// evolving stream (window 4000, stride 5%).
+func benchAdvance(b *testing.B, opts ...Option) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const win, stride = 4000, 200
+	data := clustered2D(rng, win+stride*64)
+	steps, err := window.Steps(data, win, stride)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEng := func() *Engine {
+		eng := New(cfg2(2.5, 5), opts...)
+		eng.Advance(steps[0].In, steps[0].Out)
+		return eng
+	}
+	eng := newEng()
+	idx := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx >= len(steps) {
+			b.StopTimer()
+			eng = newEng()
+			idx = 1
+			b.StartTimer()
+		}
+		st := steps[idx]
+		eng.Advance(st.In, st.Out)
+		idx++
+	}
+}
+
+func BenchmarkAdvance(b *testing.B)        { benchAdvance(b) }
+func BenchmarkAdvanceNoMSBFS(b *testing.B) { benchAdvance(b, WithMSBFS(false)) }
+func BenchmarkAdvanceNoEpoch(b *testing.B) { benchAdvance(b, WithEpochProbing(false)) }
+func BenchmarkAdvanceGridIdx(b *testing.B) { benchAdvance(b, WithGridIndex(0)) }
+
+// BenchmarkConnectivity measures one MS-BFS/sequential connectivity check
+// over a chain of cores with starters at both ends (worst case for the
+// early-exit: threads must traverse half the chain each to meet).
+func BenchmarkConnectivity(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		for _, variant := range []struct {
+			name string
+			opts []Option
+		}{
+			{"msbfs+epoch", nil},
+			{"msbfs", []Option{WithEpochProbing(false)}},
+			{"seq", []Option{WithMSBFS(false), WithEpochProbing(false)}},
+		} {
+			b.Run(fmt.Sprintf("chain=%d/%s", n, variant.name), func(b *testing.B) {
+				cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+				eng := New(cfg, variant.opts...)
+				pts := line(0, 0, n, 0.9)
+				eng.Advance(pts, nil)
+				starters := []int64{0, int64(n - 1)}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.connectivity(starters)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshot measures full labeling extraction.
+func BenchmarkSnapshot(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	eng := New(cfg2(2.5, 5))
+	eng.Advance(clustered2D(rng, 10000), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures SaveSnapshot+LoadEngine round trips.
+func BenchmarkCheckpoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	eng := New(cfg2(2.5, 5))
+	eng.Advance(clustered2D(rng, 10000), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := eng.SaveSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadEngine(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

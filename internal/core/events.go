@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+// EventType enumerates the kinds of cluster evolution DISC distinguishes
+// (§III-C of the paper): ex-cores drive splits, shrinks and dissipations;
+// neo-cores drive emergences, expansions and mergers.
+type EventType uint8
+
+const (
+	// Emergence: a new cluster formed solely of neo-cores (M⁺ empty).
+	Emergence EventType = iota
+	// Expansion: neo-cores joined one existing cluster (M⁺ spans one).
+	Expansion
+	// Merger: neo-cores connected several existing clusters (M⁺ spans many).
+	Merger
+	// Split: the minimal bonding cores of an ex-core component fell into
+	// more than one density-connected component.
+	Split
+	// Shrink: ex-cores left a cluster but its bonding cores stayed connected.
+	Shrink
+	// Dissipation: an ex-core component with no surviving bonding cores —
+	// the whole cluster dissolved.
+	Dissipation
+)
+
+// String returns the lower-case name of the event type.
+func (t EventType) String() string {
+	switch t {
+	case Emergence:
+		return "emergence"
+	case Expansion:
+		return "expansion"
+	case Merger:
+		return "merger"
+	case Split:
+		return "split"
+	case Shrink:
+		return "shrink"
+	case Dissipation:
+		return "dissipation"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// Event describes one cluster-evolution occurrence. Cluster ids are the
+// resolved ids as visible in snapshots taken after the same Advance call.
+type Event struct {
+	Type   EventType
+	Stride uint64 // 1-based window advance counter
+	// ClusterID is the primary cluster: the new cluster for Emergence, the
+	// expanded cluster for Expansion, the surviving (winning) cluster for
+	// Merger and Split, and the affected cluster for Shrink/Dissipation.
+	ClusterID int
+	// Absorbed lists the cluster ids merged away (Merger only).
+	Absorbed []int
+	// NewClusters lists the fresh ids assigned to the split-off components
+	// (Split only).
+	NewClusters []int
+	// Cores is the number of core points directly involved: the
+	// nascent-reachable component size for neo-core events, the number of
+	// retro-reachable ex-cores for ex-core events.
+	Cores int
+}
+
+// String renders the event compactly for logs.
+func (ev Event) String() string {
+	switch ev.Type {
+	case Merger:
+		return fmt.Sprintf("stride %d: merger -> cluster %d absorbed %v (%d neo-cores)", ev.Stride, ev.ClusterID, ev.Absorbed, ev.Cores)
+	case Split:
+		return fmt.Sprintf("stride %d: split of cluster %d -> new %v (%d ex-cores)", ev.Stride, ev.ClusterID, ev.NewClusters, ev.Cores)
+	default:
+		return fmt.Sprintf("stride %d: %s of cluster %d (%d cores)", ev.Stride, ev.Type, ev.ClusterID, ev.Cores)
+	}
+}
+
+// WithEventHandler registers a callback invoked synchronously during
+// Advance for every cluster-evolution event, in detection order. The
+// handler must not call back into the engine.
+func WithEventHandler(fn func(Event)) Option {
+	return func(e *Engine) { e.onEvent = fn }
+}
+
+// emit dispatches an event if a handler is registered.
+func (e *Engine) emit(ev Event) {
+	if e.onEvent != nil {
+		ev.Stride = e.stride
+		e.onEvent(ev)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+func collectEvents(t *testing.T) (*Engine, *[]Event) {
+	t.Helper()
+	var events []Event
+	eng := New(cfg2(1.1, 3), WithEventHandler(func(ev Event) { events = append(events, ev) }))
+	return eng, &events
+}
+
+func hasEvent(events []Event, typ EventType) *Event {
+	for i := range events {
+		if events[i].Type == typ {
+			return &events[i]
+		}
+	}
+	return nil
+}
+
+func TestEmergenceAndDissipationEvents(t *testing.T) {
+	eng, events := collectEvents(t)
+	blob := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)}, {ID: 2, Pos: geom.NewVec(1, 0)},
+		{ID: 3, Pos: geom.NewVec(0, 1)}, {ID: 4, Pos: geom.NewVec(1, 1)},
+	}
+	eng.Advance(blob, nil)
+	em := hasEvent(*events, Emergence)
+	if em == nil {
+		t.Fatalf("no emergence event, got %v", *events)
+	}
+	if em.Cores != 4 || em.Stride != 1 {
+		t.Fatalf("emergence = %+v", *em)
+	}
+	snap := eng.Snapshot()
+	if snap[1].ClusterID != em.ClusterID {
+		t.Fatalf("event cluster id %d does not match snapshot %d", em.ClusterID, snap[1].ClusterID)
+	}
+
+	*events = (*events)[:0]
+	eng.Advance(nil, blob)
+	di := hasEvent(*events, Dissipation)
+	if di == nil {
+		t.Fatalf("no dissipation event, got %v", *events)
+	}
+	if di.ClusterID != em.ClusterID {
+		t.Fatalf("dissipated cluster %d, want %d", di.ClusterID, em.ClusterID)
+	}
+	if di.Cores != 4 {
+		t.Fatalf("dissipation cores = %d, want 4", di.Cores)
+	}
+}
+
+func TestSplitAndMergerEvents(t *testing.T) {
+	eng, events := collectEvents(t)
+	blobA := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)}, {ID: 2, Pos: geom.NewVec(1, 0)},
+		{ID: 3, Pos: geom.NewVec(0, 1)}, {ID: 4, Pos: geom.NewVec(1, 1)},
+	}
+	blobB := []model.Point{
+		{ID: 5, Pos: geom.NewVec(2.8, 0)}, {ID: 6, Pos: geom.NewVec(3.8, 0)},
+		{ID: 7, Pos: geom.NewVec(2.8, 1)}, {ID: 8, Pos: geom.NewVec(3.8, 1)},
+	}
+	bridge := model.Point{ID: 9, Pos: geom.NewVec(1.9, 0.5)}
+	all := append(append(append([]model.Point{}, blobA...), blobB...), bridge)
+	eng.Advance(all, nil)
+	em := hasEvent(*events, Emergence)
+	if em == nil {
+		t.Fatal("no emergence on bootstrap")
+	}
+	oldCID := em.ClusterID
+
+	// Bridge leaves: split.
+	*events = (*events)[:0]
+	eng.Advance(nil, []model.Point{bridge})
+	sp := hasEvent(*events, Split)
+	if sp == nil {
+		t.Fatalf("no split event, got %v", *events)
+	}
+	if sp.ClusterID != oldCID {
+		t.Fatalf("split reports cluster %d, want %d", sp.ClusterID, oldCID)
+	}
+	if len(sp.NewClusters) != 2 {
+		t.Fatalf("split produced %v new clusters, want 2 fresh ids (every component is relabeled)", sp.NewClusters)
+	}
+
+	// New bridge arrives: merger of the two halves.
+	*events = (*events)[:0]
+	eng.Advance([]model.Point{{ID: 10, Pos: geom.NewVec(1.9, 0.5)}}, nil)
+	mg := hasEvent(*events, Merger)
+	if mg == nil {
+		t.Fatalf("no merger event, got %v", *events)
+	}
+	if len(mg.Absorbed) != 1 {
+		t.Fatalf("merger absorbed %v, want exactly one cluster", mg.Absorbed)
+	}
+	snap := eng.Snapshot()
+	if snap[1].ClusterID != mg.ClusterID || snap[5].ClusterID != mg.ClusterID {
+		t.Fatal("merger event id does not match the snapshot's unified cluster")
+	}
+}
+
+func TestExpansionAndShrinkEvents(t *testing.T) {
+	eng, events := collectEvents(t)
+	blob := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)}, {ID: 2, Pos: geom.NewVec(1, 0)},
+		{ID: 3, Pos: geom.NewVec(0, 1)}, {ID: 4, Pos: geom.NewVec(1, 1)},
+	}
+	eng.Advance(blob, nil)
+	em := hasEvent(*events, Emergence)
+
+	// An adjacent newcomer extends the cluster: its arrival makes it a core
+	// (neighbors 2, 4 and itself) -> expansion.
+	*events = (*events)[:0]
+	eng.Advance([]model.Point{{ID: 5, Pos: geom.NewVec(1.9, 0.5)}}, nil)
+	ex := hasEvent(*events, Expansion)
+	if ex == nil {
+		t.Fatalf("no expansion event, got %v", *events)
+	}
+	if ex.ClusterID != em.ClusterID {
+		t.Fatalf("expansion cluster %d, want %d", ex.ClusterID, em.ClusterID)
+	}
+
+	// The newcomer leaves again: the cluster shrinks but stays connected.
+	*events = (*events)[:0]
+	eng.Advance(nil, []model.Point{{ID: 5, Pos: geom.NewVec(1.9, 0.5)}})
+	sh := hasEvent(*events, Shrink)
+	if sh == nil {
+		t.Fatalf("no shrink event, got %v", *events)
+	}
+	if sh.ClusterID != em.ClusterID {
+		t.Fatalf("shrink cluster %d, want %d", sh.ClusterID, em.ClusterID)
+	}
+}
+
+// TestEventStreamConsistency: over a random stream, every event's cluster id
+// must be a cluster visible in (or absorbed from) the engine's state, and
+// split/merge counts must match the stats counters.
+func TestEventStreamConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	data := clustered2D(rng, 1500)
+	var events []Event
+	eng := New(cfg2(2.5, 5), WithEventHandler(func(ev Event) { events = append(events, ev) }))
+	steps, _ := window.Steps(data, 400, 40)
+	for _, st := range steps {
+		eng.Advance(st.In, st.Out)
+	}
+	var splits, merges int64
+	for _, ev := range events {
+		switch ev.Type {
+		case Split:
+			splits += int64(len(ev.NewClusters) - 1)
+		case Merger:
+			merges += int64(len(ev.Absorbed))
+		}
+		if ev.Cores <= 0 {
+			t.Fatalf("event with no cores: %+v", ev)
+		}
+		if ev.Stride == 0 {
+			t.Fatalf("event without stride: %+v", ev)
+		}
+	}
+	s := eng.Stats()
+	if splits != s.Splits {
+		t.Errorf("event splits %d != stats %d", splits, s.Splits)
+	}
+	if merges != s.Merges {
+		t.Errorf("event merges %d != stats %d", merges, s.Merges)
+	}
+	if len(events) == 0 {
+		t.Error("no events over an evolving stream")
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		Emergence: "emergence", Expansion: "expansion", Merger: "merger",
+		Split: "split", Shrink: "shrink", Dissipation: "dissipation",
+	}
+	for typ, name := range want {
+		if typ.String() != name {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), name)
+		}
+	}
+	ev := Event{Type: Split, Stride: 3, ClusterID: 7, NewClusters: []int{9}}
+	if ev.String() == "" {
+		t.Error("empty event string")
+	}
+}

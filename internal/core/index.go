@@ -1,0 +1,181 @@
+package core
+
+import (
+	"disc/internal/geom"
+	"disc/internal/grid"
+	"disc/internal/kdtree"
+	"disc/internal/rtree"
+)
+
+// spatialIndex abstracts the ε-search substrate DISC runs on. The paper's
+// DISC is R-tree based — epoch probing (Algorithm 4) is an R-tree
+// technique — but a hash grid is a natural alternative when ε is fixed and
+// the data extent is bounded; WithGridIndex exposes it as an ablation of
+// the index choice.
+type spatialIndex interface {
+	Insert(id int64, p geom.Vec)
+	Delete(id int64, p geom.Vec) bool
+	Len() int
+	SearchBall(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool
+	// SearchBallEpoch visits points whose epoch is below tick; fn returning
+	// true stamps the point for the remainder of that tick's traversals.
+	SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(id int64, p geom.Vec) bool)
+	NextTick() uint64
+	Stats() rtree.Stats
+	BulkLoad(ids []int64, pos []geom.Vec)
+}
+
+// rtree.T implements spatialIndex directly.
+var _ spatialIndex = (*rtree.T)(nil)
+
+// gridIndex adapts the hash grid to the spatialIndex interface. The grid
+// has no in-index epochs; stamping is emulated with a per-tick visited set,
+// so the grid backend pays the map lookups the R-tree's epoch probing
+// avoids — which is exactly the trade-off worth measuring.
+type gridIndex struct {
+	g       *grid.Grid
+	tick    uint64
+	curTick uint64
+	stamped map[int64]bool
+	stats   rtree.Stats
+}
+
+func newGridIndex(dims int, side float64) *gridIndex {
+	return &gridIndex{g: grid.New(dims, side), stamped: make(map[int64]bool)}
+}
+
+func (gi *gridIndex) Insert(id int64, p geom.Vec) { gi.g.Insert(id, p) }
+
+func (gi *gridIndex) Delete(id int64, p geom.Vec) bool { return gi.g.Delete(id, p) }
+
+func (gi *gridIndex) Len() int { return gi.g.Len() }
+
+func (gi *gridIndex) SearchBall(c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) bool {
+	gi.stats.RangeSearches++
+	cells := 0
+	ok := true
+	gi.g.ForNeighborCells(c, eps, func(_ grid.Key, items []grid.Item) bool {
+		cells++
+		for _, it := range items {
+			if geom.WithinEps(it.Pos, c, gi.g.Dims(), eps) {
+				if !fn(it.ID, it.Pos) {
+					ok = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	gi.stats.NodeAccesses += int64(cells)
+	return ok
+}
+
+func (gi *gridIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(int64, geom.Vec) bool) {
+	if tick != gi.curTick {
+		gi.curTick = tick
+		gi.stamped = make(map[int64]bool)
+	}
+	gi.SearchBall(c, eps, func(id int64, p geom.Vec) bool {
+		if gi.stamped[id] {
+			return true
+		}
+		if fn(id, p) {
+			gi.stamped[id] = true
+		}
+		return true
+	})
+}
+
+func (gi *gridIndex) NextTick() uint64 {
+	gi.tick++
+	return gi.tick
+}
+
+func (gi *gridIndex) Stats() rtree.Stats { return gi.stats }
+
+func (gi *gridIndex) BulkLoad(ids []int64, pos []geom.Vec) {
+	gi.g = grid.New(gi.g.Dims(), gi.g.Side())
+	for i := range ids {
+		gi.g.Insert(ids[i], pos[i])
+	}
+}
+
+// WithGridIndex replaces the R-tree with a hash grid of the given cell side
+// (≤ 0 selects ε/2, a good default balancing cell occupancy against the
+// number of cells each ball search must touch). With a grid backend the
+// epoch optimization degrades to an external visited set.
+func WithGridIndex(side float64) Option {
+	return func(e *Engine) {
+		if side <= 0 {
+			side = e.cfg.Eps / 2
+		}
+		e.indexKind = indexGrid
+		e.gridSide = side
+		e.tree = newGridIndex(e.cfg.Dims, side)
+	}
+}
+
+// kdIndex adapts the bucket k-d tree to the spatialIndex interface, with
+// the same visited-set epoch emulation as the grid backend.
+type kdIndex struct {
+	t       *kdtree.T
+	tick    uint64
+	curTick uint64
+	stamped map[int64]bool
+}
+
+func newKDIndex(dims int) *kdIndex {
+	return &kdIndex{t: kdtree.New(dims), stamped: make(map[int64]bool)}
+}
+
+func (ki *kdIndex) Insert(id int64, p geom.Vec)      { ki.t.Insert(id, p) }
+func (ki *kdIndex) Delete(id int64, p geom.Vec) bool { return ki.t.Delete(id, p) }
+func (ki *kdIndex) Len() int                         { return ki.t.Len() }
+
+func (ki *kdIndex) SearchBall(c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) bool {
+	return ki.t.SearchBall(c, eps, fn)
+}
+
+func (ki *kdIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(int64, geom.Vec) bool) {
+	if tick != ki.curTick {
+		ki.curTick = tick
+		ki.stamped = make(map[int64]bool)
+	}
+	ki.t.SearchBall(c, eps, func(id int64, p geom.Vec) bool {
+		if ki.stamped[id] {
+			return true
+		}
+		if fn(id, p) {
+			ki.stamped[id] = true
+		}
+		return true
+	})
+}
+
+func (ki *kdIndex) NextTick() uint64 {
+	ki.tick++
+	return ki.tick
+}
+
+func (ki *kdIndex) Stats() rtree.Stats {
+	return rtree.Stats{RangeSearches: ki.t.Searches(), NodeAccesses: ki.t.NodeAccesses()}
+}
+
+func (ki *kdIndex) BulkLoad(ids []int64, pos []geom.Vec) { ki.t.BulkLoad(ids, pos) }
+
+// WithKDTreeIndex replaces the R-tree with a bucket k-d tree — the third
+// index-choice ablation. Epoch probing degrades to an external visited set.
+func WithKDTreeIndex() Option {
+	return func(e *Engine) {
+		e.indexKind = indexKDTree
+		e.tree = newKDIndex(e.cfg.Dims)
+	}
+}
+
+type indexKind uint8
+
+const (
+	indexRTree indexKind = iota
+	indexGrid
+	indexKDTree
+)

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/metrics"
+	"disc/internal/window"
+)
+
+// TestGridIndexEquivalence: the grid backend must produce exactly the same
+// clustering as the R-tree backend (both verified against DBSCAN).
+func TestGridIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	data := clustered2D(rng, 1200)
+	cfg := cfg2(2.5, 5)
+	verifyAgainstDBSCAN(t, data, cfg, 400, 40, WithGridIndex(0))
+}
+
+func TestGridIndexCustomSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	data := clustered2D(rng, 800)
+	cfg := cfg2(2.0, 4)
+	verifyAgainstDBSCAN(t, data, cfg, 250, 50, WithGridIndex(cfg.Eps))
+}
+
+func TestGridIndexInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	data := clustered2D(rng, 800)
+	eng := New(cfg2(2.5, 5), WithGridIndex(0))
+	steps, _ := window.Steps(data, 250, 25)
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestGridIndexSnapshotRoundTrip: checkpoints preserve the grid backend.
+func TestGridIndexSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	data := clustered2D(rng, 900)
+	cfg := cfg2(2.5, 5)
+	steps, _ := window.Steps(data, 300, 30)
+	eng := New(cfg, WithGridIndex(1.0))
+	half := len(steps) / 2
+	for _, st := range steps[:half] {
+		eng.Advance(st.In, st.Out)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.indexKind != indexGrid || restored.gridSide != 1.0 {
+		t.Fatalf("index choice not restored: kind=%d side=%g", restored.indexKind, restored.gridSide)
+	}
+	for i, st := range steps[half:] {
+		restored.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(restored.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("post-restore step %d: %v", i, err)
+		}
+	}
+}
+
+// TestKDTreeIndexEquivalence: the k-d tree backend must also be exact.
+func TestKDTreeIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(408))
+	data := clustered2D(rng, 1000)
+	verifyAgainstDBSCAN(t, data, cfg2(2.5, 5), 300, 30, WithKDTreeIndex())
+}
+
+func TestKDTreeIndexInvariantsAndSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	data := clustered2D(rng, 800)
+	cfg := cfg2(2.0, 4)
+	eng := New(cfg, WithKDTreeIndex())
+	steps, _ := window.Steps(data, 250, 25)
+	half := len(steps) / 2
+	for i, st := range steps[:half] {
+		eng.Advance(st.In, st.Out)
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.indexKind != indexKDTree {
+		t.Fatal("index kind not restored")
+	}
+	for i, st := range steps[half:] {
+		restored.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(restored.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("post-restore step %d: %v", i, err)
+		}
+	}
+}

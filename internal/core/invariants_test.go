@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/window"
+)
+
+// TestInvariantsHoldAcrossStream runs the full state validator after every
+// stride of an evolving stream, for every ablation variant.
+func TestInvariantsHoldAcrossStream(t *testing.T) {
+	variants := map[string][]Option{
+		"full":    nil,
+		"noms":    {WithMSBFS(false)},
+		"noepoch": {WithEpochProbing(false)},
+		"plain":   {WithMSBFS(false), WithEpochProbing(false)},
+	}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(321))
+			data := clustered2D(rng, 1000)
+			eng := New(cfg2(2.5, 5), opts...)
+			steps, _ := window.Steps(data, 300, 30)
+			for i, st := range steps {
+				eng.Advance(st.In, st.Out)
+				if err := eng.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsUnderExtremeChurn uses stride == window so every stride
+// replaces the entire population.
+func TestInvariantsUnderExtremeChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(322))
+	data := clustered2D(rng, 800)
+	eng := New(cfg2(2.0, 4))
+	steps, _ := window.Steps(data, 200, 200)
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestInvariantsWithTinyStride stresses per-point churn (stride 1).
+func TestInvariantsWithTinyStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(323))
+	data := clustered2D(rng, 300)
+	eng := New(cfg2(2.0, 4))
+	steps, _ := window.Steps(data, 120, 1)
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		if i%20 == 0 {
+			if err := eng.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"disc/internal/dsu"
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/queue"
+)
+
+// This file implements the density-connectedness check for a set of minimal
+// bonding cores: Multi-Starter BFS (Algorithm 3 of the paper) with optional
+// epoch-based R-tree probing (Algorithm 4), plus the degraded variants used
+// by the Fig. 8 ablation study (sequential BFS, external visited set).
+//
+// Composition of the two optimizations requires care. The paper stores
+// visited marks inside the index; for MS-BFS to still detect that two search
+// threads meet, a vertex must remain discoverable while it sits in a queue
+// and may only be hidden once it has been expanded. We therefore stamp a
+// core's leaf entry with the instance tick when the core is dequeued and its
+// own expansion search runs (the ball around a core covers the core itself),
+// and record thread ownership separately at enqueue time.
+//
+// Why no merge is ever missed: suppose threads s and t both finish without
+// merging although their regions are connected; then some edge (u, v) exists
+// with u expanded by s's group and v by t's group. Consider the earlier of
+// the two expansions, say v by t. At that moment u was not yet expanded, so
+// u was not stamped and t's search of v returned u. If u was already owned
+// by s's group, the merge was detected — contradiction. Otherwise t enqueued
+// u and u would have been expanded by t's group, not s's — contradiction.
+// Non-core points never join the traversal; they are stamped on first touch
+// (after refreshing their border hint) since nothing revisits them within
+// one instance.
+
+// group is one MS-BFS search thread: its frontier queue and the cores it has
+// expanded so far. Merged groups concatenate both.
+type group struct {
+	q       queue.Q
+	members []int64
+	closed  bool // finished a whole connected component
+	dead    bool // absorbed into another thread
+	root    int  // current starter index whose slot points at this group
+}
+
+// connectivity determines how many density-connected components the given
+// bonding cores span in the current window's core graph.
+//
+// When the set is connected (ncc == 1), MS-BFS stops as soon as all threads
+// have merged — the early exit that makes the common shrink case cheap —
+// and closed is empty: nothing needs relabeling. When a split is detected
+// (some thread exhausts a component), the traversal runs to completion and
+// closed returns EVERY component in full. The caller then assigns a fresh
+// cluster id to each; no component may keep the previous cluster's id,
+// because one old cluster can be severed by several independent
+// retro-reachable ex-core components in a single stride, and two "survivor"
+// components each keeping the old id would silently share it (a bug found
+// by fuzzing; see TestMultiCutSplitRegression).
+func (e *Engine) connectivity(bonding []int64) (closed [][]int64, ncc int) {
+	if len(bonding) == 0 {
+		return nil, 0
+	}
+	if e.useMSBFS {
+		return e.multiStarterBFS(bonding)
+	}
+	return e.sequentialBFS(bonding)
+}
+
+// visitState tracks traversal bookkeeping for one connectivity instance.
+type visitState struct {
+	tick    uint64         // R-tree epoch tick; 0 when epoch probing is off
+	owner   map[int64]int  // core id → starter index of the owning group
+	stamped map[int64]bool // external visited set when epoch probing is off
+}
+
+func (e *Engine) newVisitState() *visitState {
+	vs := &visitState{owner: make(map[int64]int)}
+	if e.useEpoch {
+		vs.tick = e.tree.NextTick()
+	} else {
+		vs.stamped = make(map[int64]bool)
+	}
+	return vs
+}
+
+// expand runs the expansion search around core center. For every un-stamped
+// core within ε it calls onCore with the core's id; bookkeeping for non-core
+// neighbors (border hint refresh) happens inline. The center itself is
+// stamped, implementing visit-on-expansion.
+func (e *Engine) expand(center int64, vs *visitState, onCore func(id int64)) {
+	cst := e.pts[center]
+	visit := func(qid int64, _ geom.Vec) bool {
+		q := e.pts[qid]
+		if qid == center {
+			return true // stamp the expanded vertex itself
+		}
+		if q.label == model.Deleted {
+			return true // exited ex-core still in the tree: hide it
+		}
+		if !e.isCoreNow(q) {
+			// Refresh the border hint: center is a current core ε-adjacent
+			// to q. One touch suffices within this instance.
+			q.hint = center
+			e.markAffected(qid, q)
+			return true
+		}
+		onCore(qid)
+		return false // cores stay discoverable until they are expanded
+	}
+	if e.useEpoch {
+		e.tree.SearchBallEpoch(cst.pos, e.cfg.Eps, vs.tick, visit)
+		return
+	}
+	e.tree.SearchBall(cst.pos, e.cfg.Eps, func(qid int64, p geom.Vec) bool {
+		if vs.stamped[qid] {
+			return true
+		}
+		if visit(qid, p) {
+			vs.stamped[qid] = true
+		}
+		return true
+	})
+}
+
+// multiStarterBFS is Algorithm 3: one BFS thread per bonding core, run
+// round-robin; threads merge when they meet, an emptied queue closes one
+// connected component, and the instance stops as soon as a single live
+// thread remains.
+func (e *Engine) multiStarterBFS(bonding []int64) (closed [][]int64, ncc int) {
+	vs := e.newVisitState()
+	groups := make([]*group, len(bonding))
+	threads := dsu.NewDense(len(bonding))
+	active := make([]*group, len(bonding))
+	for i, m := range bonding {
+		groups[i] = &group{root: i}
+		groups[i].q.Push(m)
+		vs.owner[m] = i
+		active[i] = groups[i]
+	}
+	live := len(bonding)
+
+	// Round-robin over the live threads only; absorbed and closed threads
+	// are compacted out of the active list so each round costs O(live), not
+	// O(|M⁻|). While no component has closed, a single surviving thread
+	// means "connected" and the instance exits early; once any component
+	// closed (a split), every thread drains fully so all components are
+	// returned complete.
+	for live > 0 {
+		if live == 1 && ncc == 0 {
+			return nil, 1 // connected: early exit, nothing to relabel
+		}
+		w := active[:0]
+		for _, g := range active {
+			if g.dead || g.closed {
+				continue
+			}
+			w = append(w, g)
+			if g.q.Empty() {
+				// This thread exhausted a whole connected component.
+				g.closed = true
+				live--
+				closed = append(closed, g.members)
+				ncc++
+				continue
+			}
+			id := g.q.Pop()
+			g.members = append(g.members, id)
+			e.expand(id, vs, func(qid int64) {
+				j, seen := vs.owner[qid]
+				if !seen {
+					vs.owner[qid] = g.root
+					g.q.Push(qid)
+					return
+				}
+				other := groups[threads.Find(j)]
+				if other == g {
+					return // already ours
+				}
+				// Two searches met: merge the other thread into this one
+				// (Algorithm 3 line 11). Group identity, not starter index,
+				// decides "ours": after a union the dense-DSU root may be
+				// either starter, so the winning root's slot is re-pointed
+				// at g and recorded as g's root.
+				threads.Union(g.root, j)
+				g.q.Concat(&other.q)
+				g.members = append(g.members, other.members...)
+				other.members = nil
+				other.dead = true
+				g.root = threads.Find(g.root)
+				groups[g.root] = g
+				live--
+			})
+		}
+		active = w
+	}
+	return closed, ncc
+}
+
+// sequentialBFS is the ablation fallback: classic one-source BFS repeated
+// from each not-yet-covered bonding core. Every component is traversed to
+// completion and returned for relabeling (the caller relabels only when
+// more than one component exists).
+func (e *Engine) sequentialBFS(bonding []int64) (closed [][]int64, ncc int) {
+	vs := e.newVisitState()
+	for idx, m := range bonding {
+		if _, seen := vs.owner[m]; seen {
+			continue
+		}
+		ncc++
+		var members []int64
+		var q queue.Q
+		q.Push(m)
+		vs.owner[m] = idx
+		for !q.Empty() {
+			id := q.Pop()
+			members = append(members, id)
+			e.expand(id, vs, func(qid int64) {
+				if _, seen := vs.owner[qid]; !seen {
+					vs.owner[qid] = idx
+					q.Push(qid)
+				}
+			})
+		}
+		closed = append(closed, members)
+	}
+	return closed, ncc
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// buildEngine loads a static point set and returns the engine (bootstrap via
+// one Advance).
+func buildEngine(t *testing.T, cfg model.Config, pts []model.Point, opts ...Option) *Engine {
+	t.Helper()
+	eng := New(cfg, opts...)
+	eng.Advance(pts, nil)
+	return eng
+}
+
+// line builds n core points spaced just under ε apart along the x axis,
+// starting at x0. With MinPts <= 3 every interior point is a core.
+func line(idBase int64, x0 float64, n int, spacing float64) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		pts[i] = model.Point{ID: idBase + int64(i), Pos: geom.NewVec(x0+float64(i)*spacing, 0)}
+	}
+	return pts
+}
+
+// connectivityIDs collects the core ids of a component list, sorted.
+func connectivityIDs(comps [][]int64) [][]int64 {
+	out := make([][]int64, len(comps))
+	for i, c := range comps {
+		cc := append([]int64(nil), c...)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		out[i] = cc
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+func TestConnectivityConnectedLine(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"msbfs+epoch", nil},
+		{"msbfs", []Option{WithEpochProbing(false)}},
+		{"seq+epoch", []Option{WithMSBFS(false)}},
+		{"seq", []Option{WithMSBFS(false), WithEpochProbing(false)}},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+			pts := line(0, 0, 20, 0.9)
+			eng := buildEngine(t, cfg, pts, variant.opts...)
+			// Starters: the two endpoints — connected through the line.
+			closed, ncc := eng.connectivity([]int64{0, 19})
+			if ncc != 1 {
+				t.Fatalf("ncc = %d, want 1", ncc)
+			}
+			// With MS-BFS a connected set exits early with nothing closed;
+			// sequential traverses and reports the single component. Either
+			// way the caller relabels nothing when ncc == 1.
+			if eng.useMSBFS && len(closed) != 0 {
+				t.Fatalf("connected set reported %d closed components", len(closed))
+			}
+			if !eng.useMSBFS && len(closed) != 1 {
+				t.Fatalf("sequential reported %d components, want 1", len(closed))
+			}
+		})
+	}
+}
+
+func TestConnectivityTwoComponents(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"msbfs+epoch", nil},
+		{"msbfs", []Option{WithEpochProbing(false)}},
+		{"seq+epoch", []Option{WithMSBFS(false)}},
+		{"seq", []Option{WithMSBFS(false), WithEpochProbing(false)}},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+			a := line(0, 0, 6, 0.9)    // ids 0..5
+			b := line(100, 50, 6, 0.9) // ids 100..105, far away
+			eng := buildEngine(t, cfg, append(a, b...), variant.opts...)
+			closed, ncc := eng.connectivity([]int64{0, 100})
+			if ncc != 2 {
+				t.Fatalf("ncc = %d, want 2", ncc)
+			}
+			if len(closed) != 2 {
+				t.Fatalf("closed components = %d, want 2 (every component relabels on split)", len(closed))
+			}
+			// Both components must be complete lines of 6 cores each.
+			comps := connectivityIDs(closed)
+			if len(comps[0]) != 6 || len(comps[1]) != 6 {
+				t.Fatalf("component sizes %d/%d, want 6/6", len(comps[0]), len(comps[1]))
+			}
+			if comps[0][0] != 0 || comps[0][5] != 5 || comps[1][0] != 100 || comps[1][5] != 105 {
+				t.Fatalf("components mix lines: %v", comps)
+			}
+		})
+	}
+}
+
+func TestConnectivityManyStartersOneComponent(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+	pts := line(0, 0, 50, 0.5)
+	eng := buildEngine(t, cfg, pts)
+	// Every 5th core is a starter: they must all merge into one thread.
+	var starters []int64
+	for i := int64(0); i < 50; i += 5 {
+		starters = append(starters, i)
+	}
+	_, ncc := eng.connectivity(starters)
+	if ncc != 1 {
+		t.Fatalf("ncc = %d, want 1", ncc)
+	}
+}
+
+// TestConnectivityRandomGraphsAllVariants cross-checks all four
+// implementation variants against a brute-force component count on random
+// geometric graphs.
+func TestConnectivityRandomGraphsAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + rng.Intn(120)
+		pts := make([]model.Point, n)
+		for i := range pts {
+			pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*20, rng.Float64()*20)}
+		}
+		cfg := model.Config{Dims: 2, Eps: 1.2, MinPts: 1} // every point is a core
+		// Brute-force components over the ε-graph.
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = -1
+		}
+		nBrute := 0
+		for i := 0; i < n; i++ {
+			if comp[i] != -1 {
+				continue
+			}
+			stack := []int{i}
+			comp[i] = nBrute
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for j := 0; j < n; j++ {
+					if comp[j] == -1 && geom.WithinEps(pts[c].Pos, pts[j].Pos, 2, cfg.Eps) {
+						comp[j] = nBrute
+						stack = append(stack, j)
+					}
+				}
+			}
+			nBrute++
+		}
+		// Starters: one random core from every brute component plus extras.
+		var starters []int64
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if !seen[comp[i]] {
+				seen[comp[i]] = true
+				starters = append(starters, int64(i))
+			}
+		}
+		for k := 0; k < 5 && k < n; k++ {
+			c := int64(rng.Intn(n))
+			dup := false
+			for _, s := range starters {
+				if s == c {
+					dup = true
+				}
+			}
+			if !dup {
+				starters = append(starters, c)
+			}
+		}
+		for _, variant := range []struct {
+			name string
+			opts []Option
+		}{
+			{"msbfs+epoch", nil},
+			{"msbfs", []Option{WithEpochProbing(false)}},
+			{"seq+epoch", []Option{WithMSBFS(false)}},
+			{"seq", []Option{WithMSBFS(false), WithEpochProbing(false)}},
+		} {
+			eng := buildEngine(t, cfg, pts, variant.opts...)
+			_, ncc := eng.connectivity(starters)
+			if ncc != nBrute {
+				t.Fatalf("trial %d %s: ncc=%d, brute=%d (starters=%v)",
+					trial, variant.name, ncc, nBrute, starters)
+			}
+		}
+	}
+}
+
+// TestExpandRefreshesHints: expanding a core must set the border hint of its
+// non-core neighbors.
+func TestExpandRefreshesHints(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	pts := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)},
+		{ID: 2, Pos: geom.NewVec(0.5, 0)},
+		{ID: 3, Pos: geom.NewVec(1.0, 0)},
+		{ID: 4, Pos: geom.NewVec(1.8, 0)}, // border: only neighbor 3
+	}
+	eng := buildEngine(t, cfg, pts)
+	st := eng.pts[4]
+	st.hint = noHint // sabotage
+	eng.stride++     // fresh stride scope for markAffected
+	eng.affected = eng.affected[:0]
+	vs := eng.newVisitState()
+	eng.expand(3, vs, func(int64) {})
+	if st.hint != 3 {
+		t.Fatalf("hint = %d, want 3", st.hint)
+	}
+}
+
+func TestConnectivityEmptyAndSingleton(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 1}
+	eng := buildEngine(t, cfg, line(0, 0, 3, 0.5))
+	if closed, ncc := eng.connectivity(nil); ncc != 0 || closed != nil {
+		t.Fatal("empty bonding set must report zero components")
+	}
+	if _, ncc := eng.connectivity([]int64{1}); ncc != 1 {
+		t.Fatal("singleton bonding set must report one component")
+	}
+}
+
+func ExampleEventType_String() {
+	fmt.Println(Split, Merger, Emergence)
+	// Output: split merger emergence
+}

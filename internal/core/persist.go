@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/rtree"
+)
+
+// This file implements checkpointing: a long-running stream processor can
+// persist the engine between strides and resume after a restart without
+// replaying the window. The snapshot stores the per-point bookkeeping with
+// cluster ids compacted to their union-find representatives; the R-tree is
+// not serialized — it is rebuilt with one STR bulk load, which is both
+// faster and smaller than persisting tree pages.
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// persistedPoint mirrors pstate for encoding; stride-scoped stamps are
+// deliberately dropped (they are meaningless across restarts).
+type persistedPoint struct {
+	ID      int64
+	Pos     geom.Vec
+	N       int32
+	CoreDeg int32
+	CID     int
+	Hint    int64
+	Label   model.Label
+	WasCore bool
+}
+
+type persistedEngine struct {
+	Version   int
+	Cfg       model.Config
+	UseMSBFS  bool
+	UseEpoch  bool
+	IndexKind uint8
+	GridSide  float64
+	NextCID   int
+	Stride    uint64
+	Stats     model.Stats
+	Points    []persistedPoint
+}
+
+// SaveSnapshot writes the engine's full state to w. It must not be called
+// concurrently with Advance. Cluster ids are compacted first, so the
+// union-find forest need not be serialized.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	e.compactCIDs()
+	ps := persistedEngine{
+		Version:   snapshotVersion,
+		Cfg:       e.cfg,
+		UseMSBFS:  e.useMSBFS,
+		UseEpoch:  e.useEpoch,
+		IndexKind: uint8(e.indexKind),
+		GridSide:  e.gridSide,
+		NextCID:   e.nextCID,
+		Stride:    e.stride,
+		Stats:     e.stats,
+		Points:    make([]persistedPoint, 0, len(e.pts)),
+	}
+	for id, st := range e.pts {
+		ps.Points = append(ps.Points, persistedPoint{
+			ID: id, Pos: st.pos, N: st.n, CoreDeg: st.coreDeg,
+			CID: st.cid, Hint: st.hint, Label: st.label, WasCore: st.wasCore,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&ps); err != nil {
+		return fmt.Errorf("disc: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadEngine reconstructs an engine from a snapshot written by SaveSnapshot.
+// Options given at save time are restored; an event handler (not
+// serializable) can be re-attached via opts.
+func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
+	var ps persistedEngine
+	if err := gob.NewDecoder(r).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("disc: decoding snapshot: %w", err)
+	}
+	if ps.Version != snapshotVersion {
+		return nil, fmt.Errorf("disc: snapshot version %d not supported (want %d)", ps.Version, snapshotVersion)
+	}
+	if err := ps.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("disc: snapshot carries invalid config: %w", err)
+	}
+	e := New(ps.Cfg)
+	e.useMSBFS = ps.UseMSBFS
+	e.useEpoch = ps.UseEpoch
+	e.nextCID = ps.NextCID
+	e.stride = ps.Stride
+	e.stats = ps.Stats
+	ids := make([]int64, 0, len(ps.Points))
+	pos := make([]geom.Vec, 0, len(ps.Points))
+	for _, pp := range ps.Points {
+		if _, dup := e.pts[pp.ID]; dup {
+			return nil, fmt.Errorf("disc: snapshot contains duplicate point id %d", pp.ID)
+		}
+		e.pts[pp.ID] = &pstate{
+			pos: pp.Pos, n: pp.N, coreDeg: pp.CoreDeg,
+			cid: pp.CID, hint: pp.Hint, label: pp.Label, wasCore: pp.WasCore,
+		}
+		ids = append(ids, pp.ID)
+		pos = append(pos, pp.Pos)
+	}
+	switch indexKind(ps.IndexKind) {
+	case indexGrid:
+		e.indexKind = indexGrid
+		e.gridSide = ps.GridSide
+		e.tree = newGridIndex(ps.Cfg.Dims, ps.GridSide)
+	case indexKDTree:
+		e.indexKind = indexKDTree
+		e.tree = newKDIndex(ps.Cfg.Dims)
+	default:
+		e.tree = rtree.New(ps.Cfg.Dims)
+	}
+	e.tree.BulkLoad(ids, pos)
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/metrics"
+	"disc/internal/window"
+)
+
+// TestSnapshotRoundTrip: save mid-stream, restore, and verify the restored
+// engine produces exactly the same clustering as the original both
+// immediately and after further strides.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	data := clustered2D(rng, 1200)
+	cfg := cfg2(2.5, 5)
+	steps, err := window.Steps(data, 400, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := New(cfg)
+	half := len(steps) / 2
+	for _, st := range steps[:half] {
+		orig.Advance(st.In, st.Out)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Immediate state must match point for point.
+	a, b := orig.Snapshot(), restored.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("restored %d points, want %d", len(b), len(a))
+	}
+	for id, aa := range a {
+		if b[id] != aa {
+			t.Fatalf("point %d: restored %+v, original %+v", id, b[id], aa)
+		}
+	}
+	if restored.Stats() != orig.Stats() {
+		t.Errorf("stats not restored: %+v vs %+v", restored.Stats(), orig.Stats())
+	}
+
+	// Both engines must stay exact DBSCAN replicas over further strides.
+	for i, st := range steps[half:] {
+		orig.Advance(st.In, st.Out)
+		restored.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(restored.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("restored engine diverged at post-restore step %d: %v", i, err)
+		}
+		if err := metrics.SameClustering(orig.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("original engine diverged at post-restore step %d: %v", i, err)
+		}
+	}
+}
+
+func TestSnapshotPreservesOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	data := clustered2D(rng, 300)
+	eng := New(cfg2(2.5, 5), WithMSBFS(false), WithEpochProbing(false))
+	eng.Advance(data, nil)
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.useMSBFS || restored.useEpoch {
+		t.Fatal("ablation options not restored")
+	}
+}
+
+func TestSnapshotEventHandlerReattach(t *testing.T) {
+	eng := New(cfg2(1.1, 3))
+	eng.Advance(clustered2D(rand.New(rand.NewSource(79)), 100), nil)
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	restored, err := LoadEngine(&buf, WithEventHandler(func(Event) { fired = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh dense blob must fire an emergence on the restored engine.
+	blob := clustered2D(rand.New(rand.NewSource(80)), 50)
+	for i := range blob {
+		blob[i].ID += 10_000
+	}
+	restored.Advance(blob, nil)
+	if !fired {
+		t.Fatal("re-attached event handler never fired")
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadEngine(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSnapshotEmptyEngine(t *testing.T) {
+	eng := New(cfg2(1, 2))
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.WindowSize() != 0 {
+		t.Fatal("empty engine restored with points")
+	}
+	// And it must be usable.
+	restored.Advance(clustered2D(rand.New(rand.NewSource(81)), 100), nil)
+	if restored.WindowSize() != 100 {
+		t.Fatal("restored empty engine unusable")
+	}
+}

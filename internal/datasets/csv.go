@@ -1,0 +1,113 @@
+package datasets
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// WriteCSV writes a dataset as CSV: header, then one row per point with
+// id, time, the active coordinates, and — when ground truth exists — the
+// generating label.
+func WriteCSV(w io.Writer, ds Dataset) error {
+	bw := bufio.NewWriter(w)
+	header := "id,time"
+	for d := 0; d < ds.Dims; d++ {
+		header += fmt.Sprintf(",x%d", d)
+	}
+	if ds.Truth != nil {
+		header += ",label"
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for _, p := range ds.Points {
+		if _, err := fmt.Fprintf(bw, "%d,%d", p.ID, p.Time); err != nil {
+			return err
+		}
+		for d := 0; d < ds.Dims; d++ {
+			if _, err := fmt.Fprintf(bw, ",%g", p.Pos[d]); err != nil {
+				return err
+			}
+		}
+		if ds.Truth != nil {
+			if _, err := fmt.Fprintf(bw, ",%d", ds.Truth[p.ID]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV with columns
+// id, time, x0..x{dims-1}[, label]). The dimensionality is inferred from
+// the header's xN columns; a trailing "label" column populates Truth.
+func ReadCSV(r io.Reader) (Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return Dataset{}, fmt.Errorf("datasets: reading header: %w", err)
+	}
+	dims := 0
+	hasLabel := false
+	for _, col := range header {
+		if len(col) >= 2 && col[0] == 'x' {
+			dims++
+		}
+		if col == "label" {
+			hasLabel = true
+		}
+	}
+	if dims < 1 || dims > geom.MaxDims {
+		return Dataset{}, fmt.Errorf("datasets: header %v has %d coordinate columns (want 1-%d)", header, dims, geom.MaxDims)
+	}
+	ds := Dataset{Name: "csv", Dims: dims}
+	if hasLabel {
+		ds.Truth = make(map[int64]int)
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Dataset{}, err
+		}
+		if len(rec) < 2+dims {
+			return Dataset{}, fmt.Errorf("datasets: line %d has %d fields, want >= %d", line, len(rec), 2+dims)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("datasets: line %d: bad id %q", line, rec[0])
+		}
+		ts, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("datasets: line %d: bad time %q", line, rec[1])
+		}
+		var v geom.Vec
+		for d := 0; d < dims; d++ {
+			x, err := strconv.ParseFloat(rec[2+d], 64)
+			if err != nil {
+				return Dataset{}, fmt.Errorf("datasets: line %d: bad coordinate %q", line, rec[2+d])
+			}
+			v[d] = x
+		}
+		ds.Points = append(ds.Points, model.Point{ID: id, Time: ts, Pos: v})
+		if hasLabel {
+			l, err := strconv.Atoi(rec[2+dims])
+			if err != nil {
+				return Dataset{}, fmt.Errorf("datasets: line %d: bad label %q", line, rec[2+dims])
+			}
+			ds.Truth[id] = l
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,302 @@
+// Package datasets generates the synthetic analogs of the four real-world
+// datasets of the DISC evaluation (DTG, GeoLife, COVID-19, IRIS) and the
+// paper's own synthetic Maze benchmark. The real datasets are proprietary or
+// too large to ship; each generator reproduces the properties the evaluation
+// exercises — dimensionality, cluster shape regime, density profile, and
+// temporal churn — with deterministic seeded randomness. See DESIGN.md §3
+// for the substitution rationale.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// Dataset is a generated stream: points in arrival (timestamp) order, plus
+// ground-truth labels when the generator defines them (Maze only).
+type Dataset struct {
+	Name   string
+	Dims   int
+	Points []model.Point
+	// Truth maps point id to its generating cluster (Maze); nil otherwise.
+	Truth map[int64]int
+}
+
+// DTG emulates the digital-tachograph vehicle stream: 2-D positions of
+// commercial vehicles moving along a rectangular road grid of a metropolitan
+// area, with congestion hotspots. Roads are spaced closely relative to the
+// clustering threshold, reproducing the paper's motivation of separating
+// congested roads in close proximity. Coordinates are in degrees-like units
+// spanning a ~0.5° city.
+func DTG(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		citySize    = 0.5   // extent of the road grid
+		roadSpacing = 0.02  // distance between parallel roads
+		jitter      = 0.001 // GPS noise around the road axis
+	)
+	numRoads := int(citySize/roadSpacing) + 1
+	// Vehicles: each follows one road (horizontal or vertical) with a slowly
+	// drifting position; congested vehicles cluster near hotspot positions.
+	type vehicle struct {
+		horizontal bool
+		road       int     // road index
+		pos        float64 // position along the road
+		speed      float64
+	}
+	numVehicles := 400
+	if n < 4000 {
+		numVehicles = n/10 + 1
+	}
+	vehicles := make([]vehicle, numVehicles)
+	// Hotspots concentrate traffic on a few roads.
+	for i := range vehicles {
+		v := &vehicles[i]
+		v.horizontal = rng.Intn(2) == 0
+		if rng.Float64() < 0.6 {
+			v.road = rng.Intn(4) // congested roads
+			v.pos = 0.2 + rng.Float64()*0.1
+			v.speed = 0.00002 + rng.Float64()*0.00005 // crawling
+		} else {
+			v.road = rng.Intn(numRoads)
+			v.pos = rng.Float64() * citySize
+			v.speed = 0.0005 + rng.Float64()*0.001
+		}
+	}
+	pts := make([]model.Point, n)
+	for i := 0; i < n; i++ {
+		v := &vehicles[rng.Intn(numVehicles)]
+		v.pos += v.speed
+		if v.pos > citySize {
+			v.pos -= citySize
+		}
+		onRoad := float64(v.road) * roadSpacing
+		var x, y float64
+		if v.horizontal {
+			x, y = v.pos, onRoad+rng.NormFloat64()*jitter
+		} else {
+			x, y = onRoad+rng.NormFloat64()*jitter, v.pos
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y), Time: int64(i)}
+	}
+	return Dataset{Name: "DTG", Dims: 2, Points: pts}
+}
+
+// GeoLife emulates the GeoLife GPS trajectory collection: 182 users moving
+// between home/work anchors in 3-D (lat, lon, alt/300000 as the paper
+// normalizes it).
+func GeoLife(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const users = 182
+	type user struct {
+		home, work [2]float64
+		cur        [2]float64
+		toWork     bool
+	}
+	us := make([]user, users)
+	for i := range us {
+		// Anchors drawn from a handful of district centers so trajectories
+		// overlap into density clusters.
+		dh := float64(rng.Intn(5)) * 0.08
+		dw := float64(rng.Intn(5)) * 0.08
+		us[i].home = [2]float64{dh + rng.NormFloat64()*0.01, dh + rng.NormFloat64()*0.01}
+		us[i].work = [2]float64{dw + rng.NormFloat64()*0.01, 0.3 - dw/2 + rng.NormFloat64()*0.01}
+		us[i].cur = us[i].home
+	}
+	pts := make([]model.Point, n)
+	for i := 0; i < n; i++ {
+		u := &us[rng.Intn(users)]
+		target := u.home
+		if u.toWork {
+			target = u.work
+		}
+		// Move a fraction toward the target with jitter; flip when close.
+		dx, dy := target[0]-u.cur[0], target[1]-u.cur[1]
+		if dx*dx+dy*dy < 1e-6 {
+			u.toWork = !u.toWork
+		}
+		u.cur[0] += dx*0.02 + rng.NormFloat64()*0.002
+		u.cur[1] += dy*0.02 + rng.NormFloat64()*0.002
+		alt := (200 + 400*math.Abs(u.cur[0])) / 300000 * (1 + rng.NormFloat64()*0.1)
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(u.cur[0], u.cur[1], alt), Time: int64(i)}
+	}
+	return Dataset{Name: "GeoLife", Dims: 3, Points: pts}
+}
+
+// COVID emulates the geo-tagged tweet stream: a sparse 2-D world-scale point
+// set concentrated in Zipf-weighted city hotspots with a uniform global
+// noise floor. Coordinates are (lat, lon) in degrees.
+func COVID(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const cities = 250
+	type city struct {
+		lat, lon, spread, weight float64
+	}
+	cs := make([]city, cities)
+	totalW := 0.0
+	for i := range cs {
+		cs[i] = city{
+			lat:    rng.Float64()*120 - 55,
+			lon:    rng.Float64()*340 - 170,
+			spread: 0.5 + rng.Float64()*0.9,
+			weight: 1 / math.Pow(float64(i+1), 0.6), // flat-ish Zipf
+		}
+		totalW += cs[i].weight
+	}
+	pts := make([]model.Point, n)
+	for i := 0; i < n; i++ {
+		var lat, lon float64
+		if rng.Float64() < 0.25 {
+			lat, lon = rng.Float64()*140-65, rng.Float64()*360-180
+		} else {
+			r := rng.Float64() * totalW
+			var c city
+			for _, cand := range cs {
+				if r -= cand.weight; r <= 0 {
+					c = cand
+					break
+				}
+			}
+			lat = c.lat + rng.NormFloat64()*c.spread
+			lon = c.lon + rng.NormFloat64()*c.spread
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(lat, lon), Time: int64(i)}
+	}
+	return Dataset{Name: "COVID-19", Dims: 2, Points: pts}
+}
+
+// IRIS emulates the global earthquake catalog in the paper's 4-D encoding
+// (lat, lon, depth/10, magnitude*10): events along synthetic fault arcs with
+// exponential depth and Gutenberg-Richter-like magnitudes.
+func IRIS(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const faults = 8
+	type fault struct {
+		lat0, lon0, dLat, dLon, length, depthScale float64
+	}
+	fs := make([]fault, faults)
+	for i := range fs {
+		ang := rng.Float64() * 2 * math.Pi
+		fs[i] = fault{
+			lat0:       rng.Float64()*120 - 60,
+			lon0:       rng.Float64()*340 - 170,
+			dLat:       math.Sin(ang),
+			dLon:       math.Cos(ang),
+			length:     10 + rng.Float64()*25,
+			depthScale: 4 + rng.Float64()*10,
+		}
+	}
+	pts := make([]model.Point, n)
+	for i := 0; i < n; i++ {
+		f := fs[rng.Intn(faults)]
+		t := rng.Float64() * f.length
+		lat := f.lat0 + f.dLat*t + rng.NormFloat64()*0.25
+		lon := f.lon0 + f.dLon*t + rng.NormFloat64()*0.25
+		depth := rng.ExpFloat64() * f.depthScale // km
+		if depth > 700 {
+			depth = 700
+		}
+		mag := 4 + rng.ExpFloat64()/2 // Gutenberg-Richter-ish
+		if mag > 9 {
+			mag = 9
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(lat, lon, depth/10, mag*10), Time: int64(i)}
+	}
+	return Dataset{Name: "IRIS", Dims: 4, Points: pts}
+}
+
+// Maze is the paper's synthetic quality benchmark: numSeeds random seeds are
+// placed in the 2-D plane and spread out over time; the trajectory of each
+// seed is one ground-truth cluster. As the window grows, trajectories become
+// longer and closer to one another, complicating the cluster shapes — the
+// regime where summarization-based methods lose accuracy.
+func Maze(n int, seed int64) Dataset {
+	return MazeN(n, 100, seed)
+}
+
+// MazeN is Maze with a configurable number of spreading seeds. Each seed's
+// trail meanders within its own territory (a tile of a √numSeeds × √numSeeds
+// grid, with a margin separating neighboring tiles), so the trails form
+// increasingly long and winding — but still separable — clusters as the
+// window grows, exactly the regime the paper uses to probe how well each
+// method tracks many fine-grained structures.
+func MazeN(n, numSeeds int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const area = 100.0
+	const margin = 1.5 // inter-tile gap, comfortably above the evaluation ε
+	grid := int(math.Ceil(math.Sqrt(float64(numSeeds))))
+	tile := area / float64(grid)
+	type walker struct {
+		x, y                   float64
+		ang                    float64
+		spread                 float64
+		minX, maxX, minY, maxY float64
+	}
+	ws := make([]walker, numSeeds)
+	for i := range ws {
+		tx, ty := i%grid, i/grid
+		minX := float64(tx)*tile + margin/2
+		maxX := float64(tx+1)*tile - margin/2
+		minY := float64(ty)*tile + margin/2
+		maxY := float64(ty+1)*tile - margin/2
+		ws[i] = walker{
+			x:      minX + rng.Float64()*(maxX-minX),
+			y:      minY + rng.Float64()*(maxY-minY),
+			ang:    rng.Float64() * 2 * math.Pi,
+			spread: 0.05 + rng.Float64()*0.1,
+			minX:   minX, maxX: maxX, minY: minY, maxY: maxY,
+		}
+	}
+	pts := make([]model.Point, n)
+	truth := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		wi := rng.Intn(numSeeds)
+		w := &ws[wi]
+		// Meandering spread: the trajectory advances with a slowly turning
+		// heading, leaving a dense trail behind.
+		w.ang += rng.NormFloat64() * 0.25
+		w.x += math.Cos(w.ang) * w.spread
+		w.y += math.Sin(w.ang) * w.spread
+		// Reflect at the territory boundary.
+		if w.x < w.minX || w.x > w.maxX {
+			w.ang = math.Pi - w.ang
+			w.x = math.Min(math.Max(w.x, w.minX), w.maxX)
+		}
+		if w.y < w.minY || w.y > w.maxY {
+			w.ang = -w.ang
+			w.y = math.Min(math.Max(w.y, w.minY), w.maxY)
+		}
+		pts[i] = model.Point{
+			ID:   int64(i),
+			Pos:  geom.NewVec(w.x+rng.NormFloat64()*0.05, w.y+rng.NormFloat64()*0.05),
+			Time: int64(i),
+		}
+		truth[int64(i)] = wi + 1
+	}
+	return Dataset{Name: "Maze", Dims: 2, Points: pts, Truth: truth}
+}
+
+// Names lists the available generator names for ByName.
+func Names() []string { return []string{"dtg", "geolife", "covid", "iris", "maze"} }
+
+// ByName dispatches to a generator by its lower-case name.
+func ByName(name string, n int, seed int64) (Dataset, error) {
+	switch name {
+	case "dtg":
+		return DTG(n, seed), nil
+	case "geolife":
+		return GeoLife(n, seed), nil
+	case "covid":
+		return COVID(n, seed), nil
+	case "iris":
+		return IRIS(n, seed), nil
+	case "maze":
+		return Maze(n, seed), nil
+	default:
+		return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+	}
+}

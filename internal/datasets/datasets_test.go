@@ -1,0 +1,236 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := ByName(name, 2000, 7)
+		if len(a.Points) != len(b.Points) {
+			t.Fatalf("%s: nondeterministic length", name)
+		}
+		for i := range a.Points {
+			if a.Points[i] != b.Points[i] {
+				t.Fatalf("%s: nondeterministic at %d", name, i)
+			}
+		}
+		c, _ := ByName(name, 2000, 8)
+		same := true
+		for i := range a.Points {
+			if a.Points[i].Pos != c.Points[i].Pos {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed has no effect", name)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	wantDims := map[string]int{"dtg": 2, "geolife": 3, "covid": 2, "iris": 4, "maze": 2}
+	for name, dims := range wantDims {
+		ds, err := ByName(name, 500, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Dims != dims {
+			t.Errorf("%s: Dims = %d, want %d", name, ds.Dims, dims)
+		}
+		if len(ds.Points) != 500 {
+			t.Errorf("%s: %d points, want 500", name, len(ds.Points))
+		}
+		// IDs and times must be unique and monotonically increasing.
+		for i, p := range ds.Points {
+			if p.ID != int64(i) {
+				t.Fatalf("%s: non-sequential id at %d", name, i)
+			}
+		}
+		// Unused trailing dims must be zero so Vec comparisons are valid.
+		for _, p := range ds.Points {
+			for d := ds.Dims; d < len(p.Pos); d++ {
+				if p.Pos[d] != 0 {
+					t.Fatalf("%s: dim %d not zero", name, d)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestMazeTruthCoversAllPoints(t *testing.T) {
+	ds := Maze(5000, 3)
+	if ds.Truth == nil {
+		t.Fatal("Maze must carry ground truth")
+	}
+	clusters := map[int]int{}
+	for _, p := range ds.Points {
+		l, ok := ds.Truth[p.ID]
+		if !ok {
+			t.Fatalf("point %d unlabeled", p.ID)
+		}
+		clusters[l]++
+	}
+	if len(clusters) < 90 {
+		t.Fatalf("only %d of 100 seeds emitted points", len(clusters))
+	}
+}
+
+// TestMazeSeparability: on a modest window, exact DBSCAN with a small ε must
+// recover the trajectories well (high ARI vs ground truth) — the property
+// Figs. 9 and 12 rely on.
+func TestMazeSeparability(t *testing.T) {
+	ds := MazeN(4000, 20, 5)
+	cfg := model.Config{Dims: 2, Eps: 0.6, MinPts: 4}
+	snap := dbscan.Run(ds.Points, cfg)
+	ari := metrics.ARI(ds.Truth, metrics.Labels(snap))
+	if ari < 0.6 {
+		t.Fatalf("DBSCAN ARI on Maze = %.3f; trajectories not separable", ari)
+	}
+	t.Logf("Maze DBSCAN ARI = %.3f", ari)
+}
+
+// TestDTGFormsElongatedClusters: congested roads must yield dense clusters
+// at the evaluation's ε scale.
+func TestDTGFormsElongatedClusters(t *testing.T) {
+	ds := DTG(5000, 5)
+	cfg := model.Config{Dims: 2, Eps: 0.004, MinPts: 8}
+	snap := dbscan.Run(ds.Points, cfg)
+	clusters := map[int]int{}
+	cores := 0
+	for _, a := range snap {
+		if a.Label == model.Core {
+			cores++
+		}
+		if a.ClusterID != model.NoCluster {
+			clusters[a.ClusterID]++
+		}
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("DTG produced %d clusters; want several congested segments", len(clusters))
+	}
+	if cores < 500 {
+		t.Fatalf("DTG produced only %d cores; density too low for the ε/τ regime", cores)
+	}
+}
+
+func TestCOVIDNoiseFloor(t *testing.T) {
+	ds := COVID(5000, 5)
+	cfg := model.Config{Dims: 2, Eps: 1.2, MinPts: 5}
+	snap := dbscan.Run(ds.Points, cfg)
+	noise := 0
+	for _, a := range snap {
+		if a.Label == model.Noise {
+			noise++
+		}
+	}
+	if noise == 0 {
+		t.Fatal("COVID stream has no noise; uniform floor missing")
+	}
+	if noise > len(snap)/2 {
+		t.Fatalf("COVID stream is %d/%d noise; hotspots too weak", noise, len(snap))
+	}
+}
+
+func TestIRISClusterable(t *testing.T) {
+	ds := IRIS(5000, 5)
+	cfg := model.Config{Dims: 4, Eps: 2, MinPts: 9} // Table II thresholds
+	snap := dbscan.Run(ds.Points, cfg)
+	clusters := map[int]bool{}
+	for _, a := range snap {
+		if a.ClusterID != model.NoCluster {
+			clusters[a.ClusterID] = true
+		}
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("IRIS produced %d clusters at Table II thresholds", len(clusters))
+	}
+}
+
+func TestGeoLifeTrajectories(t *testing.T) {
+	ds := GeoLife(5000, 5)
+	cfg := model.Config{Dims: 3, Eps: 0.01, MinPts: 7} // Table II thresholds
+	snap := dbscan.Run(ds.Points, cfg)
+	clustered := 0
+	for _, a := range snap {
+		if a.ClusterID != model.NoCluster {
+			clustered++
+		}
+	}
+	if clustered < len(snap)/10 {
+		t.Fatalf("GeoLife: only %d/%d points clustered at Table II thresholds", clustered, len(snap))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	for _, name := range []string{"maze", "iris"} {
+		ds, _ := ByName(name, 500, 3)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Dims != ds.Dims || len(back.Points) != len(ds.Points) {
+			t.Fatalf("%s: round trip changed shape: dims %d->%d, n %d->%d",
+				name, ds.Dims, back.Dims, len(ds.Points), len(back.Points))
+		}
+		for i := range ds.Points {
+			if ds.Points[i].ID != back.Points[i].ID || ds.Points[i].Time != back.Points[i].Time {
+				t.Fatalf("%s: id/time mismatch at %d", name, i)
+			}
+			for d := 0; d < ds.Dims; d++ {
+				if math.Abs(ds.Points[i].Pos[d]-back.Points[i].Pos[d]) > 1e-12 {
+					t.Fatalf("%s: coordinate drift at %d dim %d", name, i, d)
+				}
+			}
+		}
+		if (ds.Truth == nil) != (back.Truth == nil) {
+			t.Fatalf("%s: truth presence changed", name)
+		}
+		if ds.Truth != nil {
+			for id, l := range ds.Truth {
+				if back.Truth[id] != l {
+					t.Fatalf("%s: truth mismatch for %d", name, id)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",                            // no header
+		"id,time\n",                   // no coordinate columns
+		"id,time,x0\n1,2\n",           // short row
+		"id,time,x0\nx,2,3\n",         // bad id
+		"id,time,x0\n1,y,3\n",         // bad time
+		"id,time,x0\n1,2,z\n",         // bad coordinate
+		"id,time,x0,label\n1,2,3,w\n", // bad label
+	}
+	for i, in := range bad {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

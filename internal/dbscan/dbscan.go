@@ -1,0 +1,188 @@
+// Package dbscan implements the classic density-based clustering algorithm
+// of Ester et al. (KDD 1996). It serves two roles in this repository: the
+// from-scratch baseline of the DISC evaluation (clusters are recomputed over
+// the whole window at every stride), and the ground-truth oracle against
+// which the incremental engines are verified point-for-point.
+package dbscan
+
+import (
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/rtree"
+)
+
+// Run executes DBSCAN over a static set of points and returns an assignment
+// per point id. A point is core iff at least cfg.MinPts points (itself
+// included) lie within cfg.Eps of it; clusters are maximal sets of
+// density-connected cores plus their borders. Cluster ids are assigned from
+// 1 in discovery order.
+func Run(points []model.Point, cfg model.Config) map[int64]model.Assignment {
+	tree := rtree.New(cfg.Dims)
+	for _, p := range points {
+		tree.Insert(p.ID, p.Pos)
+	}
+	return runOnTree(points, tree, cfg, nil)
+}
+
+// runOnTree is the shared implementation: it labels points using an already
+// populated R-tree. If searches is non-nil it accumulates the number of
+// range queries issued.
+func runOnTree(points []model.Point, tree *rtree.T, cfg model.Config, searches *int64) map[int64]model.Assignment {
+	type state struct {
+		pos     geom.Vec
+		visited bool
+		core    bool
+		cid     int
+	}
+	states := make(map[int64]*state, len(points))
+	for _, p := range points {
+		states[p.ID] = &state{pos: p.Pos}
+	}
+
+	neighbors := func(pos geom.Vec) []int64 {
+		if searches != nil {
+			*searches++
+		}
+		var out []int64
+		tree.SearchBall(pos, cfg.Eps, func(id int64, _ geom.Vec) bool {
+			out = append(out, id)
+			return true
+		})
+		return out
+	}
+
+	nextCID := 0
+	for _, p := range points {
+		s := states[p.ID]
+		if s.visited {
+			continue
+		}
+		s.visited = true
+		seed := neighbors(s.pos)
+		if len(seed) < cfg.MinPts {
+			continue // tentatively noise; may become border via a later core
+		}
+		// Seeding phase: p starts a new cluster; growing phase: BFS over
+		// directly density-reachable points.
+		nextCID++
+		s.core = true
+		s.cid = nextCID
+		queue := make([]int64, 0, len(seed))
+		for _, q := range seed {
+			if q != p.ID {
+				queue = append(queue, q)
+			}
+		}
+		for len(queue) > 0 {
+			qid := queue[0]
+			queue = queue[1:]
+			qs := states[qid]
+			if qs.cid == 0 {
+				qs.cid = nextCID // border or core joins the cluster
+			}
+			if qs.visited {
+				continue
+			}
+			qs.visited = true
+			qn := neighbors(qs.pos)
+			if len(qn) < cfg.MinPts {
+				continue // border: do not expand
+			}
+			qs.core = true
+			qs.cid = nextCID
+			for _, r := range qn {
+				rs := states[r]
+				if !rs.visited || rs.cid == 0 {
+					queue = append(queue, r)
+				}
+			}
+		}
+	}
+
+	out := make(map[int64]model.Assignment, len(states))
+	for id, s := range states {
+		switch {
+		case s.core:
+			out[id] = model.Assignment{Label: model.Core, ClusterID: s.cid}
+		case s.cid != 0:
+			out[id] = model.Assignment{Label: model.Border, ClusterID: s.cid}
+		default:
+			out[id] = model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}
+		}
+	}
+	return out
+}
+
+// Engine is the sliding-window wrapper: it keeps the R-tree maintained
+// incrementally but recomputes all labels from scratch on every Advance,
+// exactly like the DBSCAN baseline of the paper's evaluation.
+type Engine struct {
+	cfg     model.Config
+	tree    *rtree.T
+	window  map[int64]model.Point
+	current map[int64]model.Assignment
+	stats   model.Stats
+}
+
+// New returns a DBSCAN engine for the given configuration. It panics on an
+// invalid configuration; use cfg.Validate to pre-check user input.
+func New(cfg model.Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{
+		cfg:     cfg,
+		tree:    rtree.New(cfg.Dims),
+		window:  make(map[int64]model.Point),
+		current: make(map[int64]model.Assignment),
+	}
+}
+
+// Name implements model.Engine.
+func (e *Engine) Name() string { return "DBSCAN" }
+
+// Advance implements model.Engine: it applies the window delta and re-runs
+// DBSCAN over the whole window.
+func (e *Engine) Advance(in, out []model.Point) {
+	for _, p := range out {
+		if _, ok := e.window[p.ID]; !ok {
+			continue
+		}
+		e.tree.Delete(p.ID, p.Pos)
+		delete(e.window, p.ID)
+	}
+	for _, p := range in {
+		e.window[p.ID] = p
+		e.tree.Insert(p.ID, p.Pos)
+	}
+	pts := make([]model.Point, 0, len(e.window))
+	for _, p := range e.window {
+		pts = append(pts, p)
+	}
+	before := e.tree.Stats()
+	e.current = runOnTree(pts, e.tree, e.cfg, &e.stats.RangeSearches)
+	after := e.tree.Stats()
+	e.stats.NodeAccesses += after.NodeAccesses - before.NodeAccesses
+	e.stats.Strides++
+}
+
+// Assignment implements model.Engine.
+func (e *Engine) Assignment(id int64) (model.Assignment, bool) {
+	a, ok := e.current[id]
+	return a, ok
+}
+
+// Snapshot implements model.Engine.
+func (e *Engine) Snapshot() map[int64]model.Assignment {
+	out := make(map[int64]model.Assignment, len(e.current))
+	for id, a := range e.current {
+		out[id] = a
+	}
+	return out
+}
+
+// Stats implements model.Engine.
+func (e *Engine) Stats() model.Stats { return e.stats }
+
+// ResetStats implements model.Engine.
+func (e *Engine) ResetStats() { e.stats = model.Stats{} }

@@ -1,0 +1,156 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+// naive is an O(n²) reference DBSCAN used to validate the indexed one.
+func naive(points []model.Point, cfg model.Config) map[int64]model.Assignment {
+	n := len(points)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && geom.WithinEps(points[i].Pos, points[j].Pos, cfg.Dims, cfg.Eps) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	core := make([]bool, n)
+	for i := range core {
+		core[i] = len(adj[i])+1 >= cfg.MinPts
+	}
+	cid := make([]int, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		if !core[i] || cid[i] != 0 {
+			continue
+		}
+		next++
+		stack := []int{i}
+		cid[i] = next
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range adj[c] {
+				if core[nb] && cid[nb] == 0 {
+					cid[nb] = next
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+	out := make(map[int64]model.Assignment, n)
+	for i, p := range points {
+		switch {
+		case core[i]:
+			out[p.ID] = model.Assignment{Label: model.Core, ClusterID: cid[i]}
+		default:
+			// Border iff some core neighbor exists.
+			assigned := false
+			for _, nb := range adj[i] {
+				if core[nb] {
+					out[p.ID] = model.Assignment{Label: model.Border, ClusterID: cid[nb]}
+					assigned = true
+					break
+				}
+			}
+			if !assigned {
+				out[p.ID] = model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}
+			}
+		}
+	}
+	return out
+}
+
+func randomPoints(rng *rand.Rand, n, dims int) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		var v geom.Vec
+		if rng.Float64() < 0.7 {
+			c := float64(rng.Intn(4)) * 10
+			for d := 0; d < dims; d++ {
+				v[d] = c + rng.NormFloat64()*1.5
+			}
+		} else {
+			for d := 0; d < dims; d++ {
+				v[d] = rng.Float64() * 40
+			}
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: v}
+	}
+	return pts
+}
+
+func TestRunMatchesNaive(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(dims) * 31))
+		pts := randomPoints(rng, 400, dims)
+		for _, minPts := range []int{1, 4, 10} {
+			cfg := model.Config{Dims: dims, Eps: 2.0, MinPts: minPts}
+			got := Run(pts, cfg)
+			want := naive(pts, cfg)
+			if err := metrics.SameClustering(got, want, pts, cfg); err != nil {
+				t.Fatalf("dims=%d minPts=%d: %v", dims, minPts, err)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 2}
+	if got := Run(nil, cfg); len(got) != 0 {
+		t.Fatal("empty input produced assignments")
+	}
+	one := []model.Point{{ID: 7, Pos: geom.NewVec(0, 0)}}
+	got := Run(one, cfg)
+	if got[7].Label != model.Noise {
+		t.Fatalf("singleton labeled %v, want noise", got[7].Label)
+	}
+	// With MinPts 1 a singleton is its own core cluster.
+	got = Run(one, model.Config{Dims: 2, Eps: 1, MinPts: 1})
+	if got[7].Label != model.Core || got[7].ClusterID == model.NoCluster {
+		t.Fatalf("singleton with MinPts=1: %+v", got[7])
+	}
+}
+
+func TestEngineSlidingWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	data := randomPoints(rng, 600, 2)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	steps, _ := window.Steps(data, 200, 40)
+	eng := New(cfg)
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		want := Run(st.Window, cfg)
+		if err := metrics.SameClustering(eng.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// One range search per window point per stride, plus expansion searches;
+	// at least |W| per stride.
+	if eng.Stats().RangeSearches < int64(len(steps))*200 {
+		t.Errorf("searches = %d, want >= %d", eng.Stats().RangeSearches, len(steps)*200)
+	}
+}
+
+func TestEngineAssignmentLookup(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 2}
+	eng := New(cfg)
+	eng.Advance([]model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)},
+		{ID: 2, Pos: geom.NewVec(1, 0)},
+	}, nil)
+	a, ok := eng.Assignment(1)
+	if !ok || a.Label != model.Core {
+		t.Fatalf("Assignment(1) = %+v, %v", a, ok)
+	}
+	if _, ok := eng.Assignment(99); ok {
+		t.Fatal("unknown id tracked")
+	}
+}

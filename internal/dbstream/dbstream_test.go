@@ -1,0 +1,144 @@
+package dbstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+// threeBlobs emits n points from three well-separated Gaussians, with the
+// generating blob index as ground-truth label.
+func threeBlobs(rng *rand.Rand, n int) ([]model.Point, map[int64]int) {
+	truth := make(map[int64]int, n)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		b := rng.Intn(3)
+		x := float64(b)*30 + rng.NormFloat64()*1.5
+		y := rng.NormFloat64() * 1.5
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		truth[int64(i)] = b + 1
+	}
+	return pts, truth
+}
+
+func TestSeparatedBlobsClusterWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	data, truth := threeBlobs(rng, 3000)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	eng, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Advance(data, nil)
+	pred := metrics.Labels(eng.Snapshot())
+	ari := metrics.ARI(truth, pred)
+	if ari < 0.9 {
+		t.Fatalf("ARI on separated blobs = %.3f, want >= 0.9", ari)
+	}
+	t.Logf("ARI = %.3f with %d micro-clusters", ari, eng.MicroClusters())
+}
+
+func TestDepartedPointsLeaveSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	data, _ := threeBlobs(rng, 200)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	eng, _ := New(cfg, Options{})
+	eng.Advance(data[:100], nil)
+	eng.Advance(data[100:], data[:50])
+	snap := eng.Snapshot()
+	if len(snap) != 150 {
+		t.Fatalf("snapshot covers %d points, want 150", len(snap))
+	}
+	if _, ok := eng.Assignment(0); ok {
+		t.Fatal("departed point still assigned")
+	}
+}
+
+func TestMicroClustersBounded(t *testing.T) {
+	// Repeatedly hammering the same spot must keep reusing one MC.
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	pts := make([]model.Point, 500)
+	for i := range pts {
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(0.01*float64(i%7), 0)}
+	}
+	eng.Advance(pts, nil)
+	if mc := eng.MicroClusters(); mc > 3 {
+		t.Fatalf("points within one radius created %d MCs", mc)
+	}
+}
+
+func TestDecayForgetsStaleWeight(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{Lambda: 0.05, GapTime: 100})
+	// Burst at origin, then a long stream elsewhere; the origin MC must be
+	// cleaned up once its decayed weight is negligible.
+	var burst []model.Point
+	for i := 0; i < 20; i++ {
+		burst = append(burst, model.Point{ID: int64(i), Pos: geom.NewVec(0, 0)})
+	}
+	eng.Advance(burst, nil)
+	var far []model.Point
+	for i := 0; i < 2000; i++ {
+		far = append(far, model.Point{ID: int64(1000 + i), Pos: geom.NewVec(100, 100)})
+	}
+	eng.Advance(far, nil)
+	for _, mc := range eng.mcs {
+		if mc.center[0] < 50 {
+			t.Fatal("stale origin micro-cluster survived decay cleanup")
+		}
+	}
+}
+
+func TestSharedDensityConnectsTouchingBlobs(t *testing.T) {
+	// Two streams of points whose MCs overlap through a dense corridor must
+	// end up in one macro cluster.
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(53))
+	var pts []model.Point
+	for i := 0; i < 2000; i++ {
+		// One elongated dense ridge from x=0 to x=10.
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*10, rng.NormFloat64()*0.3)})
+	}
+	eng.Advance(pts, nil)
+	snap := eng.Snapshot()
+	counts := map[int]int{}
+	for _, a := range snap {
+		if a.ClusterID != model.NoCluster {
+			counts[a.ClusterID]++
+		}
+	}
+	// The dominant cluster should hold the bulk of the ridge.
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if maxc < len(snap)*6/10 {
+		t.Fatalf("largest macro cluster holds %d of %d points; ridge fragmented", maxc, len(snap))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(model.Config{}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestInsertionOnlyStats(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	eng.Advance([]model.Point{{ID: 1, Pos: geom.NewVec(0, 0)}}, nil)
+	if eng.Stats().RangeSearches != 1 {
+		t.Fatalf("RangeSearches = %d, want 1 (one MC lookup per insertion)", eng.Stats().RangeSearches)
+	}
+	eng.Advance(nil, []model.Point{{ID: 1, Pos: geom.NewVec(0, 0)}})
+	if eng.Stats().RangeSearches != 1 {
+		t.Fatal("deletion must not trigger searches (insertion-only method)")
+	}
+}

@@ -1,0 +1,372 @@
+// Package denstream implements DenStream (Cao, Ester, Qian, Zhou: SDM
+// 2006), the seminal density-based stream clustering method with decaying
+// micro-clusters — reference [6] of the DISC paper and the ancestor of the
+// summarization family (DBSTREAM, EDMStream) its evaluation compares
+// against. It is included as an additional baseline beyond the paper's
+// line-up.
+//
+// Streaming points are absorbed into potential core-micro-clusters (p-MCs)
+// or outlier-micro-clusters (o-MCs), each maintaining exponentially decayed
+// cluster features (weight, linear sum, squared sum) from which center and
+// radius follow. A point joins the nearest p-MC if the merged radius stays
+// within ε, else the nearest o-MC under the same test, else it seeds a new
+// o-MC; o-MCs that accumulate enough weight are promoted, and periodic
+// pruning demotes p-MCs whose decayed weight falls below β·µ. The offline
+// phase connects p-MCs whose centers lie within 2ε plus their radii into
+// macro-clusters.
+//
+// Like the other summarization engines here it is insertion-only: sliding
+// window departures only unregister the point's label; forgetting is
+// decay's job — precisely the mismatch with hard windows that the DISC
+// evaluation's quality experiments expose.
+package denstream
+
+import (
+	"fmt"
+	"math"
+
+	"disc/internal/geom"
+	"disc/internal/grid"
+	"disc/internal/model"
+)
+
+// Options are the DenStream knobs; zero values select defaults.
+type Options struct {
+	Epsilon float64 // micro-cluster radius bound; defaults to cfg.Eps
+	Lambda  float64 // decay rate per point; default ln2/2000
+	Mu      float64 // core weight threshold µ; defaults to MinPts
+	Beta    float64 // outlier threshold β in (0,1]; default 0.25
+	Tp      int64   // pruning period in points; default 500
+}
+
+func (o *Options) fill(cfg model.Config) {
+	if o.Epsilon <= 0 {
+		o.Epsilon = cfg.Eps
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = math.Ln2 / 2000
+	}
+	if o.Mu <= 0 {
+		o.Mu = float64(cfg.MinPts)
+	}
+	if o.Beta <= 0 || o.Beta > 1 {
+		o.Beta = 0.25
+	}
+	if o.Tp <= 0 {
+		o.Tp = 500
+	}
+}
+
+// micro is one micro-cluster with decayed cluster features.
+type micro struct {
+	id        int64
+	w         float64  // decayed weight
+	cf1       geom.Vec // decayed linear sum
+	cf2       float64  // decayed squared norm sum
+	last      int64    // last update time
+	potential bool     // p-MC vs o-MC
+	created   int64    // creation time (o-MC pruning)
+}
+
+func (m *micro) decayTo(now int64, lambda float64) {
+	if now <= m.last {
+		return
+	}
+	f := math.Exp(-lambda * float64(now-m.last))
+	m.w *= f
+	for d := range m.cf1 {
+		m.cf1[d] *= f
+	}
+	m.cf2 *= f
+	m.last = now
+}
+
+func (m *micro) center(dims int) geom.Vec {
+	var c geom.Vec
+	if m.w == 0 {
+		return c
+	}
+	for d := 0; d < dims; d++ {
+		c[d] = m.cf1[d] / m.w
+	}
+	return c
+}
+
+// radius returns the RMS deviation of the MC's mass from its center.
+func (m *micro) radius(dims int) float64 {
+	if m.w == 0 {
+		return 0
+	}
+	c := m.center(dims)
+	var c2 float64
+	for d := 0; d < dims; d++ {
+		c2 += c[d] * c[d]
+	}
+	v := m.cf2/m.w - c2
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// mergedRadius returns the radius the MC would have after absorbing p.
+func (m *micro) mergedRadius(p geom.Vec, dims int) float64 {
+	w := m.w + 1
+	var c2, cf2 float64
+	cf2 = m.cf2
+	for d := 0; d < dims; d++ {
+		cf2 += p[d] * p[d]
+		c := (m.cf1[d] + p[d]) / w
+		c2 += c * c
+	}
+	v := cf2/w - c2
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+func (m *micro) absorb(p geom.Vec, dims int) {
+	m.w++
+	for d := 0; d < dims; d++ {
+		m.cf1[d] += p[d]
+	}
+	for d := 0; d < dims; d++ {
+		m.cf2 += p[d] * p[d]
+	}
+}
+
+// Engine implements model.Engine for DenStream.
+type Engine struct {
+	cfg    model.Config
+	opt    Options
+	mcs    map[int64]*micro
+	idx    *grid.Grid // over MC centers
+	nextMC int64
+	now    int64
+
+	assign map[int64]int64 // point id -> MC id
+	macro  map[int64]int   // p-MC id -> macro cluster (rebuilt per Advance)
+	stats  model.Stats
+}
+
+// New returns a DenStream engine.
+func New(cfg model.Config, opt Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.fill(cfg)
+	return &Engine{
+		cfg:    cfg,
+		opt:    opt,
+		mcs:    make(map[int64]*micro),
+		idx:    grid.New(cfg.Dims, opt.Epsilon),
+		assign: make(map[int64]int64),
+		macro:  make(map[int64]int),
+	}, nil
+}
+
+// Name implements model.Engine.
+func (e *Engine) Name() string { return "DenStream" }
+
+// Advance implements model.Engine.
+func (e *Engine) Advance(in, out []model.Point) {
+	for _, p := range out {
+		delete(e.assign, p.ID)
+	}
+	for _, p := range in {
+		e.insert(p)
+	}
+	e.recluster()
+	e.stats.Strides++
+	e.stats.MemoryItems = int64(len(e.mcs))
+}
+
+// nearest returns the closest MC of the given kind within 2ε of p.
+func (e *Engine) nearest(p geom.Vec, potential bool) *micro {
+	var best *micro
+	bestD := math.Inf(1)
+	e.idx.SearchBall(p, 2*e.opt.Epsilon, func(id int64, _ geom.Vec) bool {
+		mc := e.mcs[id]
+		if mc == nil || mc.potential != potential {
+			return true
+		}
+		d := geom.Dist2(mc.center(e.cfg.Dims), p, e.cfg.Dims)
+		if d < bestD {
+			bestD, best = d, mc
+		}
+		return true
+	})
+	return best
+}
+
+func (e *Engine) insert(p model.Point) {
+	e.now++
+	e.stats.RangeSearches++
+
+	try := func(mc *micro) bool {
+		if mc == nil {
+			return false
+		}
+		mc.decayTo(e.now, e.opt.Lambda)
+		if mc.mergedRadius(p.Pos, e.cfg.Dims) > e.opt.Epsilon {
+			return false
+		}
+		old := mc.center(e.cfg.Dims)
+		mc.absorb(p.Pos, e.cfg.Dims)
+		e.reindex(mc, old)
+		e.assign[p.ID] = mc.id
+		return true
+	}
+
+	if try(e.nearest(p.Pos, true)) { // nearest p-MC first
+		e.maybePrune()
+		return
+	}
+	if o := e.nearest(p.Pos, false); try(o) {
+		// Promote the o-MC once it outweighs β·µ.
+		if o.w > e.opt.Beta*e.opt.Mu {
+			o.potential = true
+		}
+		e.maybePrune()
+		return
+	}
+	// Seed a fresh o-MC at p.
+	mc := &micro{id: e.nextMC, w: 1, last: e.now, created: e.now}
+	e.nextMC++
+	mc.cf1 = p.Pos
+	for d := 0; d < e.cfg.Dims; d++ {
+		mc.cf2 += p.Pos[d] * p.Pos[d]
+	}
+	e.mcs[mc.id] = mc
+	e.idx.Insert(mc.id, mc.center(e.cfg.Dims))
+	e.assign[p.ID] = mc.id
+	e.maybePrune()
+}
+
+func (e *Engine) reindex(mc *micro, oldCenter geom.Vec) {
+	nc := mc.center(e.cfg.Dims)
+	if e.idx.KeyOf(oldCenter) != e.idx.KeyOf(nc) {
+		e.idx.Delete(mc.id, oldCenter)
+		e.idx.Insert(mc.id, nc)
+	}
+}
+
+// maybePrune runs the periodic maintenance: demote/drop weak p-MCs, drop
+// stale o-MCs whose weight lags the expected growth curve.
+func (e *Engine) maybePrune() {
+	if e.now%e.opt.Tp != 0 {
+		return
+	}
+	lambda := e.opt.Lambda
+	for id, mc := range e.mcs {
+		mc.decayTo(e.now, lambda)
+		if mc.potential {
+			if mc.w < e.opt.Beta*e.opt.Mu {
+				e.idx.Delete(id, mc.center(e.cfg.Dims))
+				delete(e.mcs, id)
+			}
+			continue
+		}
+		// Expected lower bound for a legitimate outlier-MC of this age
+		// (Cao et al.'s ξ threshold, simplified to a decayed unit weight).
+		xi := math.Exp(-lambda * float64(e.now-mc.created) / 2)
+		if mc.w < xi {
+			e.idx.Delete(id, mc.center(e.cfg.Dims))
+			delete(e.mcs, id)
+		}
+	}
+}
+
+// recluster is the offline phase: p-MCs are density-connected when their
+// centers are within 2ε plus both RMS radii — micro-clusters are extended
+// objects, so center distance alone under-connects contiguous regions
+// summarized by few wide MCs.
+func (e *Engine) recluster() {
+	e.macro = make(map[int64]int)
+	next := 0
+	var stack []int64
+	for id, mc := range e.mcs {
+		mc.decayTo(e.now, e.opt.Lambda)
+		if !mc.potential || mc.w < e.opt.Beta*e.opt.Mu {
+			continue
+		}
+		if _, done := e.macro[id]; done {
+			continue
+		}
+		next++
+		e.macro[id] = next
+		stack = append(stack[:0], id)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cmc := e.mcs[cur]
+			center := cmc.center(e.cfg.Dims)
+			curR := cmc.radius(e.cfg.Dims)
+			// Radii are bounded by ε, so 4ε covers every connectable center.
+			e.idx.SearchBall(center, 4*e.opt.Epsilon, func(nid int64, _ geom.Vec) bool {
+				if nid == cur {
+					return true
+				}
+				n := e.mcs[nid]
+				if n == nil || !n.potential || n.w < e.opt.Beta*e.opt.Mu {
+					return true
+				}
+				if _, done := e.macro[nid]; done {
+					return true
+				}
+				reach := 2*e.opt.Epsilon + curR + n.radius(e.cfg.Dims)
+				if geom.WithinEps(center, n.center(e.cfg.Dims), e.cfg.Dims, reach) {
+					e.macro[nid] = next
+					stack = append(stack, nid)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// Assignment implements model.Engine.
+func (e *Engine) Assignment(id int64) (model.Assignment, bool) {
+	mcID, ok := e.assign[id]
+	if !ok {
+		return model.Assignment{}, false
+	}
+	if cid, ok := e.macro[mcID]; ok {
+		return model.Assignment{Label: model.Core, ClusterID: cid}, true
+	}
+	return model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}, true
+}
+
+// Snapshot implements model.Engine.
+func (e *Engine) Snapshot() map[int64]model.Assignment {
+	out := make(map[int64]model.Assignment, len(e.assign))
+	for id := range e.assign {
+		a, _ := e.Assignment(id)
+		out[id] = a
+	}
+	return out
+}
+
+// Stats implements model.Engine.
+func (e *Engine) Stats() model.Stats { return e.stats }
+
+// ResetStats implements model.Engine.
+func (e *Engine) ResetStats() { e.stats = model.Stats{} }
+
+// MicroClusters returns the live (p, o) micro-cluster counts.
+func (e *Engine) MicroClusters() (p, o int) {
+	for _, mc := range e.mcs {
+		if mc.potential {
+			p++
+		} else {
+			o++
+		}
+	}
+	return p, o
+}
+
+// String describes the configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("DenStream(eps=%g λ=%g µ=%g β=%g)", e.opt.Epsilon, e.opt.Lambda, e.opt.Mu, e.opt.Beta)
+}

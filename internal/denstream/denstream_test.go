@@ -1,0 +1,147 @@
+package denstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+func threeBlobs(rng *rand.Rand, n int) ([]model.Point, map[int64]int) {
+	truth := make(map[int64]int, n)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		b := rng.Intn(3)
+		x := float64(b)*30 + rng.NormFloat64()*1.5
+		y := rng.NormFloat64() * 1.5
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		truth[int64(i)] = b + 1
+	}
+	return pts, truth
+}
+
+func TestSeparatedBlobsClusterWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data, truth := threeBlobs(rng, 3000)
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 5}
+	eng, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Advance(data, nil)
+	ari := metrics.ARI(truth, metrics.Labels(eng.Snapshot()))
+	if ari < 0.85 {
+		t.Fatalf("ARI on separated blobs = %.3f, want >= 0.85", ari)
+	}
+	p, o := eng.MicroClusters()
+	t.Logf("ARI = %.3f with %d p-MCs, %d o-MCs", ari, p, o)
+	if p == 0 {
+		t.Fatal("no potential micro-clusters formed")
+	}
+}
+
+func TestMicroClusterRadiusBounded(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(72))
+	var pts []model.Point
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*20, rng.Float64()*20)})
+	}
+	eng.Advance(pts, nil)
+	for _, mc := range eng.mcs {
+		if r := mc.radius(2); r > eng.opt.Epsilon+1e-9 {
+			t.Fatalf("micro-cluster radius %.3f exceeds epsilon %.3f", r, eng.opt.Epsilon)
+		}
+	}
+}
+
+func TestOutlierPromotion(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 4}
+	eng, _ := New(cfg, Options{Beta: 0.5})
+	// Hammer one location: the o-MC must become a p-MC once w > β·µ = 2.
+	var pts []model.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(5, 5)})
+	}
+	eng.Advance(pts, nil)
+	p, _ := eng.MicroClusters()
+	if p == 0 {
+		t.Fatal("dense spot never promoted to a potential micro-cluster")
+	}
+	if a, _ := eng.Assignment(9); a.Label != model.Core {
+		t.Fatalf("point in dense spot labeled %v", a.Label)
+	}
+}
+
+func TestDecayDropsStaleClusters(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{Lambda: 0.05, Tp: 100})
+	var burst []model.Point
+	for i := 0; i < 20; i++ {
+		burst = append(burst, model.Point{ID: int64(i), Pos: geom.NewVec(0, 0)})
+	}
+	eng.Advance(burst, nil)
+	var far []model.Point
+	for i := 0; i < 3000; i++ {
+		far = append(far, model.Point{ID: int64(1000 + i), Pos: geom.NewVec(100, 100)})
+	}
+	eng.Advance(far, nil)
+	for _, mc := range eng.mcs {
+		c := mc.center(2)
+		if c[0] < 50 {
+			t.Fatal("stale micro-cluster at origin survived pruning")
+		}
+	}
+}
+
+func TestDepartedPointsLeaveSnapshot(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(73))
+	data, _ := threeBlobs(rng, 200)
+	eng.Advance(data[:120], nil)
+	eng.Advance(data[120:], data[:60])
+	if got := len(eng.Snapshot()); got != 140 {
+		t.Fatalf("snapshot size %d, want 140", got)
+	}
+	if _, ok := eng.Assignment(data[0].ID); ok {
+		t.Fatal("departed point still assigned")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(model.Config{}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBridgedRidgeIsOneCluster(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(74))
+	var pts []model.Point
+	for i := 0; i < 3000; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*10, rng.NormFloat64()*0.3)})
+	}
+	eng.Advance(pts, nil)
+	counts := map[int]int{}
+	clustered := 0
+	for _, a := range eng.Snapshot() {
+		if a.ClusterID != model.NoCluster {
+			counts[a.ClusterID]++
+			clustered++
+		}
+	}
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if maxc < clustered*7/10 {
+		t.Fatalf("ridge fragmented: largest %d of %d clustered", maxc, clustered)
+	}
+}

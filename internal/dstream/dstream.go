@@ -1,0 +1,260 @@
+// Package dstream implements D-Stream (Chen & Tu: KDD 2007), the
+// density-grid stream clustering method — reference [16] of the DISC paper
+// and, with DenStream, the other root of the summarization family its
+// evaluation draws on. Included as an extra baseline beyond the paper's
+// line-up.
+//
+// Space is partitioned into grid cells; each arriving point adds decayed
+// mass to its cell. Cells are classified by decayed mass: dense (≥ Cm),
+// sparse (≤ Cl), or transitional in between. (The original normalizes the
+// thresholds by the total domain cell count N, which is unbounded for
+// open-domain streams; absolute decayed-mass thresholds — defaulting to
+// the MinPts density the exact engines use — are the equivalent for an
+// unbounded grid.) Clusters are connected components of dense cells, with adjacent
+// transitional cells attached as their rim; sporadic sparse cells are
+// periodically evicted. Insert-only, decay-based forgetting — the same
+// structural mismatch with hard sliding windows as the other
+// summarization engines.
+package dstream
+
+import (
+	"fmt"
+	"math"
+
+	"disc/internal/geom"
+	"disc/internal/grid"
+	"disc/internal/model"
+)
+
+// Options are the D-Stream knobs; zero values select defaults.
+type Options struct {
+	CellSide float64 // grid resolution; defaults to cfg.Eps
+	Lambda   float64 // decay rate per point; default ln2/2000
+	Cm       float64 // dense threshold (decayed mass); default max(3, MinPts)
+	Cl       float64 // sparse threshold (decayed mass); default 1
+	Gap      int64   // eviction period in points; default 500
+}
+
+func (o *Options) fill(cfg model.Config) {
+	if o.CellSide <= 0 {
+		o.CellSide = cfg.Eps
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = math.Ln2 / 2000
+	}
+	if o.Cm <= 0 {
+		o.Cm = 3
+		if float64(cfg.MinPts) > o.Cm {
+			o.Cm = float64(cfg.MinPts)
+		}
+	}
+	if o.Cl <= 0 || o.Cl >= o.Cm {
+		o.Cl = 1
+	}
+	if o.Gap <= 0 {
+		o.Gap = 500
+	}
+}
+
+type cellKind uint8
+
+const (
+	sparse cellKind = iota
+	transitional
+	dense
+)
+
+type cell struct {
+	mass float64
+	last int64
+	kind cellKind
+	cid  int
+}
+
+// Engine implements model.Engine for D-Stream.
+type Engine struct {
+	cfg   model.Config
+	opt   Options
+	cells map[grid.Key]*cell
+	now   int64
+
+	assign map[int64]grid.Key
+	stats  model.Stats
+}
+
+// New returns a D-Stream engine.
+func New(cfg model.Config, opt Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.fill(cfg)
+	return &Engine{
+		cfg:    cfg,
+		opt:    opt,
+		cells:  make(map[grid.Key]*cell),
+		assign: make(map[int64]grid.Key),
+	}, nil
+}
+
+// Name implements model.Engine.
+func (e *Engine) Name() string { return "D-Stream" }
+
+func (e *Engine) keyOf(pos geom.Vec) grid.Key {
+	var k grid.Key
+	for d := 0; d < e.cfg.Dims; d++ {
+		k[d] = int32(math.Floor(pos[d] / e.opt.CellSide))
+	}
+	return k
+}
+
+func decay(lambda float64, dt int64) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp(-lambda * float64(dt))
+}
+
+// Advance implements model.Engine. Departures only unregister labels.
+func (e *Engine) Advance(in, out []model.Point) {
+	for _, p := range out {
+		delete(e.assign, p.ID)
+	}
+	for _, p := range in {
+		e.now++
+		k := e.keyOf(p.Pos)
+		c, ok := e.cells[k]
+		if !ok {
+			c = &cell{}
+			e.cells[k] = c
+		}
+		c.mass = c.mass*decay(e.opt.Lambda, e.now-c.last) + 1
+		c.last = e.now
+		e.assign[p.ID] = k
+		if e.now%e.opt.Gap == 0 {
+			e.evict()
+		}
+	}
+	e.recluster()
+	e.stats.Strides++
+	e.stats.MemoryItems = int64(len(e.cells))
+}
+
+// evict removes sporadic cells whose decayed mass is negligible.
+func (e *Engine) evict() {
+	for k, c := range e.cells {
+		if c.mass*decay(e.opt.Lambda, e.now-c.last) < 0.05 {
+			delete(e.cells, k)
+		}
+	}
+}
+
+// recluster reclassifies every cell by decayed mass and rebuilds clusters:
+// connected components of dense cells plus their adjacent transitional rim.
+func (e *Engine) recluster() {
+	if len(e.cells) == 0 {
+		return
+	}
+	for _, c := range e.cells {
+		c.mass *= decay(e.opt.Lambda, e.now-c.last)
+		c.last = e.now
+		switch {
+		case c.mass >= e.opt.Cm:
+			c.kind = dense
+		case c.mass <= e.opt.Cl:
+			c.kind = sparse
+		default:
+			c.kind = transitional
+		}
+		c.cid = 0
+	}
+
+	next := 0
+	var stack []grid.Key
+	for k, c := range e.cells {
+		if c.kind != dense || c.cid != 0 {
+			continue
+		}
+		next++
+		c.cid = next
+		stack = append(stack[:0], k)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			e.forAdjacent(cur, func(nk grid.Key, n *cell) {
+				if n.kind == dense && n.cid == 0 {
+					n.cid = next
+					stack = append(stack, nk)
+				}
+			})
+		}
+	}
+	// Transitional rim: attach to any adjacent dense cluster.
+	for k, c := range e.cells {
+		if c.kind != transitional {
+			continue
+		}
+		e.forAdjacent(k, func(_ grid.Key, n *cell) {
+			if c.cid == 0 && n.kind == dense && n.cid != 0 {
+				c.cid = n.cid
+			}
+		})
+	}
+}
+
+// forAdjacent visits the existing cells sharing a face or corner with k.
+func (e *Engine) forAdjacent(k grid.Key, fn func(grid.Key, *cell)) {
+	dims := e.cfg.Dims
+	var walk func(d int, cur grid.Key, moved bool)
+	walk = func(d int, cur grid.Key, moved bool) {
+		if d == dims {
+			if !moved {
+				return
+			}
+			if c, ok := e.cells[cur]; ok {
+				fn(cur, c)
+			}
+			return
+		}
+		for off := int32(-1); off <= 1; off++ {
+			cur[d] = k[d] + off
+			walk(d+1, cur, moved || off != 0)
+		}
+	}
+	walk(0, grid.Key{}, false)
+}
+
+// Assignment implements model.Engine.
+func (e *Engine) Assignment(id int64) (model.Assignment, bool) {
+	k, ok := e.assign[id]
+	if !ok {
+		return model.Assignment{}, false
+	}
+	if c, ok := e.cells[k]; ok && c.cid != 0 {
+		return model.Assignment{Label: model.Core, ClusterID: c.cid}, true
+	}
+	return model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}, true
+}
+
+// Snapshot implements model.Engine.
+func (e *Engine) Snapshot() map[int64]model.Assignment {
+	out := make(map[int64]model.Assignment, len(e.assign))
+	for id := range e.assign {
+		a, _ := e.Assignment(id)
+		out[id] = a
+	}
+	return out
+}
+
+// Stats implements model.Engine.
+func (e *Engine) Stats() model.Stats { return e.stats }
+
+// ResetStats implements model.Engine.
+func (e *Engine) ResetStats() { e.stats = model.Stats{} }
+
+// Cells returns the number of live grid cells.
+func (e *Engine) Cells() int { return len(e.cells) }
+
+// String describes the configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("D-Stream(side=%g λ=%g Cm=%g Cl=%g)", e.opt.CellSide, e.opt.Lambda, e.opt.Cm, e.opt.Cl)
+}

@@ -1,0 +1,132 @@
+package dstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+func threeBlobs(rng *rand.Rand, n int) ([]model.Point, map[int64]int) {
+	truth := make(map[int64]int, n)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		b := rng.Intn(3)
+		x := float64(b)*30 + rng.NormFloat64()*1.5
+		y := rng.NormFloat64() * 1.5
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		truth[int64(i)] = b + 1
+	}
+	return pts, truth
+}
+
+func TestSeparatedBlobsClusterWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	data, truth := threeBlobs(rng, 3000)
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 5}
+	eng, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Advance(data, nil)
+	ari := metrics.ARI(truth, metrics.Labels(eng.Snapshot()))
+	if ari < 0.7 {
+		t.Fatalf("ARI on separated blobs = %.3f, want >= 0.7", ari)
+	}
+	t.Logf("ARI = %.3f with %d cells", ari, eng.Cells())
+}
+
+func TestDenseCellConnectivity(t *testing.T) {
+	// One dense strip must be one cluster; a far-away strip another.
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(82))
+	var pts []model.Point
+	for i := 0; i < 3000; i++ {
+		base := 0.0
+		if i%2 == 0 {
+			base = 40
+		}
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(base+rng.Float64()*8, rng.Float64()*2)})
+	}
+	eng.Advance(pts, nil)
+	clusters := map[int]bool{}
+	for _, a := range eng.Snapshot() {
+		if a.ClusterID != model.NoCluster {
+			clusters[a.ClusterID] = true
+		}
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2 strips", len(clusters))
+	}
+}
+
+func TestSparseBackgroundIsNoise(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(83))
+	var pts []model.Point
+	// Dense blob + thin uniform background.
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.NormFloat64(), rng.NormFloat64())})
+	}
+	for i := 2000; i < 2300; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*200-100, rng.Float64()*200-100)})
+	}
+	eng.Advance(pts, nil)
+	noiseBg, clusteredBg := 0, 0
+	for id := int64(2000); id < 2300; id++ {
+		a, ok := eng.Assignment(id)
+		if !ok {
+			continue
+		}
+		if a.ClusterID == model.NoCluster {
+			noiseBg++
+		} else {
+			clusteredBg++
+		}
+	}
+	if noiseBg < clusteredBg {
+		t.Fatalf("background: %d noise vs %d clustered; sparse cells leaking into clusters", noiseBg, clusteredBg)
+	}
+}
+
+func TestEvictionDropsStaleCells(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	eng, _ := New(cfg, Options{Lambda: 0.05, Gap: 100})
+	var burst []model.Point
+	for i := 0; i < 10; i++ {
+		burst = append(burst, model.Point{ID: int64(i), Pos: geom.NewVec(0, 0)})
+	}
+	eng.Advance(burst, nil)
+	var far []model.Point
+	for i := 0; i < 3000; i++ {
+		far = append(far, model.Point{ID: int64(1000 + i), Pos: geom.NewVec(60, 60)})
+	}
+	eng.Advance(far, nil)
+	for k := range eng.cells {
+		if k[0] < 30 {
+			t.Fatal("stale origin cell survived eviction")
+		}
+	}
+}
+
+func TestDepartedPointsLeaveSnapshot(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(84))
+	data, _ := threeBlobs(rng, 200)
+	eng.Advance(data[:120], nil)
+	eng.Advance(data[120:], data[:60])
+	if got := len(eng.Snapshot()); got != 140 {
+		t.Fatalf("snapshot size %d, want 140", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(model.Config{}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package dsu provides disjoint-set (union-find) structures used for
+// cluster-id bookkeeping: merging clusters is a single Union instead of a
+// scan over every member point, and MS-BFS thread groups union as their
+// frontiers meet.
+package dsu
+
+// Int is a union-find over arbitrary non-negative int keys, backed by a map
+// so the key space can grow and be garbage-collected wholesale. Find uses
+// path halving; Union uses union by size.
+type Int struct {
+	parent map[int]int
+	size   map[int]int
+}
+
+// NewInt returns an empty disjoint-set forest.
+func NewInt() *Int {
+	return &Int{parent: make(map[int]int), size: make(map[int]int)}
+}
+
+// Find returns the canonical representative of x, adding x as a singleton if
+// it was never seen.
+func (d *Int) Find(x int) int {
+	p, ok := d.parent[x]
+	if !ok {
+		d.parent[x] = x
+		d.size[x] = 1
+		return x
+	}
+	for p != x {
+		gp := d.parent[p]
+		d.parent[x] = gp // path halving
+		x, p = gp, d.parent[gp]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and returns the surviving
+// representative. The larger set's representative wins ties to keep trees
+// shallow.
+func (d *Int) Union(a, b int) int {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	return ra
+}
+
+// UnionInto merges the set containing loser into the set containing winner,
+// forcing winner's representative to survive. Used when a specific cluster
+// id must remain the canonical label (e.g. the oldest cid in a merge).
+func (d *Int) UnionInto(winner, loser int) int {
+	rw, rl := d.Find(winner), d.Find(loser)
+	if rw == rl {
+		return rw
+	}
+	d.parent[rl] = rw
+	d.size[rw] += d.size[rl]
+	return rw
+}
+
+// Same reports whether a and b are in the same set.
+func (d *Int) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Len returns the number of keys ever seen.
+func (d *Int) Len() int { return len(d.parent) }
+
+// Reset drops all state.
+func (d *Int) Reset() {
+	d.parent = make(map[int]int)
+	d.size = make(map[int]int)
+}
+
+// Dense is a union-find over the fixed key range [0, n), backed by slices.
+// It is used for short-lived per-operation grouping (e.g. MS-BFS threads)
+// where allocation-free resets matter.
+type Dense struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewDense returns a disjoint-set forest over keys 0..n-1, each a singleton.
+func NewDense(n int) *Dense {
+	d := &Dense{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Find returns the representative of x with path halving.
+func (d *Dense) Find(x int) int {
+	for int(d.parent[x]) != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = int(d.parent[x])
+	}
+	return x
+}
+
+// Union merges the sets of a and b by rank and returns the representative.
+func (d *Dense) Union(a, b int) int {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = int32(ra)
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return ra
+}
+
+// Same reports whether a and b share a set.
+func (d *Dense) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Len returns the size of the key range.
+func (d *Dense) Len() int { return len(d.parent) }

@@ -1,0 +1,124 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntBasic(t *testing.T) {
+	d := NewInt()
+	if d.Find(5) != 5 {
+		t.Fatal("fresh key must be its own representative")
+	}
+	d.Union(1, 2)
+	d.Union(3, 4)
+	if d.Same(1, 3) {
+		t.Fatal("disjoint sets reported same")
+	}
+	d.Union(2, 3)
+	if !d.Same(1, 4) {
+		t.Fatal("transitively merged sets reported different")
+	}
+}
+
+func TestIntUnionInto(t *testing.T) {
+	d := NewInt()
+	// Make loser's set much bigger so union-by-size would pick it.
+	for i := 10; i < 20; i++ {
+		d.Union(100, i)
+	}
+	got := d.UnionInto(7, 100)
+	if got != d.Find(7) || d.Find(100) != d.Find(7) {
+		t.Fatalf("UnionInto: representative %d, want Find(7)=%d", got, d.Find(7))
+	}
+	if d.Find(7) != 7 {
+		t.Fatalf("winner's original representative must survive, got %d", d.Find(7))
+	}
+}
+
+func TestIntIdempotentUnion(t *testing.T) {
+	d := NewInt()
+	d.Union(1, 2)
+	r1 := d.Find(1)
+	r2 := d.Union(1, 2)
+	if r1 != r2 {
+		t.Fatal("repeated union changed the representative")
+	}
+}
+
+func TestIntReset(t *testing.T) {
+	d := NewInt()
+	d.Union(1, 2)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if d.Same(1, 2) {
+		t.Fatal("sets survived Reset")
+	}
+}
+
+func TestDenseBasic(t *testing.T) {
+	d := NewDense(10)
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	d.Union(0, 9)
+	d.Union(9, 5)
+	if !d.Same(0, 5) {
+		t.Fatal("union chain broken")
+	}
+	if d.Same(0, 1) {
+		t.Fatal("unrelated keys reported same")
+	}
+}
+
+// Property: union-find equivalence matches a brute-force labeling after a
+// random sequence of unions.
+func TestDenseMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200
+	d := NewDense(n)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range labels {
+			if labels[i] == from {
+				labels[i] = to
+			}
+		}
+	}
+	for k := 0; k < 500; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		d.Union(a, b)
+		relabel(labels[a], labels[b])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d.Same(i, j) != (labels[i] == labels[j]) {
+				t.Fatalf("disagreement on (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIntMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 100
+	di := NewInt()
+	dd := NewDense(n)
+	for k := 0; k < 300; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		di.Union(a, b)
+		dd.Union(a, b)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if di.Same(i, j) != dd.Same(i, j) {
+				t.Fatalf("Int and Dense disagree on (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package edmstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+func threeBlobs(rng *rand.Rand, n int) ([]model.Point, map[int64]int) {
+	truth := make(map[int64]int, n)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		b := rng.Intn(3)
+		x := float64(b)*30 + rng.NormFloat64()*1.5
+		y := rng.NormFloat64() * 1.5
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		truth[int64(i)] = b + 1
+	}
+	return pts, truth
+}
+
+func TestSeparatedBlobsClusterWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data, truth := threeBlobs(rng, 3000)
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 5}
+	eng, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Advance(data, nil)
+	ari := metrics.ARI(truth, metrics.Labels(eng.Snapshot()))
+	if ari < 0.9 {
+		t.Fatalf("ARI on separated blobs = %.3f, want >= 0.9", ari)
+	}
+	t.Logf("ARI = %.3f with %d cells", ari, eng.Cells())
+}
+
+func TestDensityPeakSeparation(t *testing.T) {
+	// Two dense blobs far apart must form two clusters: the lower peak's
+	// dependency distance to the higher peak exceeds DeltaCut.
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(62))
+	var pts []model.Point
+	for i := 0; i < 1000; i++ {
+		cx := 0.0
+		if i%2 == 0 {
+			cx = 20
+		}
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(cx+rng.NormFloat64(), rng.NormFloat64())})
+	}
+	eng.Advance(pts, nil)
+	snap := eng.Snapshot()
+	clusters := map[int]bool{}
+	for _, a := range snap {
+		if a.ClusterID != model.NoCluster {
+			clusters[a.ClusterID] = true
+		}
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("found %d clusters, want >= 2 (peaks not separated)", len(clusters))
+	}
+	// And the two blob centers must be in different clusters.
+	var a0, a20 model.Assignment
+	for id, a := range snap {
+		if pts[id].Pos[0] < 5 && a.ClusterID != model.NoCluster {
+			a0 = a
+		}
+		if pts[id].Pos[0] > 15 && a.ClusterID != model.NoCluster {
+			a20 = a
+		}
+	}
+	if a0.ClusterID == a20.ClusterID {
+		t.Fatal("distant blobs share one cluster")
+	}
+}
+
+func TestContiguousRidgeIsOneCluster(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(63))
+	var pts []model.Point
+	for i := 0; i < 3000; i++ {
+		pts = append(pts, model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*12, rng.NormFloat64()*0.3)})
+	}
+	eng.Advance(pts, nil)
+	snap := eng.Snapshot()
+	counts := map[int]int{}
+	clustered := 0
+	for _, a := range snap {
+		if a.ClusterID != model.NoCluster {
+			counts[a.ClusterID]++
+			clustered++
+		}
+	}
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if maxc < clustered*8/10 {
+		t.Fatalf("ridge fragmented: largest cluster %d of %d clustered points", maxc, clustered)
+	}
+}
+
+func TestDepartedPointsLeaveSnapshot(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{})
+	rng := rand.New(rand.NewSource(64))
+	data, _ := threeBlobs(rng, 100)
+	eng.Advance(data[:60], nil)
+	eng.Advance(data[60:], data[:30])
+	if got := len(eng.Snapshot()); got != 70 {
+		t.Fatalf("snapshot size %d, want 70", got)
+	}
+	if _, ok := eng.Assignment(data[0].ID); ok {
+		t.Fatal("departed point still assigned")
+	}
+}
+
+func TestCellEviction(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	eng, _ := New(cfg, Options{Lambda: 0.05})
+	var burst []model.Point
+	for i := 0; i < 10; i++ {
+		burst = append(burst, model.Point{ID: int64(i), Pos: geom.NewVec(0, 0)})
+	}
+	eng.Advance(burst, nil)
+	var far []model.Point
+	for i := 0; i < 2000; i++ {
+		far = append(far, model.Point{ID: int64(1000 + i), Pos: geom.NewVec(50, 50)})
+	}
+	eng.Advance(far, nil)
+	for k := range eng.cells {
+		if k[0] < 25 {
+			t.Fatal("stale cell survived eviction")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(model.Config{}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package extran
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+func stream(rng *rand.Rand, n int) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		var x, y float64
+		if rng.Float64() < 0.2 {
+			x, y = rng.Float64()*40, rng.Float64()*40
+		} else {
+			cx := float64(rng.Intn(3)) * 12
+			cy := float64(rng.Intn(3)) * 12
+			x = cx + rng.NormFloat64()*1.5
+			y = cy + rng.NormFloat64()*1.5
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+	}
+	return pts
+}
+
+func TestEquivalenceWithDBSCAN(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := stream(rng, 900)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	steps, err := window.Steps(data, 300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, 300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(eng.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestEquivalenceStrideEqualsWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	data := stream(rng, 600)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 4}
+	steps, _ := window.Steps(data, 200, 200)
+	eng, err := New(cfg, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(eng.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestNoExpirySearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	data := stream(rng, 800)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	steps, _ := window.Steps(data, 400, 40)
+	eng, _ := New(cfg, 400, 40)
+	for _, st := range steps {
+		eng.Advance(st.In, st.Out)
+	}
+	// Exactly one range search per arrived point, none for expiries.
+	if got, want := eng.Stats().RangeSearches, int64(len(data)); got != want {
+		t.Errorf("range searches = %d, want exactly %d (one per arrival)", got, want)
+	}
+}
+
+func TestMemoryGrowsWithSubWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	data := stream(rng, 1200)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+
+	run := func(win, stride int) int64 {
+		steps, _ := window.Steps(data, win, stride)
+		eng, err := New(cfg, win, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range steps {
+			eng.Advance(st.In, st.Out)
+		}
+		return eng.Stats().MemoryItems
+	}
+	coarse := run(400, 200) // k = 2 sub-windows
+	fine := run(400, 10)    // k = 40 sub-windows
+	if fine <= coarse {
+		t.Errorf("memory with 40 sub-windows (%d) not larger than with 2 (%d)", fine, coarse)
+	}
+	t.Logf("memory items: k=2 -> %d, k=40 -> %d", coarse, fine)
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 3}
+	if _, err := New(cfg, 100, 30); err == nil {
+		t.Error("non-divisible window accepted")
+	}
+	if _, err := New(cfg, 0, 10); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(model.Config{}, 100, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPanicsOnIrregularStride(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 2}
+	eng, _ := New(cfg, 4, 2)
+	mk := func(id int64) model.Point { return model.Point{ID: id, Pos: geom.NewVec(float64(id), 0)} }
+	eng.Advance([]model.Point{mk(0), mk(1), mk(2), mk(3)}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for off-schedule expiry")
+		}
+	}()
+	// Points 0..1 expire at slide 2; expiring point 2 early must panic.
+	eng.Advance(nil, []model.Point{mk(2)})
+}

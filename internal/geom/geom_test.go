@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVec(t *testing.T) {
+	v := NewVec(1, 2, 3)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 || v[3] != 0 {
+		t.Fatalf("NewVec(1,2,3) = %v", v)
+	}
+}
+
+func TestNewVecPanicsBeyondMaxDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 5 coordinates")
+		}
+	}()
+	NewVec(1, 2, 3, 4, 5)
+}
+
+func TestDist(t *testing.T) {
+	a := NewVec(0, 0)
+	b := NewVec(3, 4)
+	if got := Dist(a, b, 2); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := Dist2(a, b, 2); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	// Higher dims must be ignored when dims=2.
+	c := NewVec(3, 4, 100, 100)
+	if got := Dist(a, c, 2); got != 5 {
+		t.Errorf("Dist with trailing dims = %v, want 5", got)
+	}
+}
+
+func TestWithinEps(t *testing.T) {
+	a, b := NewVec(0, 0), NewVec(1, 0)
+	if !WithinEps(a, b, 2, 1.0) {
+		t.Error("distance exactly eps must be within")
+	}
+	if WithinEps(a, b, 2, 0.999) {
+		t.Error("distance beyond eps must not be within")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: NewVec(0, 0), Max: NewVec(2, 2)}
+	for _, tc := range []struct {
+		p    Vec
+		want bool
+	}{
+		{NewVec(1, 1), true},
+		{NewVec(0, 0), true},
+		{NewVec(2, 2), true},
+		{NewVec(2.001, 1), false},
+		{NewVec(-0.001, 1), false},
+	} {
+		if got := r.Contains(tc.p, 2); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Min: NewVec(0, 0), Max: NewVec(2, 2)}
+	b := Rect{Min: NewVec(2, 2), Max: NewVec(3, 3)} // touching corner
+	c := Rect{Min: NewVec(2.1, 2.1), Max: NewVec(3, 3)}
+	if !a.Intersects(b, 2) {
+		t.Error("touching rectangles must intersect")
+	}
+	if a.Intersects(c, 2) {
+		t.Error("disjoint rectangles must not intersect")
+	}
+	if !a.Intersects(a, 2) {
+		t.Error("rect must intersect itself")
+	}
+}
+
+func TestEnlargedAndArea(t *testing.T) {
+	a := Rect{Min: NewVec(0, 0), Max: NewVec(1, 1)}
+	b := Rect{Min: NewVec(2, 2), Max: NewVec(3, 3)}
+	e := a.Enlarged(b, 2)
+	want := Rect{Min: NewVec(0, 0), Max: NewVec(3, 3)}
+	if e != want {
+		t.Errorf("Enlarged = %+v, want %+v", e, want)
+	}
+	if e.Area(2) != 9 {
+		t.Errorf("Area = %v, want 9", e.Area(2))
+	}
+	if got := a.EnlargementArea(b, 2); got != 8 {
+		t.Errorf("EnlargementArea = %v, want 8", got)
+	}
+}
+
+func TestMargin(t *testing.T) {
+	r := Rect{Min: NewVec(0, 0, 0), Max: NewVec(1, 2, 3)}
+	if got := r.Margin(3); got != 6 {
+		t.Errorf("Margin = %v, want 6", got)
+	}
+}
+
+func TestMinMaxDist2(t *testing.T) {
+	r := Rect{Min: NewVec(1, 1), Max: NewVec(2, 2)}
+	// Point inside.
+	if got := r.MinDist2(NewVec(1.5, 1.5), 2); got != 0 {
+		t.Errorf("MinDist2 inside = %v, want 0", got)
+	}
+	// Point left of the box.
+	if got := r.MinDist2(NewVec(0, 1.5), 2); got != 1 {
+		t.Errorf("MinDist2 = %v, want 1", got)
+	}
+	// Corner distance.
+	if got := r.MinDist2(NewVec(0, 0), 2); got != 2 {
+		t.Errorf("MinDist2 corner = %v, want 2", got)
+	}
+	if got := r.MaxDist2(NewVec(0, 0), 2); got != 8 {
+		t.Errorf("MaxDist2 = %v, want 8", got)
+	}
+}
+
+func TestBallRect(t *testing.T) {
+	r := BallRect(NewVec(1, 1), 2, 0.5)
+	want := Rect{Min: NewVec(0.5, 0.5), Max: NewVec(1.5, 1.5)}
+	if r != want {
+		t.Errorf("BallRect = %+v, want %+v", r, want)
+	}
+}
+
+func TestBallPredicates(t *testing.T) {
+	r := Rect{Min: NewVec(1, 1), Max: NewVec(2, 2)}
+	if !r.IntersectsBall(NewVec(0, 1.5), 2, 1.0) {
+		t.Error("ball touching rect edge must intersect")
+	}
+	if r.IntersectsBall(NewVec(0, 1.5), 2, 0.5) {
+		t.Error("distant ball must not intersect")
+	}
+	if !r.InsideBall(NewVec(1.5, 1.5), 2, 1.0) {
+		t.Error("rect with corners at dist sqrt(0.5) must be inside ball r=1")
+	}
+	if r.InsideBall(NewVec(1.5, 1.5), 2, 0.5) {
+		t.Error("rect corners at dist ~0.707 must not be inside ball r=0.5")
+	}
+}
+
+// Property: MinDist2(p) <= Dist2(p, q) <= MaxDist2(p) for any q inside r.
+func TestMinMaxDistBracketProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		var lo, hi, p Vec
+		for i := 0; i < MaxDims; i++ {
+			a, b := rng.Float64()*10-5, rng.Float64()*10-5
+			lo[i], hi[i] = math.Min(a, b), math.Max(a, b)
+			p[i] = rng.Float64()*20 - 10
+		}
+		r := Rect{Min: lo, Max: hi}
+		var q Vec
+		for i := 0; i < MaxDims; i++ {
+			q[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		d := Dist2(p, q, MaxDims)
+		const tol = 1e-9
+		return r.MinDist2(p, MaxDims) <= d+tol && d <= r.MaxDist2(p, MaxDims)+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Enlarged covers both inputs and is the smallest such rect.
+func TestEnlargedCoversProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() Rect {
+		var lo, hi Vec
+		for i := 0; i < MaxDims; i++ {
+			a, b := rng.Float64()*10, rng.Float64()*10
+			lo[i], hi[i] = math.Min(a, b), math.Max(a, b)
+		}
+		return Rect{Min: lo, Max: hi}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randRect(), randRect()
+		e := a.Enlarged(b, MaxDims)
+		if !e.ContainsRect(a, MaxDims) || !e.ContainsRect(b, MaxDims) {
+			t.Fatalf("Enlarged does not cover inputs: %+v %+v -> %+v", a, b, e)
+		}
+		for d := 0; d < MaxDims; d++ {
+			if e.Min[d] != math.Min(a.Min[d], b.Min[d]) || e.Max[d] != math.Max(a.Max[d], b.Max[d]) {
+				t.Fatalf("Enlarged not minimal in dim %d", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package grid provides a hash-grid spatial index over low-dimensional
+// points. It is the substrate of the approximate engines: ρ²-DBSCAN uses
+// cells of side ε/√d (so all points sharing a cell are mutually within ε),
+// and the summarization-based engines use it to locate nearby micro-clusters
+// and cluster-cells quickly.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"disc/internal/geom"
+)
+
+// Key identifies a grid cell by its integer coordinates.
+type Key [geom.MaxDims]int32
+
+// Item is one indexed point.
+type Item struct {
+	ID  int64
+	Pos geom.Vec
+}
+
+// Grid is a hash grid with fixed cell side length. The zero value is not
+// usable; construct with New. Not safe for concurrent use.
+type Grid struct {
+	dims  int
+	side  float64
+	cells map[Key][]Item
+	size  int
+}
+
+// New returns an empty grid with the given dimensionality and cell side.
+func New(dims int, side float64) *Grid {
+	if dims < 1 || dims > geom.MaxDims {
+		panic(fmt.Sprintf("grid: invalid dims %d", dims))
+	}
+	if side <= 0 {
+		panic(fmt.Sprintf("grid: invalid cell side %g", side))
+	}
+	return &Grid{dims: dims, side: side, cells: make(map[Key][]Item)}
+}
+
+// Side returns the cell side length.
+func (g *Grid) Side() float64 { return g.side }
+
+// Dims returns the dimensionality.
+func (g *Grid) Dims() int { return g.dims }
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return g.size }
+
+// CellCount returns the number of non-empty cells.
+func (g *Grid) CellCount() int { return len(g.cells) }
+
+// KeyOf returns the cell key containing pos.
+func (g *Grid) KeyOf(pos geom.Vec) Key {
+	var k Key
+	for d := 0; d < g.dims; d++ {
+		k[d] = int32(math.Floor(pos[d] / g.side))
+	}
+	return k
+}
+
+// Insert adds a point. Duplicate ids and positions are permitted.
+func (g *Grid) Insert(id int64, pos geom.Vec) {
+	k := g.KeyOf(pos)
+	g.cells[k] = append(g.cells[k], Item{ID: id, Pos: pos})
+	g.size++
+}
+
+// Delete removes one point with the given id from the cell containing pos,
+// reporting whether it was found.
+func (g *Grid) Delete(id int64, pos geom.Vec) bool {
+	k := g.KeyOf(pos)
+	items := g.cells[k]
+	for i := range items {
+		if items[i].ID == id {
+			items[i] = items[len(items)-1]
+			items = items[:len(items)-1]
+			if len(items) == 0 {
+				delete(g.cells, k)
+			} else {
+				g.cells[k] = items
+			}
+			g.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Cell returns the items of the cell with key k (shared slice; do not
+// mutate).
+func (g *Grid) Cell(k Key) []Item { return g.cells[k] }
+
+// ForCells calls fn for every non-empty cell.
+func (g *Grid) ForCells(fn func(Key, []Item)) {
+	for k, items := range g.cells {
+		fn(k, items)
+	}
+}
+
+// cellRect returns the bounding rectangle of cell k.
+func (g *Grid) cellRect(k Key) geom.Rect {
+	var r geom.Rect
+	for d := 0; d < g.dims; d++ {
+		r.Min[d] = float64(k[d]) * g.side
+		r.Max[d] = float64(k[d]+1) * g.side
+	}
+	return r
+}
+
+// ForNeighborCells calls fn for every non-empty cell whose bounding box is
+// within eps of pos (including pos's own cell). fn may return false to stop.
+func (g *Grid) ForNeighborCells(pos geom.Vec, eps float64, fn func(Key, []Item) bool) {
+	center := g.KeyOf(pos)
+	reach := int32(math.Ceil(eps/g.side)) + 1
+	var walk func(d int, k Key) bool
+	walk = func(d int, k Key) bool {
+		if d == g.dims {
+			items, ok := g.cells[k]
+			if !ok {
+				return true
+			}
+			if g.cellRect(k).MinDist2(pos, g.dims) > eps*eps {
+				return true
+			}
+			return fn(k, items)
+		}
+		for off := -reach; off <= reach; off++ {
+			k[d] = center[d] + off
+			if !walk(d+1, k) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(0, Key{})
+}
+
+// SearchBall calls fn for every point within eps of pos. fn may return false
+// to stop early. It reports whether the search ran to completion.
+func (g *Grid) SearchBall(pos geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool {
+	done := true
+	g.ForNeighborCells(pos, eps, func(_ Key, items []Item) bool {
+		for _, it := range items {
+			if geom.WithinEps(it.Pos, pos, g.dims, eps) {
+				if !fn(it.ID, it.Pos) {
+					done = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// CountBall returns the number of points within eps of pos, stopping early
+// once the count reaches atLeast (pass a negative atLeast for an exact
+// count). The early exit is the approximation lever ρ-style methods use for
+// core tests.
+func (g *Grid) CountBall(pos geom.Vec, eps float64, atLeast int) int {
+	n := 0
+	g.SearchBall(pos, eps, func(int64, geom.Vec) bool {
+		n++
+		return atLeast < 0 || n < atLeast
+	})
+	return n
+}

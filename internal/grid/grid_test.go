@@ -1,0 +1,170 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"disc/internal/geom"
+)
+
+func randVec(rng *rand.Rand, dims int, scale float64) geom.Vec {
+	var v geom.Vec
+	for i := 0; i < dims; i++ {
+		v[i] = rng.Float64()*scale - scale/2 // exercise negative coordinates
+	}
+	return v
+}
+
+func TestInsertDeleteLen(t *testing.T) {
+	g := New(2, 1.0)
+	g.Insert(1, geom.NewVec(0.5, 0.5))
+	g.Insert(2, geom.NewVec(0.6, 0.6))
+	g.Insert(3, geom.NewVec(5, 5))
+	if g.Len() != 3 || g.CellCount() != 2 {
+		t.Fatalf("Len=%d CellCount=%d", g.Len(), g.CellCount())
+	}
+	if !g.Delete(1, geom.NewVec(0.5, 0.5)) {
+		t.Fatal("delete failed")
+	}
+	if g.Delete(1, geom.NewVec(0.5, 0.5)) {
+		t.Fatal("double delete succeeded")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len=%d after delete", g.Len())
+	}
+}
+
+func TestKeyOfNegativeCoordinates(t *testing.T) {
+	g := New(2, 1.0)
+	k1 := g.KeyOf(geom.NewVec(-0.5, 0.5))
+	if k1[0] != -1 || k1[1] != 0 {
+		t.Fatalf("KeyOf(-0.5,0.5) = %v", k1)
+	}
+	k2 := g.KeyOf(geom.NewVec(-1.0, 0))
+	if k2[0] != -1 {
+		t.Fatalf("KeyOf(-1,0)[0] = %d, want -1", k2[0])
+	}
+}
+
+func TestSearchBallMatchesBruteForce(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(dims) * 7))
+		g := New(dims, 0.8)
+		type pt struct {
+			id  int64
+			pos geom.Vec
+		}
+		var pts []pt
+		for id := int64(0); id < 1500; id++ {
+			p := randVec(rng, dims, 30)
+			g.Insert(id, p)
+			pts = append(pts, pt{id, p})
+		}
+		for trial := 0; trial < 100; trial++ {
+			c := randVec(rng, dims, 30)
+			eps := rng.Float64() * 4
+			var got []int64
+			g.SearchBall(c, eps, func(id int64, _ geom.Vec) bool { got = append(got, id); return true })
+			var want []int64
+			for _, p := range pts {
+				if geom.WithinEps(p.pos, c, dims, eps) {
+					want = append(want, p.id)
+				}
+			}
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d: got %d, want %d", dims, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dims=%d: mismatch at %d", dims, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBallWithDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New(2, 1.0)
+	live := map[int64]geom.Vec{}
+	var next int64
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.55 {
+			p := randVec(rng, 2, 20)
+			g.Insert(next, p)
+			live[next] = p
+			next++
+		} else {
+			for id, p := range live {
+				if !g.Delete(id, p) {
+					t.Fatalf("delete %d failed", id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if g.Len() != len(live) {
+		t.Fatalf("Len=%d want %d", g.Len(), len(live))
+	}
+	c := geom.NewVec(0, 0)
+	count := 0
+	g.SearchBall(c, 5, func(id int64, _ geom.Vec) bool { count++; return true })
+	want := 0
+	for _, p := range live {
+		if geom.WithinEps(p, c, 2, 5) {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("post-churn search: got %d want %d", count, want)
+	}
+}
+
+func TestCountBallEarlyExit(t *testing.T) {
+	g := New(2, 1.0)
+	for id := int64(0); id < 100; id++ {
+		g.Insert(id, geom.NewVec(0.1*float64(id%10), 0.1*float64(id/10)))
+	}
+	if n := g.CountBall(geom.NewVec(0.5, 0.5), 10, 7); n != 7 {
+		t.Fatalf("CountBall early = %d, want 7", n)
+	}
+	if n := g.CountBall(geom.NewVec(0.5, 0.5), 10, -1); n != 100 {
+		t.Fatalf("CountBall exact = %d, want 100", n)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	g := New(2, 1.0)
+	for id := int64(0); id < 50; id++ {
+		g.Insert(id, geom.NewVec(0, 0))
+	}
+	n := 0
+	if g.SearchBall(geom.NewVec(0, 0), 1, func(int64, geom.Vec) bool { n++; return n < 3 }) {
+		t.Fatal("early-stopped search reported completion")
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times, want 3", n)
+	}
+}
+
+func TestPanicsOnBadConstruction(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(5, 1) },
+		func() { New(2, 0) },
+		func() { New(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+package incdbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+// FuzzIncDBSCANEquivalence mirrors the DISC core's fuzz target for the
+// per-point engine: any stream, window geometry and thresholds must match
+// from-scratch DBSCAN at every stride.
+func FuzzIncDBSCANEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(100), uint8(20), uint8(25), uint8(5))
+	f.Add(int64(2), uint8(60), uint8(60), uint8(5), uint8(1))
+	f.Add(int64(3), uint8(150), uint8(3), uint8(40), uint8(12))
+	// The multi-cut regression's regime: huge eps, MinPts 1.
+	f.Add(int64(-11), uint8(83), uint8(150), uint8(63), uint8(210))
+	f.Fuzz(func(t *testing.T, seed int64, winRaw, strideRaw, epsRaw, minPtsRaw uint8) {
+		win := int(winRaw)%150 + 20
+		stride := int(strideRaw)%win + 1
+		eps := 0.2 + float64(epsRaw)*0.1
+		minPts := int(minPtsRaw)%15 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := win + stride*5
+		data := make([]model.Point, n)
+		for i := range data {
+			var x, y float64
+			if rng.Float64() < 0.2 {
+				x, y = rng.Float64()*40, rng.Float64()*40
+			} else {
+				c := float64(rng.Intn(3)) * 12
+				x, y = c+rng.NormFloat64()*1.5, c+rng.NormFloat64()*1.5
+			}
+			data[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		}
+		cfg := model.Config{Dims: 2, Eps: eps, MinPts: minPts}
+		steps, err := window.Steps(data, win, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(cfg)
+		for i, st := range steps {
+			eng.Advance(st.In, st.Out)
+			want := dbscan.Run(st.Window, cfg)
+			if err := metrics.SameClustering(eng.Snapshot(), want, st.Window, cfg); err != nil {
+				t.Fatalf("step %d (win=%d stride=%d eps=%.2f minPts=%d): %v",
+					i, win, stride, eps, minPts, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package incdbscan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disc/internal/core"
+	"disc/internal/dbscan"
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+func stream(rng *rand.Rand, n int) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		var x, y float64
+		if rng.Float64() < 0.2 {
+			x, y = rng.Float64()*40, rng.Float64()*40
+		} else {
+			cx := float64(rng.Intn(3)) * 12
+			cy := float64(rng.Intn(3)) * 12
+			x = cx + rng.NormFloat64()*1.5
+			y = cy + rng.NormFloat64()*1.5
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+	}
+	return pts
+}
+
+func verify(t *testing.T, data []model.Point, cfg model.Config, win, stride int, opts ...Option) {
+	t.Helper()
+	steps, err := window.Steps(data, win, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(cfg, opts...)
+	for i, st := range steps {
+		eng.Advance(st.In, st.Out)
+		want := dbscan.Run(st.Window, cfg)
+		if err := metrics.SameClustering(eng.Snapshot(), want, st.Window, cfg); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestEquivalenceWithDBSCAN(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := stream(rng, 900)
+	verify(t, data, model.Config{Dims: 2, Eps: 2, MinPts: 5}, 300, 30)
+}
+
+func TestEquivalenceLargeStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := stream(rng, 600)
+	verify(t, data, model.Config{Dims: 2, Eps: 2, MinPts: 4}, 200, 200)
+}
+
+func TestEquivalenceAblations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"SeqBFS", []Option{WithMSBFS(false)}},
+		{"Epoch", []Option{WithEpochProbing(true)}},
+		{"SeqBFSEpoch", []Option{WithMSBFS(false), WithEpochProbing(true)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			data := stream(rng, 600)
+			verify(t, data, model.Config{Dims: 2, Eps: 2, MinPts: 5}, 200, 25, tc.opts...)
+		})
+	}
+}
+
+func TestEquivalenceMinPtsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	data := stream(rng, 400)
+	verify(t, data, model.Config{Dims: 2, Eps: 2, MinPts: 1}, 150, 25)
+}
+
+func TestEquivalence4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	data := make([]model.Point, 600)
+	for i := range data {
+		c := float64(rng.Intn(3)) * 14
+		data[i] = model.Point{ID: int64(i), Pos: geom.NewVec(
+			c+rng.NormFloat64()*1.5, c+rng.NormFloat64()*1.5,
+			rng.NormFloat64()*1.5, c/3+rng.NormFloat64())}
+	}
+	verify(t, data, model.Config{Dims: 4, Eps: 3, MinPts: 6}, 200, 20)
+}
+
+// TestRandomizedFuzz: the exactness property across random configurations,
+// mirroring DISC's flagship test.
+func TestRandomizedFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short mode")
+	}
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + trial)))
+			n := 300 + rng.Intn(400)
+			data := stream(rng, n)
+			win := 100 + rng.Intn(120)
+			stride := 1 + rng.Intn(win)
+			eps := 0.5 + rng.Float64()*4
+			minPts := 2 + rng.Intn(10)
+			t.Logf("n=%d win=%d stride=%d eps=%.2f minPts=%d", n, win, stride, eps, minPts)
+			verify(t, data, model.Config{Dims: 2, Eps: eps, MinPts: minPts}, win, stride)
+		})
+	}
+}
+
+// TestNonCoreDepartureDemotesAcrossClusters exercises the case where a
+// border point adjacent to cores of two different clusters departs and
+// demotes cores on both sides in one update.
+func TestNonCoreDepartureDemotesAcrossClusters(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.1, MinPts: 3}
+	// Cluster A around x=0, cluster B around x=3.6; the point m in the
+	// middle is within ε of one core of each but the clusters stay separate
+	// (their cores are not mutually reachable).
+	pts := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)}, {ID: 2, Pos: geom.NewVec(1, 0)},
+		{ID: 3, Pos: geom.NewVec(0.5, 0.9)},
+		{ID: 4, Pos: geom.NewVec(3.6, 0)}, {ID: 5, Pos: geom.NewVec(4.6, 0)},
+		{ID: 6, Pos: geom.NewVec(4.1, 0.9)},
+		{ID: 7, Pos: geom.NewVec(2.3, 0)}, // middle border point
+	}
+	eng := New(cfg)
+	eng.Advance(pts, nil)
+	want := dbscan.Run(pts, cfg)
+	if err := metrics.SameClustering(eng.Snapshot(), want, pts, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the middle point; both clusters' nearest cores lose a neighbor.
+	eng.Advance(nil, pts[6:7])
+	rest := pts[:6]
+	want = dbscan.Run(rest, cfg)
+	if err := metrics.SameClustering(eng.Snapshot(), want, rest, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonCoreInsertCreatesTwoSeparateCores exercises the subtle insertion
+// case: p itself does not become a core but turns two mutually distant
+// points into cores of *different* clusters, which must not be merged.
+func TestNonCoreInsertCreatesTwoSeparateCores(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	// q1 at (-0.9, 0) with one existing neighbor; q2 at (0.9, 0) with one
+	// existing neighbor; p at origin is within ε of q1 and q2 but has only
+	// those 2 neighbors (n=3 >= 3... choose MinPts=4 to keep p non-core).
+	cfg.MinPts = 4
+	pts := []model.Point{
+		{ID: 1, Pos: geom.NewVec(-0.9, 0)},
+		{ID: 2, Pos: geom.NewVec(-1.7, 0)}, {ID: 3, Pos: geom.NewVec(-1.7, 0.5)},
+		{ID: 4, Pos: geom.NewVec(0.9, 0)},
+		{ID: 5, Pos: geom.NewVec(1.7, 0)}, {ID: 6, Pos: geom.NewVec(1.7, 0.5)},
+	}
+	eng := New(cfg)
+	eng.Advance(pts, nil)
+	// Now insert p: q1 (id 1) gets neighbors {2,3,p} + self = 4 -> core;
+	// q2 (id 4) likewise; p has neighbors {1,4} + self = 3 -> not core.
+	p := model.Point{ID: 7, Pos: geom.NewVec(0, 0)}
+	eng.Advance([]model.Point{p}, nil)
+	all := append(append([]model.Point{}, pts...), p)
+	want := dbscan.Run(all, cfg)
+	if err := metrics.SameClustering(eng.Snapshot(), want, all, cfg); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := eng.Assignment(1)
+	a4, _ := eng.Assignment(4)
+	if a1.ClusterID == a4.ClusterID {
+		t.Fatal("distant new cores wrongly merged into one cluster")
+	}
+}
+
+// TestMoreSearchesThanDISC verifies the cost relationship of Fig. 7:
+// per-point processing issues at least as many range searches as DISC's
+// batched processing of the same strides.
+func TestMoreSearchesThanDISC(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	data := stream(rng, 2000)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	steps, _ := window.Steps(data, 1000, 50)
+	inc := New(cfg)
+	batch := core.New(cfg)
+	for _, st := range steps {
+		inc.Advance(st.In, st.Out)
+		batch.Advance(st.In, st.Out)
+	}
+	i, d := inc.Stats().RangeSearches, batch.Stats().RangeSearches
+	if i < d {
+		t.Errorf("IncDBSCAN searches %d < DISC %d; batching should not lose", i, d)
+	}
+	t.Logf("range searches: IncDBSCAN=%d DISC=%d", i, d)
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 2}
+	t.Run("unknown exit", func(t *testing.T) {
+		eng := New(cfg)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		eng.Advance(nil, []model.Point{{ID: 9, Pos: geom.NewVec(0, 0)}})
+	})
+	t.Run("duplicate id", func(t *testing.T) {
+		eng := New(cfg)
+		p := model.Point{ID: 1, Pos: geom.NewVec(0, 0)}
+		eng.Advance([]model.Point{p}, nil)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		eng.Advance([]model.Point{p}, nil)
+	})
+}
+
+func TestName(t *testing.T) {
+	if New(model.Config{Dims: 2, Eps: 1, MinPts: 3}).Name() != "IncDBSCAN" {
+		t.Fatal("wrong name")
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics provides clustering-quality measures and correctness
+// oracles: the Adjusted Rand Index used in Figs. 9 and 10 of the DISC paper,
+// and an exact-equivalence checker that verifies an incremental engine
+// produces the same clustering DBSCAN would, up to cluster renaming and the
+// inherent arbitrariness of border assignment.
+package metrics
+
+import (
+	"fmt"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// ARI computes the Adjusted Rand Index (Hubert & Arabie 1985) between two
+// labelings of the same point set. Labelings map point id to cluster id;
+// every id present in truth must be present in pred. Noise can be encoded
+// either as a shared cluster (id 0) or as distinct singleton ids, matching
+// how stream-clustering literature evaluates: here all points labeled
+// model.NoCluster are treated as one "noise" group.
+//
+// The result lies in [-1, 1]; 1 means identical partitions and 0 is the
+// expected value for independent random partitions.
+func ARI(truth, pred map[int64]int) float64 {
+	// Contingency table.
+	type pair struct{ t, p int }
+	cont := make(map[pair]int64)
+	tSizes := make(map[int]int64)
+	pSizes := make(map[int]int64)
+	var n int64
+	for id, t := range truth {
+		p, ok := pred[id]
+		if !ok {
+			continue
+		}
+		cont[pair{t, p}]++
+		tSizes[t]++
+		pSizes[p]++
+		n++
+	}
+	if n < 2 {
+		return 1
+	}
+	choose2 := func(x int64) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumComb, sumT, sumP float64
+	for _, c := range cont {
+		sumComb += choose2(c)
+	}
+	for _, c := range tSizes {
+		sumT += choose2(c)
+	}
+	for _, c := range pSizes {
+		sumP += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumT * sumP / total
+	maxIdx := (sumT + sumP) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial (all singletons or all one)
+	}
+	return (sumComb - expected) / (maxIdx - expected)
+}
+
+// Labels extracts a point-id → cluster-id map from an assignment snapshot,
+// mapping noise to model.NoCluster.
+func Labels(snap map[int64]model.Assignment) map[int64]int {
+	out := make(map[int64]int, len(snap))
+	for id, a := range snap {
+		out[id] = a.ClusterID
+	}
+	return out
+}
+
+// SameClustering verifies that got is exactly the clustering want describes,
+// up to renaming of cluster ids. Both snapshots must cover the same point
+// set; pts supplies coordinates for validating border assignments.
+//
+// The contract, matching DBSCAN's semantics:
+//   - the sets of core, border, and noise points are identical;
+//   - the partition of core points into clusters is identical (a bijection
+//     between got's and want's cluster ids exists over cores);
+//   - every border point is assigned to a cluster that contains at least one
+//     core within ε of it (DBSCAN assigns a border adjacent to several
+//     clusters to any one of them, so requiring equality would be wrong).
+//
+// A nil return means equivalent.
+func SameClustering(got, want map[int64]model.Assignment, pts []model.Point, cfg model.Config) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("point sets differ: got %d, want %d", len(got), len(want))
+	}
+	pos := make(map[int64]geom.Vec, len(pts))
+	for _, p := range pts {
+		pos[p.ID] = p.Pos
+	}
+	// Label sets must match.
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			return fmt.Errorf("point %d missing from got", id)
+		}
+		if g.Label != w.Label {
+			return fmt.Errorf("point %d: label %v, want %v", id, g.Label, w.Label)
+		}
+		if w.Label == model.Noise && g.ClusterID != model.NoCluster {
+			return fmt.Errorf("noise point %d carries cluster id %d", id, g.ClusterID)
+		}
+	}
+	// Core partition must be identical up to renaming: build the bijection.
+	g2w := make(map[int]int)
+	w2g := make(map[int]int)
+	for id, w := range want {
+		if w.Label != model.Core {
+			continue
+		}
+		g := got[id]
+		if g.ClusterID == model.NoCluster {
+			return fmt.Errorf("core point %d has no cluster id in got", id)
+		}
+		if mapped, ok := g2w[g.ClusterID]; ok {
+			if mapped != w.ClusterID {
+				return fmt.Errorf("got cluster %d maps to both want clusters %d and %d (split missed)", g.ClusterID, mapped, w.ClusterID)
+			}
+		} else {
+			g2w[g.ClusterID] = w.ClusterID
+		}
+		if mapped, ok := w2g[w.ClusterID]; ok {
+			if mapped != g.ClusterID {
+				return fmt.Errorf("want cluster %d maps to both got clusters %d and %d (merge missed)", w.ClusterID, mapped, g.ClusterID)
+			}
+		} else {
+			w2g[w.ClusterID] = g.ClusterID
+		}
+	}
+	// Border validity: some core ε-neighbor must share the border's cluster.
+	for id, g := range got {
+		if g.Label != model.Border {
+			continue
+		}
+		if g.ClusterID == model.NoCluster {
+			return fmt.Errorf("border point %d has no cluster id", id)
+		}
+		p, ok := pos[id]
+		if !ok {
+			return fmt.Errorf("no coordinates supplied for border point %d", id)
+		}
+		valid := false
+		for cid, c := range pos {
+			if cid == id {
+				continue
+			}
+			other := got[cid]
+			if other.Label == model.Core && other.ClusterID == g.ClusterID &&
+				geom.WithinEps(p, c, cfg.Dims, cfg.Eps) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("border point %d assigned to cluster %d with no core ε-neighbor in it", id, g.ClusterID)
+		}
+	}
+	return nil
+}
+
+// Purity returns the fraction of points whose predicted cluster's dominant
+// truth label matches their own truth label; a coarse secondary quality
+// measure used in examples.
+func Purity(truth, pred map[int64]int) float64 {
+	byCluster := make(map[int]map[int]int)
+	var n int
+	for id, p := range pred {
+		t, ok := truth[id]
+		if !ok {
+			continue
+		}
+		m, ok := byCluster[p]
+		if !ok {
+			m = make(map[int]int)
+			byCluster[p] = m
+		}
+		m[t]++
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	var correct int
+	for _, m := range byCluster {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(n)
+}

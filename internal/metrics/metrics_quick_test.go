@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randLabeling(rng *rand.Rand, n, k int) map[int64]int {
+	m := make(map[int64]int, n)
+	for i := 0; i < n; i++ {
+		m[int64(i)] = rng.Intn(k)
+	}
+	return m
+}
+
+// Property: ARI is symmetric in its arguments.
+func TestARISymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(100)
+		a := randLabeling(r, n, 2+r.Intn(5))
+		b := randLabeling(r, n, 2+r.Intn(5))
+		return math.Abs(ARI(a, b)-ARI(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ARI is invariant under renaming cluster ids on either side.
+func TestARIRenameInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(100)
+		k := 2 + r.Intn(5)
+		a := randLabeling(r, n, k)
+		b := randLabeling(r, n, k)
+		base := ARI(a, b)
+		// Apply a random injective renaming to b.
+		offset := 1000 + r.Intn(1000)
+		renamed := make(map[int64]int, len(b))
+		for id, c := range b {
+			renamed[id] = c*7919 + offset
+		}
+		return math.Abs(ARI(a, renamed)-base) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ARI(x, x) == 1 for any labeling with at least two points.
+func TestARISelfIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(200)
+		a := randLabeling(r, n, 1+r.Intn(6))
+		return ARI(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging two clusters of the prediction never raises ARI above
+// self-agreement, and ARI stays within [-1, 1].
+func TestARIBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(150)
+		a := randLabeling(r, n, 2+r.Intn(6))
+		b := randLabeling(r, n, 2+r.Intn(6))
+		v := ARI(a, b)
+		return v >= -1-1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

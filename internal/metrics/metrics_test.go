@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+func TestARIIdenticalPartitions(t *testing.T) {
+	truth := map[int64]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3}
+	if got := ARI(truth, truth); got != 1 {
+		t.Fatalf("ARI(self) = %v, want 1", got)
+	}
+	// Renamed cluster ids are still a perfect match.
+	renamed := map[int64]int{1: 9, 2: 9, 3: 7, 4: 7, 5: 4}
+	if got := ARI(truth, renamed); got != 1 {
+		t.Fatalf("ARI(renamed) = %v, want 1", got)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Classic example: truth = {a,a,a,b,b,b}, pred = {a,a,b,b,c,c}.
+	truth := map[int64]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 2}
+	pred := map[int64]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3}
+	// Contingency: rows (3,3), cols (2,2,2); sum C(n_ij,2) = 1+0+0+0+1+1... :
+	// cells: [2,1,0 / 0,1,2] -> sumComb = 1+0+0+0+0+1 = 2
+	// sumT = 2*C(3,2)=6, sumP = 3*C(2,2... C(2,2)? C(2,2)=1 each -> 3
+	// expected = 6*3/C(6,2)=18/15=1.2; max=(6+3)/2=4.5
+	// ARI = (2-1.2)/(4.5-1.2) = 0.8/3.3 = 0.242424...
+	want := 0.8 / 3.3
+	if got := ARI(truth, pred); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestARIIndependentPartitionsNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := map[int64]int{}
+	pred := map[int64]int{}
+	for i := int64(0); i < 5000; i++ {
+		truth[i] = rng.Intn(5)
+		pred[i] = rng.Intn(5)
+	}
+	if got := ARI(truth, pred); math.Abs(got) > 0.02 {
+		t.Fatalf("ARI of independent partitions = %v, want ~0", got)
+	}
+}
+
+func TestARISmallInputs(t *testing.T) {
+	if got := ARI(map[int64]int{}, map[int64]int{}); got != 1 {
+		t.Fatalf("ARI(empty) = %v", got)
+	}
+	if got := ARI(map[int64]int{1: 1}, map[int64]int{1: 2}); got != 1 {
+		t.Fatalf("ARI(singleton) = %v", got)
+	}
+}
+
+func TestARIMissingPredictionsIgnored(t *testing.T) {
+	truth := map[int64]int{1: 1, 2: 1, 3: 2, 4: 2}
+	pred := map[int64]int{1: 5, 2: 5} // ids 3,4 missing
+	if got := ARI(truth, pred); got != 1 {
+		t.Fatalf("ARI over intersection = %v, want 1", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	snap := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 3},
+		2: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	l := Labels(snap)
+	if l[1] != 3 || l[2] != model.NoCluster {
+		t.Fatalf("Labels = %v", l)
+	}
+}
+
+func mkPts(coords ...[2]float64) []model.Point {
+	pts := make([]model.Point, len(coords))
+	for i, c := range coords {
+		pts[i] = model.Point{ID: int64(i + 1), Pos: geom.NewVec(c[0], c[1])}
+	}
+	return pts
+}
+
+func TestSameClusteringAccepts(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 2}
+	pts := mkPts([2]float64{0, 0}, [2]float64{1, 0}, [2]float64{10, 10})
+	want := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 1},
+		3: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	got := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 42}, // renamed cluster
+		2: {Label: model.Core, ClusterID: 42},
+		3: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	if err := SameClustering(got, want, pts, cfg); err != nil {
+		t.Fatalf("equivalent clusterings rejected: %v", err)
+	}
+}
+
+func TestSameClusteringRejectsLabelMismatch(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 2}
+	pts := mkPts([2]float64{0, 0}, [2]float64{1, 0})
+	want := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 1},
+	}
+	got := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	if err := SameClustering(got, want, pts, cfg); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func TestSameClusteringRejectsMissedSplit(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 1}
+	pts := mkPts([2]float64{0, 0}, [2]float64{10, 10})
+	want := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 2},
+	}
+	got := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 5},
+		2: {Label: model.Core, ClusterID: 5}, // merged: wrong
+	}
+	if err := SameClustering(got, want, pts, cfg); err == nil {
+		t.Fatal("missed split accepted")
+	}
+}
+
+func TestSameClusteringRejectsMissedMerge(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.5, MinPts: 1}
+	pts := mkPts([2]float64{0, 0}, [2]float64{1, 0})
+	want := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 1},
+	}
+	got := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 2}, // split: wrong
+	}
+	if err := SameClustering(got, want, pts, cfg); err == nil {
+		t.Fatal("missed merge accepted")
+	}
+}
+
+func TestSameClusteringBorderValidity(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.1, MinPts: 3}
+	// 1,2,3 cluster around origin (cores); 4 is border of that cluster;
+	// 5 is a distant core-pairless noise point.
+	pts := mkPts([2]float64{0, 0}, [2]float64{1, 0}, [2]float64{0, 1},
+		[2]float64{1.9, 0}, [2]float64{30, 30})
+	want := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 1},
+		2: {Label: model.Core, ClusterID: 1},
+		3: {Label: model.Core, ClusterID: 1},
+		4: {Label: model.Border, ClusterID: 1},
+		5: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	okGot := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 7},
+		2: {Label: model.Core, ClusterID: 7},
+		3: {Label: model.Core, ClusterID: 7},
+		4: {Label: model.Border, ClusterID: 7},
+		5: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	if err := SameClustering(okGot, want, pts, cfg); err != nil {
+		t.Fatalf("valid border rejected: %v", err)
+	}
+	badGot := map[int64]model.Assignment{
+		1: {Label: model.Core, ClusterID: 7},
+		2: {Label: model.Core, ClusterID: 7},
+		3: {Label: model.Core, ClusterID: 7},
+		4: {Label: model.Border, ClusterID: 99}, // no core neighbor in 99
+		5: {Label: model.Noise, ClusterID: model.NoCluster},
+	}
+	if err := SameClustering(badGot, want, pts, cfg); err == nil {
+		t.Fatal("border with phantom cluster accepted")
+	}
+}
+
+func TestSameClusteringSizeMismatch(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 1}
+	if err := SameClustering(map[int64]model.Assignment{}, map[int64]model.Assignment{
+		1: {Label: model.Noise},
+	}, nil, cfg); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPurity(t *testing.T) {
+	truth := map[int64]int{1: 1, 2: 1, 3: 2, 4: 2}
+	perfect := map[int64]int{1: 10, 2: 10, 3: 20, 4: 20}
+	if got := Purity(truth, perfect); got != 1 {
+		t.Fatalf("Purity(perfect) = %v", got)
+	}
+	mixed := map[int64]int{1: 10, 2: 10, 3: 10, 4: 10}
+	if got := Purity(truth, mixed); got != 0.5 {
+		t.Fatalf("Purity(mixed) = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package model defines the data types shared by every clustering engine in
+// this repository: stream points, the core/border/noise labeling of
+// density-based clustering, per-point assignments, the common Engine
+// interface each algorithm implements, and the work counters the DISC
+// evaluation reports.
+package model
+
+import (
+	"fmt"
+
+	"disc/internal/geom"
+)
+
+// Point is one stream record: a unique id, a position in up-to-4-dimensional
+// space, and an arrival timestamp (used by time-based windows; count-based
+// windows rely on slice order only).
+type Point struct {
+	ID   int64
+	Pos  geom.Vec
+	Time int64
+}
+
+// Label is the density-based category of a point, following Ester et al.
+type Label uint8
+
+const (
+	// Unclassified marks a point that entered the window but has not been
+	// labeled yet (transient, only visible mid-update).
+	Unclassified Label = iota
+	// Core marks a point with at least τ points (itself included) within ε.
+	Core
+	// Border marks a non-core point within ε of at least one core.
+	Border
+	// Noise marks a point that is neither core nor border.
+	Noise
+	// Deleted marks a point that left the window but is still referenced by
+	// in-flight bookkeeping (e.g. ex-cores kept in the R-tree during CLUSTER).
+	Deleted
+)
+
+// String returns the lower-case name of the label.
+func (l Label) String() string {
+	switch l {
+	case Unclassified:
+		return "unclassified"
+	case Core:
+		return "core"
+	case Border:
+		return "border"
+	case Noise:
+		return "noise"
+	case Deleted:
+		return "deleted"
+	default:
+		return fmt.Sprintf("label(%d)", uint8(l))
+	}
+}
+
+// NoCluster is the ClusterID of noise and unclassified points.
+const NoCluster = 0
+
+// Assignment is the clustering outcome for one point.
+type Assignment struct {
+	Label     Label
+	ClusterID int // NoCluster for noise
+}
+
+// Stats counts the work an engine performed since its last ResetStats.
+// RangeSearches is the metric Fig. 7 of the paper reports; the rest aid
+// drill-down analysis.
+type Stats struct {
+	RangeSearches int64 // ε-range queries issued against the spatial index
+	NodeAccesses  int64 // index nodes touched by those queries
+	Strides       int64 // window advances processed
+	Splits        int64 // cluster splits detected
+	Merges        int64 // cluster merges performed
+	MemoryItems   int64 // engine-specific resident bookkeeping entries (EXTRA-N's sub-window records, micro-cluster counts, ...)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RangeSearches += other.RangeSearches
+	s.NodeAccesses += other.NodeAccesses
+	s.Strides += other.Strides
+	s.Splits += other.Splits
+	s.Merges += other.Merges
+	if other.MemoryItems > s.MemoryItems {
+		s.MemoryItems = other.MemoryItems
+	}
+}
+
+// Engine is the interface every clustering algorithm in this repository
+// implements. An engine maintains the clustering of the points currently in
+// the sliding window; Advance applies one window slide.
+type Engine interface {
+	// Name identifies the algorithm ("DISC", "DBSCAN", ...).
+	Name() string
+	// Advance slides the window: out lists the points leaving, in the points
+	// entering. Engines without deletion support (summarization-based ones)
+	// ignore out.
+	Advance(in, out []Point)
+	// Assignment returns the current labeling of the point with the given
+	// id, and whether the engine is tracking it.
+	Assignment(id int64) (Assignment, bool)
+	// Snapshot returns the labeling of every tracked point. The returned map
+	// is owned by the caller.
+	Snapshot() map[int64]Assignment
+	// Stats returns work counters accumulated since the last ResetStats.
+	Stats() Stats
+	// ResetStats zeroes the work counters.
+	ResetStats()
+}
+
+// Config carries the two DBSCAN thresholds shared by all engines plus the
+// dimensionality of the data.
+type Config struct {
+	Dims   int     // number of active dimensions (1..geom.MaxDims)
+	Eps    float64 // ε distance threshold
+	MinPts int     // τ density threshold, counting the point itself
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Dims < 1 || c.Dims > geom.MaxDims {
+		return fmt.Errorf("model: Dims must be in [1,%d], got %d", geom.MaxDims, c.Dims)
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("model: Eps must be positive, got %g", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("model: MinPts must be at least 1, got %d", c.MinPts)
+	}
+	return nil
+}

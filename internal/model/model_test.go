@@ -1,0 +1,63 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelString(t *testing.T) {
+	cases := map[Label]string{
+		Unclassified: "unclassified",
+		Core:         "core",
+		Border:       "border",
+		Noise:        "noise",
+		Deleted:      "deleted",
+		Label(99):    "label(99)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Dims: 2, Eps: 1.5, MinPts: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Dims: 0, Eps: 1, MinPts: 1},
+		{Dims: 5, Eps: 1, MinPts: 1},
+		{Dims: 2, Eps: 0, MinPts: 1},
+		{Dims: 2, Eps: -1, MinPts: 1},
+		{Dims: 2, Eps: 1, MinPts: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestConfigValidateMessages(t *testing.T) {
+	err := Config{Dims: 9, Eps: 1, MinPts: 1}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Dims") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{RangeSearches: 1, NodeAccesses: 2, Strides: 3, Splits: 4, Merges: 5, MemoryItems: 10}
+	b := Stats{RangeSearches: 10, NodeAccesses: 20, Strides: 30, Splits: 40, Merges: 50, MemoryItems: 5}
+	a.Add(b)
+	want := Stats{RangeSearches: 11, NodeAccesses: 22, Strides: 33, Splits: 44, Merges: 55, MemoryItems: 10}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	// MemoryItems takes the max, not the sum.
+	a.Add(Stats{MemoryItems: 100})
+	if a.MemoryItems != 100 {
+		t.Fatalf("MemoryItems = %d, want 100", a.MemoryItems)
+	}
+}

@@ -1,0 +1,130 @@
+// Package params implements the K-distance-graph heuristic for choosing the
+// DBSCAN thresholds ε and MinPts, used by the DISC evaluation to set the
+// Table II parameters for GeoLife, COVID-19 and IRIS ("we adopted the
+// parameter settings used by the previous work based on a K-distance graph"
+// — Ester et al. 1996, Schubert et al. 2017).
+//
+// The heuristic: fix k (MinPts = k+1, counting the point itself), compute
+// for every point the distance to its k-th nearest neighbor, sort those
+// distances descending, and read ε off the "valley" (knee) of the resulting
+// curve — noise points have large k-distances, cluster points small ones,
+// and the knee separates the two regimes.
+package params
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/rtree"
+)
+
+// KDistances returns the k-distance of every sampled point, sorted in
+// descending order (the K-distance graph). k counts neighbors other than
+// the point itself. sample bounds how many points are probed (≤ 0 probes
+// all); sampling uses the given seed for reproducibility.
+func KDistances(pts []model.Point, dims, k, sample int, seed int64) ([]float64, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("params: no points")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("params: k must be >= 1, got %d", k)
+	}
+	if k >= len(pts) {
+		return nil, fmt.Errorf("params: k=%d requires more than %d points", k, len(pts))
+	}
+	tree := rtree.New(dims)
+	ids := make([]int64, len(pts))
+	positions := make([]geom.Vec, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+		positions[i] = p.Pos
+	}
+	tree.BulkLoad(ids, positions)
+
+	probe := pts
+	if sample > 0 && sample < len(pts) {
+		rng := rand.New(rand.NewSource(seed))
+		probe = make([]model.Point, sample)
+		perm := rng.Perm(len(pts))[:sample]
+		for i, idx := range perm {
+			probe[i] = pts[idx]
+		}
+	}
+	out := make([]float64, 0, len(probe))
+	for _, p := range probe {
+		// k+1 nearest including the point itself; the last is the k-th
+		// neighbor proper.
+		nn := tree.KNN(p.Pos, k+1)
+		out = append(out, math.Sqrt(nn[len(nn)-1].Dist2))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out, nil
+}
+
+// Knee returns the index of the maximum-curvature point of a descending
+// k-distance curve, located as the point with the largest perpendicular
+// distance to the chord between the curve's endpoints — the standard
+// "kneedle"-style geometric criterion, robust to the curve's scale.
+func Knee(kd []float64) int {
+	n := len(kd)
+	if n < 3 {
+		return 0
+	}
+	x1, y1 := 0.0, kd[0]
+	x2, y2 := float64(n-1), kd[n-1]
+	dx, dy := x2-x1, y2-y1
+	norm := math.Hypot(dx, dy)
+	best, bestIdx := -1.0, 0
+	for i := 1; i < n-1; i++ {
+		// Perpendicular distance from (i, kd[i]) to the chord.
+		d := math.Abs(dy*float64(i)-dx*kd[i]+x2*y1-y2*x1) / norm
+		if d > best {
+			best, bestIdx = d, i
+		}
+	}
+	return bestIdx
+}
+
+// Suggestion is the estimated clustering configuration.
+type Suggestion struct {
+	Eps       float64
+	MinPts    int       // k+1, counting the point itself
+	KDistance []float64 // the descending k-distance curve used
+	KneeIndex int
+}
+
+// Suggest estimates ε and MinPts for the given points with the K-distance
+// heuristic at the given k. For 2-dimensional data, k = 4 is the classic
+// recommendation of Ester et al.; higher dimensions typically use
+// k = 2·dims - 1 (Schubert et al.).
+func Suggest(pts []model.Point, dims, k, sample int, seed int64) (Suggestion, error) {
+	kd, err := KDistances(pts, dims, k, sample, seed)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	knee := Knee(kd)
+	return Suggestion{
+		Eps:       kd[knee],
+		MinPts:    k + 1,
+		KDistance: kd,
+		KneeIndex: knee,
+	}, nil
+}
+
+// Config converts the suggestion into an engine configuration.
+func (s Suggestion) Config(dims int) model.Config {
+	return model.Config{Dims: dims, Eps: s.Eps, MinPts: s.MinPts}
+}
+
+// DefaultK returns the conventional k for the dimensionality: 4 for 2-D
+// (Ester et al.), otherwise 2·dims - 1 (Schubert et al.).
+func DefaultK(dims int) int {
+	if dims <= 2 {
+		return 4
+	}
+	return 2*dims - 1
+}

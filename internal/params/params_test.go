@@ -1,0 +1,138 @@
+package params
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+// blobsWithNoise: three tight Gaussian blobs (σ=0.5) plus sparse uniform
+// noise over a 100×100 area — a clean two-regime k-distance curve.
+func blobsWithNoise(rng *rand.Rand, n int) ([]model.Point, map[int64]int) {
+	truth := make(map[int64]int)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		if rng.Float64() < 0.1 {
+			pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(rng.Float64()*100, rng.Float64()*100)}
+			truth[int64(i)] = 0
+		} else {
+			b := rng.Intn(3)
+			cx, cy := float64(b)*30+20, float64(b)*20+20
+			pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(cx+rng.NormFloat64()*0.5, cy+rng.NormFloat64()*0.5)}
+			truth[int64(i)] = b + 1
+		}
+	}
+	return pts, truth
+}
+
+func TestKDistancesBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, _ := blobsWithNoise(rng, 1000)
+	kd, err := KDistances(pts, 2, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kd) != len(pts) {
+		t.Fatalf("got %d distances, want %d", len(kd), len(pts))
+	}
+	for i := 1; i < len(kd); i++ {
+		if kd[i] > kd[i-1] {
+			t.Fatal("k-distance curve not descending")
+		}
+	}
+	// Sampled variant covers fewer points but the same value range.
+	sampled, err := KDistances(pts, 2, 4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled) != 100 {
+		t.Fatalf("sampled %d, want 100", len(sampled))
+	}
+	if sampled[0] > kd[0]+1e-9 {
+		t.Fatal("sampled max exceeds full max")
+	}
+}
+
+func TestKDistancesErrors(t *testing.T) {
+	if _, err := KDistances(nil, 2, 4, 0, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := []model.Point{{ID: 1}, {ID: 2, Pos: geom.NewVec(1, 0)}}
+	if _, err := KDistances(pts, 2, 0, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KDistances(pts, 2, 5, 0, 1); err == nil {
+		t.Error("k >= n accepted")
+	}
+}
+
+func TestKneeOnSyntheticCurve(t *testing.T) {
+	// A hockey-stick: flat tail at 1.0, steep head; knee near the bend.
+	kd := make([]float64, 100)
+	for i := range kd {
+		if i < 10 {
+			kd[i] = 10 - float64(i) // steep: 10..1
+		} else {
+			kd[i] = 1 - float64(i-10)*0.001 // nearly flat
+		}
+	}
+	knee := Knee(kd)
+	if knee < 5 || knee > 15 {
+		t.Fatalf("knee at %d, want near 10", knee)
+	}
+	if Knee([]float64{1, 2}) != 0 {
+		t.Fatal("short curve must return 0")
+	}
+}
+
+// TestSuggestRecoversGoodParameters: the suggested (ε, MinPts) must let
+// DBSCAN recover the three blobs with high ARI.
+func TestSuggestRecoversGoodParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, truth := blobsWithNoise(rng, 2000)
+	sug, err := Suggest(pts, 2, DefaultK(2), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sug.MinPts != 5 {
+		t.Fatalf("MinPts = %d, want 5 (k=4 plus self)", sug.MinPts)
+	}
+	if sug.Eps <= 0 || math.IsNaN(sug.Eps) {
+		t.Fatalf("bad eps %g", sug.Eps)
+	}
+	// ε must land between the blob scale and the noise scale.
+	if sug.Eps < 0.05 || sug.Eps > 20 {
+		t.Fatalf("eps = %g outside the plausible range", sug.Eps)
+	}
+	cfg := sug.Config(2)
+	snap := dbscan.Run(pts, cfg)
+	ari := metrics.ARI(truth, metrics.Labels(snap))
+	if ari < 0.8 {
+		t.Fatalf("ARI with suggested parameters = %.3f (eps=%g)", ari, sug.Eps)
+	}
+	t.Logf("suggested eps=%.3f minPts=%d -> ARI %.3f", sug.Eps, sug.MinPts, ari)
+}
+
+func TestDefaultK(t *testing.T) {
+	if DefaultK(2) != 4 {
+		t.Error("2-D default k must be 4")
+	}
+	if DefaultK(3) != 5 || DefaultK(4) != 7 {
+		t.Error("higher-D default k must be 2*dims-1")
+	}
+}
+
+func TestSuggestDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := blobsWithNoise(rng, 1500)
+	a, _ := Suggest(pts, 2, 4, 200, 7)
+	b, _ := Suggest(pts, 2, 4, 200, 7)
+	if a.Eps != b.Eps || a.KneeIndex != b.KneeIndex {
+		t.Fatal("sampled suggestion not deterministic under fixed seed")
+	}
+}

@@ -1,0 +1,117 @@
+package pardbscan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disc/internal/dbscan"
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+)
+
+func stream(rng *rand.Rand, n, dims int) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		var v geom.Vec
+		if rng.Float64() < 0.2 {
+			for d := 0; d < dims; d++ {
+				v[d] = rng.Float64() * 50
+			}
+		} else {
+			c := float64(rng.Intn(3)) * 15
+			for d := 0; d < dims; d++ {
+				v[d] = c + rng.NormFloat64()*1.5
+			}
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: v}
+	}
+	return pts
+}
+
+func TestMatchesSequentialDBSCAN(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("dims=%d/workers=%d", dims, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(dims*100 + workers)))
+				pts := stream(rng, 2500, dims)
+				cfg := model.Config{Dims: dims, Eps: 2, MinPts: 5}
+				got := Run(pts, cfg, workers)
+				want := dbscan.Run(pts, cfg)
+				if err := metrics.SameClustering(got, want, pts, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestMatchesAcrossParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := stream(rng, 1500, 2)
+	for _, eps := range []float64{0.5, 2, 6} {
+		for _, minPts := range []int{1, 4, 15} {
+			cfg := model.Config{Dims: 2, Eps: eps, MinPts: minPts}
+			got := Run(pts, cfg, 4)
+			want := dbscan.Run(pts, cfg)
+			if err := metrics.SameClustering(got, want, pts, cfg); err != nil {
+				t.Fatalf("eps=%g minPts=%d: %v", eps, minPts, err)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := stream(rng, 2000, 2)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	a := Run(pts, cfg, 1)
+	b := Run(pts, cfg, 7)
+	// Partitions must agree exactly (ids may be renamed).
+	if err := metrics.SameClustering(a, b, pts, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.ARI(metrics.Labels(a), metrics.Labels(b)); ari != 1 {
+		t.Fatalf("worker counts changed the partition: ARI %.3f", ari)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 2}
+	if got := Run(nil, cfg, 4); len(got) != 0 {
+		t.Fatal("empty input produced output")
+	}
+	one := []model.Point{{ID: 5, Pos: geom.NewVec(1, 1)}}
+	got := Run(one, cfg, 4)
+	if got[5].Label != model.Noise {
+		t.Fatalf("singleton = %+v", got[5])
+	}
+}
+
+func TestRaceSafety(t *testing.T) {
+	// Meaningful under -race: many workers over shared read-only state.
+	rng := rand.New(rand.NewSource(11))
+	pts := stream(rng, 3000, 2)
+	cfg := model.Config{Dims: 2, Eps: 2, MinPts: 5}
+	_ = Run(pts, cfg, 16)
+}
+
+// BenchmarkParallelVsSequential compares the two implementations; the
+// parallel one only wins with several CPUs (GOMAXPROCS > 1) — on a
+// single-CPU container it measures pure goroutine overhead.
+func BenchmarkParallelVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := stream(rng, 6000, 2)
+	cfg := model.Config{Dims: 2, Eps: 1, MinPts: 5}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dbscan.Run(pts, cfg)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(pts, cfg, 0)
+		}
+	})
+}

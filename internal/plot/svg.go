@@ -1,0 +1,166 @@
+// Package plot renders cluster dumps as SVG scatter plots — the visual form
+// of the paper's Fig. 12 — using only the standard library. Clusters get
+// distinct hues from a golden-angle walk around the color wheel; noise is
+// drawn as small gray dots.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Dot is one point to plot.
+type Dot struct {
+	X, Y    float64
+	Cluster int // 0 = noise
+}
+
+// Options controls the rendering.
+type Options struct {
+	Width, Height int     // canvas size in pixels; defaults 800×600
+	Radius        float64 // dot radius; default 2
+	Title         string
+	Background    string // CSS color; default white
+}
+
+func (o *Options) fill() {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.Height <= 0 {
+		o.Height = 600
+	}
+	if o.Radius <= 0 {
+		o.Radius = 2
+	}
+	if o.Background == "" {
+		o.Background = "#ffffff"
+	}
+}
+
+// SVG writes an SVG scatter plot of the dots to w.
+func SVG(w io.Writer, dots []Dot, opt Options) error {
+	opt.fill()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, d := range dots {
+		minX, maxX = math.Min(minX, d.X), math.Max(maxX, d.X)
+		minY, maxY = math.Min(minY, d.Y), math.Max(maxY, d.Y)
+	}
+	if len(dots) == 0 || minX == maxX {
+		maxX = minX + 1
+	}
+	if len(dots) == 0 || minY == maxY {
+		maxY = minY + 1
+	}
+	const margin = 20.0
+	sx := (float64(opt.Width) - 2*margin) / (maxX - minX)
+	sy := (float64(opt.Height) - 2*margin) / (maxY - minY)
+
+	colors := colorMap(dots)
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Width, opt.Height, opt.Width, opt.Height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="%s"/>`+"\n", opt.Background)
+	if opt.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			int(margin), xmlEscape(opt.Title))
+	}
+	// Noise first so clusters draw on top.
+	for _, noisePass := range []bool{true, false} {
+		for _, d := range dots {
+			if (d.Cluster == 0) != noisePass {
+				continue
+			}
+			px := margin + (d.X-minX)*sx
+			py := float64(opt.Height) - margin - (d.Y-minY)*sy // y up
+			r := opt.Radius
+			color := colors[d.Cluster]
+			if d.Cluster == 0 {
+				r = opt.Radius * 0.6
+			}
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", px, py, r, color)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// colorMap assigns each cluster a hue via the golden-angle walk, in
+// ascending cluster-id order so output is deterministic.
+func colorMap(dots []Dot) map[int]string {
+	ids := map[int]bool{}
+	for _, d := range dots {
+		if d.Cluster != 0 {
+			ids[d.Cluster] = true
+		}
+	}
+	sorted := make([]int, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Ints(sorted)
+	out := map[int]string{0: "#c8c8c8"}
+	const golden = 137.50776405
+	for i, id := range sorted {
+		h := math.Mod(float64(i)*golden, 360)
+		out[id] = hslToHex(h, 0.65, 0.45)
+	}
+	return out
+}
+
+// hslToHex converts HSL (h in degrees, s/l in [0,1]) to a #rrggbb string.
+func hslToHex(h, s, l float64) string {
+	c := (1 - math.Abs(2*l-1)) * s
+	hp := h / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := l - c/2
+	to := func(v float64) int {
+		n := int(math.Round((v + m) * 255))
+		if n < 0 {
+			n = 0
+		}
+		if n > 255 {
+			n = 255
+		}
+		return n
+	}
+	return fmt.Sprintf("#%02x%02x%02x", to(r), to(g), to(b))
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

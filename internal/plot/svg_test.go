@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSVGBasics(t *testing.T) {
+	dots := []Dot{
+		{X: 0, Y: 0, Cluster: 1},
+		{X: 1, Y: 1, Cluster: 1},
+		{X: 5, Y: 5, Cluster: 2},
+		{X: 9, Y: 9, Cluster: 0}, // noise
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, dots, Options{Title: "test <plot>"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(out, "<circle") != 4 {
+		t.Fatalf("circle count = %d, want 4", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "test &lt;plot&gt;") {
+		t.Fatal("title not escaped")
+	}
+	// Noise color present, and two distinct cluster colors.
+	if !strings.Contains(out, "#c8c8c8") {
+		t.Fatal("noise color missing")
+	}
+}
+
+func TestSVGDistinctClusterColors(t *testing.T) {
+	dots := make([]Dot, 0, 20)
+	for c := 1; c <= 20; c++ {
+		dots = append(dots, Dot{X: float64(c), Y: float64(c % 5), Cluster: c})
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, dots, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	colors := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if i := strings.Index(line, `fill="#`); i >= 0 && strings.HasPrefix(line, "<circle") {
+			colors[line[i+6:i+13]] = true
+		}
+	}
+	if len(colors) != 20 {
+		t.Fatalf("distinct colors = %d, want 20", len(colors))
+	}
+}
+
+func TestSVGEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// All points identical: no division by zero.
+	buf.Reset()
+	if err := SVG(&buf, []Dot{{X: 3, Y: 3, Cluster: 1}, {X: 3, Y: 3, Cluster: 1}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Fatal("degenerate points not drawn")
+	}
+}
+
+func TestHSLToHex(t *testing.T) {
+	// Pure-ish red at h=0.
+	if got := hslToHex(0, 1, 0.5); got != "#ff0000" {
+		t.Fatalf("red = %s", got)
+	}
+	if got := hslToHex(120, 1, 0.5); got != "#00ff00" {
+		t.Fatalf("green = %s", got)
+	}
+	if got := hslToHex(240, 1, 0.5); got != "#0000ff" {
+		t.Fatalf("blue = %s", got)
+	}
+	// Gray at s=0.
+	if got := hslToHex(77, 0, 0.5); got != "#808080" {
+		t.Fatalf("gray = %s", got)
+	}
+}
+
+func TestTimelineBasics(t *testing.T) {
+	events := []TimelineEvent{
+		{Stride: 1, Type: "emergence", Cluster: 1},
+		{Stride: 3, Type: "expansion", Cluster: 1},
+		{Stride: 5, Type: "split", Cluster: 1},
+		{Stride: 5, Type: "emergence", Cluster: 2},
+		{Stride: 9, Type: "merger", Cluster: 1},
+		{Stride: 9, Type: "dissipation", Cluster: 2},
+	}
+	var buf bytes.Buffer
+	if err := Timeline(&buf, events, Options{Title: "life & times"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") {
+		t.Fatal("not an SVG")
+	}
+	// 6 event glyphs + 6 legend dots.
+	if got := strings.Count(out, "<circle"); got != 12 {
+		t.Fatalf("circles = %d, want 12", got)
+	}
+	for _, lane := range []string{">c1<", ">c2<"} {
+		if !strings.Contains(out, lane) {
+			t.Fatalf("missing lane label %s", lane)
+		}
+	}
+	if !strings.Contains(out, "emergence @ stride 1") {
+		t.Fatal("missing tooltip")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Timeline(&buf, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no svg emitted")
+	}
+}
+
+func TestTimelineSingleStride(t *testing.T) {
+	var buf bytes.Buffer
+	// All events at one stride: no division-by-zero in the x scale.
+	if err := Timeline(&buf, []TimelineEvent{
+		{Stride: 7, Type: "emergence", Cluster: 1},
+		{Stride: 7, Type: "emergence", Cluster: 2},
+	}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

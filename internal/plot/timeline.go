@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TimelineEvent is one cluster-evolution occurrence to render.
+type TimelineEvent struct {
+	Stride  uint64
+	Type    string // "emergence", "expansion", "merger", "split", "shrink", "dissipation"
+	Cluster int
+}
+
+// Timeline renders cluster-evolution events as an SVG swim-lane chart: one
+// horizontal lane per cluster id, strides on the x axis, one glyph per
+// event. It turns the event stream of DISC's WithEventHandler (or the
+// discserver /events endpoint) into a picture of each cluster's life.
+func Timeline(w io.Writer, events []TimelineEvent, opt Options) error {
+	opt.fill()
+	if len(events) == 0 {
+		_, err := fmt.Fprintf(w,
+			`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"/>`+"\n",
+			opt.Width, opt.Height)
+		return err
+	}
+
+	// Lanes in order of first appearance; stride extent for the x scale.
+	laneOf := map[int]int{}
+	var laneIDs []int
+	minS, maxS := events[0].Stride, events[0].Stride
+	for _, ev := range events {
+		if _, ok := laneOf[ev.Cluster]; !ok {
+			laneOf[ev.Cluster] = len(laneIDs)
+			laneIDs = append(laneIDs, ev.Cluster)
+		}
+		if ev.Stride < minS {
+			minS = ev.Stride
+		}
+		if ev.Stride > maxS {
+			maxS = ev.Stride
+		}
+	}
+	if maxS == minS {
+		maxS = minS + 1
+	}
+
+	const (
+		marginL = 60.0
+		marginR = 15.0
+		marginT = 30.0
+		laneGap = 22.0
+	)
+	height := marginT + laneGap*float64(len(laneIDs)) + 15
+	if int(height) > opt.Height {
+		opt.Height = int(height)
+	}
+	sx := (float64(opt.Width) - marginL - marginR) / float64(maxS-minS)
+	xOf := func(s uint64) float64 { return marginL + float64(s-minS)*sx }
+	yOf := func(cluster int) float64 { return marginT + laneGap*float64(laneOf[cluster]) + laneGap/2 }
+
+	colors := map[string]string{
+		"emergence":   "#2a9d3a",
+		"expansion":   "#7cc36a",
+		"merger":      "#1c6fd6",
+		"split":       "#d6671c",
+		"shrink":      "#c9b458",
+		"dissipation": "#c03030",
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Width, opt.Height, opt.Width, opt.Height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="%s"/>`+"\n", opt.Background)
+	if opt.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="18" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			int(marginL), xmlEscape(opt.Title))
+	}
+
+	// Lane guides and labels.
+	sort.Ints(laneIDs) // draw labels in id order; lane positions unchanged
+	for _, id := range laneIDs {
+		y := yOf(id)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e5e5"/>`+"\n",
+			marginL, y, opt.Width-int(marginR), y)
+		fmt.Fprintf(w, `<text x="4" y="%.1f" font-family="sans-serif" font-size="10" fill="#555">c%d</text>`+"\n",
+			y+3, id)
+	}
+
+	// Life spans: from first to last event of each lane.
+	first := map[int]uint64{}
+	last := map[int]uint64{}
+	for _, ev := range events {
+		if _, ok := first[ev.Cluster]; !ok || ev.Stride < first[ev.Cluster] {
+			first[ev.Cluster] = ev.Stride
+		}
+		if ev.Stride > last[ev.Cluster] {
+			last[ev.Cluster] = ev.Stride
+		}
+	}
+	for id := range laneOf {
+		y := yOf(id)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bdbdbd" stroke-width="3"/>`+"\n",
+			xOf(first[id]), y, xOf(last[id]), y)
+	}
+
+	// Event glyphs.
+	for _, ev := range events {
+		color, ok := colors[ev.Type]
+		if !ok {
+			color = "#777777"
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"><title>%s @ stride %d</title></circle>`+"\n",
+			xOf(ev.Stride), yOf(ev.Cluster), color, xmlEscape(ev.Type), ev.Stride)
+	}
+
+	// Legend.
+	lx := marginL
+	for _, name := range []string{"emergence", "expansion", "merger", "split", "shrink", "dissipation"} {
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", lx, float64(opt.Height)-8, colors[name])
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" fill="#333">%s</text>`+"\n",
+			lx+7, float64(opt.Height)-5, name)
+		lx += float64(len(name))*5.6 + 22
+	}
+
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

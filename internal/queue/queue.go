@@ -1,0 +1,74 @@
+// Package queue provides a FIFO queue of point ids with O(1) concatenation,
+// the operation MS-BFS performs whenever two search threads meet (Algorithm 3
+// line 11 of the DISC paper merges the two threads' queues into one).
+package queue
+
+// node is a singly-linked chunk holding one id. A linked representation keeps
+// Concat O(1); enqueue/dequeue are O(1) amortized as well.
+type node struct {
+	id   int64
+	next *node
+}
+
+// Q is a FIFO queue of int64 ids supporting constant-time concatenation.
+// The zero value is an empty queue ready for use.
+type Q struct {
+	head, tail *node
+	n          int
+}
+
+// Len returns the number of queued ids.
+func (q *Q) Len() int { return q.n }
+
+// Empty reports whether the queue holds no ids.
+func (q *Q) Empty() bool { return q.n == 0 }
+
+// Push appends id to the back of the queue.
+func (q *Q) Push(id int64) {
+	nd := &node{id: id}
+	if q.tail == nil {
+		q.head, q.tail = nd, nd
+	} else {
+		q.tail.next = nd
+		q.tail = nd
+	}
+	q.n++
+}
+
+// Pop removes and returns the front id. It panics on an empty queue; callers
+// must check Empty first.
+func (q *Q) Pop() int64 {
+	if q.head == nil {
+		panic("queue: Pop on empty queue")
+	}
+	nd := q.head
+	q.head = nd.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	q.n--
+	return nd.id
+}
+
+// Concat moves all ids of other onto the back of q in O(1), leaving other
+// empty. Concatenating a queue with itself is a no-op.
+func (q *Q) Concat(other *Q) {
+	if other == q || other.n == 0 {
+		return
+	}
+	if q.tail == nil {
+		q.head, q.tail = other.head, other.tail
+	} else {
+		q.tail.next = other.head
+		q.tail = other.tail
+	}
+	q.n += other.n
+	other.head, other.tail, other.n = nil, nil, 0
+}
+
+// Drain empties the queue, calling fn for each id in FIFO order.
+func (q *Q) Drain(fn func(int64)) {
+	for !q.Empty() {
+		fn(q.Pop())
+	}
+}

@@ -1,0 +1,117 @@
+package queue
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Q
+	for i := int64(0); i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue must panic")
+		}
+	}()
+	var q Q
+	q.Pop()
+}
+
+func TestConcatPreservesOrder(t *testing.T) {
+	var a, b Q
+	a.Push(1)
+	a.Push(2)
+	b.Push(3)
+	b.Push(4)
+	a.Concat(&b)
+	if a.Len() != 4 || b.Len() != 0 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	want := []int64{1, 2, 3, 4}
+	for _, w := range want {
+		if got := a.Pop(); got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestConcatEmptyCases(t *testing.T) {
+	var a, b Q
+	a.Push(1)
+	a.Concat(&b) // empty other
+	if a.Len() != 1 {
+		t.Fatal("concat with empty changed length")
+	}
+	var c Q
+	c.Concat(&a) // empty receiver
+	if c.Len() != 1 || c.Pop() != 1 {
+		t.Fatal("concat into empty lost elements")
+	}
+}
+
+func TestConcatSelfNoop(t *testing.T) {
+	var q Q
+	q.Push(1)
+	q.Push(2)
+	q.Concat(&q)
+	if q.Len() != 2 {
+		t.Fatalf("self-concat changed length: %d", q.Len())
+	}
+	if q.Pop() != 1 || q.Pop() != 2 {
+		t.Fatal("self-concat corrupted order")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Q
+	q.Push(1)
+	q.Push(2)
+	if q.Pop() != 1 {
+		t.Fatal("bad order")
+	}
+	q.Push(3)
+	if q.Pop() != 2 || q.Pop() != 3 {
+		t.Fatal("interleaving broke FIFO order")
+	}
+	// Queue reusable after emptying.
+	q.Push(4)
+	if q.Pop() != 4 {
+		t.Fatal("queue unusable after emptying")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var q Q
+	for i := int64(0); i < 5; i++ {
+		q.Push(i * 10)
+	}
+	var got []int64
+	q.Drain(func(id int64) { got = append(got, id) })
+	if len(got) != 5 || got[0] != 0 || got[4] != 40 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Q
+	for i := 0; i < b.N; i++ {
+		q.Push(int64(i))
+		q.Pop()
+	}
+}

@@ -1,0 +1,215 @@
+package rtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"disc/internal/geom"
+)
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor struct {
+	ID    int64
+	Pos   geom.Vec
+	Dist2 float64
+}
+
+// KNN returns the k nearest indexed points to c in ascending distance order
+// (fewer if the tree holds fewer than k points). It runs the classic
+// best-first traversal with a priority queue ordered by minimum possible
+// distance, so node accesses are bounded by the result neighborhood.
+//
+// KNN powers the K-distance-graph parameter estimation the DISC evaluation
+// uses to pick ε and τ (Table II cites Ester et al. and Schubert et al.).
+func (t *T) KNN(c geom.Vec, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	t.stats.RangeSearches++
+	pq := &knnQueue{}
+	heap.Push(pq, knnItem{node: t.root, dist2: 0})
+	var out []Neighbor
+	// worst is the current k-th best distance; prune nodes beyond it.
+	worst := func() float64 {
+		if len(out) < k {
+			return -1 // not enough results yet: nothing prunable
+		}
+		return out[len(out)-1].Dist2
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(knnItem)
+		if w := worst(); w >= 0 && it.dist2 > w {
+			break // nothing closer remains anywhere in the queue
+		}
+		if !it.point {
+			t.stats.NodeAccesses++
+			for i := range it.node.entries {
+				e := &it.node.entries[i]
+				if it.node.leaf {
+					d2 := geom.Dist2(e.rect.Min, c, t.dims)
+					if w := worst(); w < 0 || d2 < w {
+						heap.Push(pq, knnItem{leafID: e.id, leafPos: e.rect.Min, dist2: d2, point: true})
+					}
+				} else {
+					d2 := e.rect.MinDist2(c, t.dims)
+					if w := worst(); w < 0 || d2 <= w {
+						heap.Push(pq, knnItem{node: e.child, dist2: d2})
+					}
+				}
+			}
+			continue
+		}
+		// A point surfaced before any node that could contain anything
+		// closer: it is final.
+		out = insertNeighbor(out, Neighbor{ID: it.leafID, Pos: it.leafPos, Dist2: it.dist2}, k)
+	}
+	return out
+}
+
+// insertNeighbor keeps out sorted ascending and capped at k entries.
+func insertNeighbor(out []Neighbor, n Neighbor, k int) []Neighbor {
+	i := sort.Search(len(out), func(i int) bool { return out[i].Dist2 > n.Dist2 })
+	out = append(out, Neighbor{})
+	copy(out[i+1:], out[i:])
+	out[i] = n
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+type knnItem struct {
+	node    *node
+	leafID  int64
+	leafPos geom.Vec
+	dist2   float64
+	point   bool
+}
+
+type knnQueue []knnItem
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].dist2 < q[j].dist2 }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnItem)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// BulkLoad builds a tree from scratch using Sort-Tile-Recursive packing,
+// which produces well-shaped rectangles and full leaves — considerably
+// better than repeated insertion for the initial window fill. Any existing
+// contents of the tree are replaced.
+func (t *T) BulkLoad(ids []int64, positions []geom.Vec) {
+	if len(ids) != len(positions) {
+		panic("rtree: BulkLoad id/position length mismatch")
+	}
+	entries := make([]entry, len(ids))
+	for i := range ids {
+		entries[i] = entry{rect: geom.PointRect(positions[i]), id: ids[i]}
+	}
+	t.root = t.strPack(entries, true)
+	t.size = len(ids)
+}
+
+// strPack recursively packs entries into nodes of maxEntries each, sorting
+// by dimension 0 then tiling by the remaining dimensions.
+func (t *T) strPack(entries []entry, leaf bool) *node {
+	if len(entries) == 0 {
+		return &node{leaf: true}
+	}
+	if len(entries) <= t.maxEntries {
+		n := &node{leaf: leaf, entries: entries}
+		n.epoch = minEpoch(n)
+		return n
+	}
+	nodes := t.strTile(entries, 0, leaf)
+	// Pack the produced nodes upward until one root remains.
+	for len(nodes) > 1 {
+		parents := make([]entry, len(nodes))
+		for i, nd := range nodes {
+			parents[i] = entry{rect: nodeRect(nd, t.dims), child: nd, epoch: nd.epoch}
+		}
+		if len(parents) <= t.maxEntries {
+			root := &node{leaf: false, entries: parents}
+			root.epoch = minEpoch(root)
+			return root
+		}
+		nodes = t.strTile(parents, 0, false)
+	}
+	return nodes[0]
+}
+
+// strTile sorts entries along dim and slices them into runs, recursively
+// tiling the next dimension, finally emitting packed nodes.
+func (t *T) strTile(entries []entry, dim int, leaf bool) []*node {
+	centerOf := func(e *entry, d int) float64 { return (e.rect.Min[d] + e.rect.Max[d]) / 2 }
+	sort.Slice(entries, func(i, j int) bool {
+		return centerOf(&entries[i], dim) < centerOf(&entries[j], dim)
+	})
+	if dim == t.dims-1 {
+		var out []*node
+		for _, chunk := range evenChunks(entries, t.maxEntries) {
+			c := make([]entry, len(chunk))
+			copy(c, chunk)
+			n := &node{leaf: leaf, entries: c}
+			n.epoch = minEpoch(n)
+			out = append(out, n)
+		}
+		return out
+	}
+	// Number of vertical slices: S = ceil((N/M)^((D-d-1)/(D-d))) per STR; a
+	// simple square-ish split works well for our low dimensionalities.
+	perSlice := t.maxEntries
+	leafCount := (len(entries) + t.maxEntries - 1) / t.maxEntries
+	slices := intSqrtCeil(leafCount)
+	if slices < 1 {
+		slices = 1
+	}
+	perSlice = (len(entries) + slices - 1) / slices
+	var out []*node
+	for start := 0; start < len(entries); start += perSlice {
+		end := start + perSlice
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, t.strTile(entries[start:end], dim+1, leaf)...)
+	}
+	return out
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// evenChunks partitions entries into the minimum number of runs of at most
+// max entries each, sized as evenly as possible, so every produced node
+// satisfies the minimum-fill invariant (max/2-ish) whenever more than one
+// node is needed.
+func evenChunks(entries []entry, max int) [][]entry {
+	num := (len(entries) + max - 1) / max
+	if num == 0 {
+		return nil
+	}
+	base := len(entries) / num
+	extra := len(entries) % num
+	out := make([][]entry, 0, num)
+	start := 0
+	for i := 0; i < num; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, entries[start:start+size])
+		start += size
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"disc/internal/geom"
+)
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(dims) * 71))
+		tr := New(dims)
+		type pt struct {
+			id  int64
+			pos geom.Vec
+		}
+		var pts []pt
+		for id := int64(0); id < 2000; id++ {
+			p := randVec(rng, dims, 100)
+			tr.Insert(id, p)
+			pts = append(pts, pt{id, p})
+		}
+		for trial := 0; trial < 50; trial++ {
+			c := randVec(rng, dims, 100)
+			k := 1 + rng.Intn(20)
+			got := tr.KNN(c, k)
+			if len(got) != k {
+				t.Fatalf("dims=%d: KNN returned %d, want %d", dims, len(got), k)
+			}
+			// Brute force: sort all by distance.
+			dists := make([]float64, len(pts))
+			for i, p := range pts {
+				dists[i] = geom.Dist2(p.pos, c, dims)
+			}
+			sort.Float64s(dists)
+			for i, nb := range got {
+				if nb.Dist2 != dists[i] {
+					t.Fatalf("dims=%d k=%d: neighbor %d dist2 %g, want %g", dims, k, i, nb.Dist2, dists[i])
+				}
+			}
+			// Ascending order.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist2 < got[i-1].Dist2 {
+					t.Fatal("KNN results not ascending")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := New(2)
+	if got := tr.KNN(geom.NewVec(0, 0), 5); got != nil {
+		t.Fatal("KNN on empty tree returned results")
+	}
+	tr.Insert(1, geom.NewVec(1, 1))
+	tr.Insert(2, geom.NewVec(2, 2))
+	if got := tr.KNN(geom.NewVec(0, 0), 10); len(got) != 2 {
+		t.Fatalf("k beyond size: got %d, want 2", len(got))
+	}
+	if got := tr.KNN(geom.NewVec(0, 0), 0); got != nil {
+		t.Fatal("k=0 returned results")
+	}
+	got := tr.KNN(geom.NewVec(0.9, 0.9), 1)
+	if got[0].ID != 1 {
+		t.Fatalf("nearest = %d, want 1", got[0].ID)
+	}
+}
+
+func TestBulkLoadInvariantsAndSearch(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 1000, 10000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := New(2)
+		bf := newBrute(2)
+		ids := make([]int64, n)
+		pos := make([]geom.Vec, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int64(i)
+			pos[i] = randVec(rng, 2, 200)
+			bf.insert(ids[i], pos[i])
+		}
+		tr.BulkLoad(ids, pos)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			c := randVec(rng, 2, 200)
+			eps := rng.Float64() * 30
+			if got, want := collectBall(tr, c, eps), bf.searchBall(c, eps); !equalIDs(got, want) {
+				t.Fatalf("n=%d: bulk-loaded search mismatch (%d vs %d)", n, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New(3)
+	bf := newBrute(3)
+	ids := make([]int64, 500)
+	pos := make([]geom.Vec, 500)
+	for i := range ids {
+		ids[i] = int64(i)
+		pos[i] = randVec(rng, 3, 50)
+		bf.insert(ids[i], pos[i])
+	}
+	tr.BulkLoad(ids, pos)
+	// Mixed mutations on a bulk-loaded tree must keep it consistent.
+	for i := 0; i < 300; i++ {
+		if i%2 == 0 {
+			id := int64(1000 + i)
+			p := randVec(rng, 3, 50)
+			tr.Insert(id, p)
+			bf.insert(id, p)
+		} else {
+			id := ids[i]
+			if tr.Delete(id, pos[i]) {
+				bf.delete(id)
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		c := randVec(rng, 3, 50)
+		if got, want := collectBall(tr, c, 8), bf.searchBall(c, 8); !equalIDs(got, want) {
+			t.Fatal("search mismatch after mutating a bulk-loaded tree")
+		}
+	}
+}
+
+func TestBulkLoadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	New(2).BulkLoad([]int64{1}, nil)
+}
+
+func TestBulkLoadEpochsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := New(2)
+	ids := make([]int64, 300)
+	pos := make([]geom.Vec, 300)
+	for i := range ids {
+		ids[i] = int64(i)
+		pos[i] = randVec(rng, 2, 40)
+	}
+	tr.BulkLoad(ids, pos)
+	tick := tr.NextTick()
+	c := geom.NewVec(20, 20)
+	tr.SearchBallEpoch(c, 15, tick, func(int64, geom.Vec) bool { return true })
+	count := 0
+	tr.SearchBallEpoch(c, 15, tick, func(int64, geom.Vec) bool { count++; return false })
+	if count != 0 {
+		t.Fatalf("%d stamped points visible under same tick after bulk load", count)
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 50000
+	ids := make([]int64, n)
+	pos := make([]geom.Vec, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		pos[i] = randVec(rng, 2, 1000)
+	}
+	b.Run("BulkLoad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New(2)
+			tr.BulkLoad(ids, pos)
+		}
+	})
+	b.Run("Insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New(2)
+			for j := range ids {
+				tr.Insert(ids[j], pos[j])
+			}
+		}
+	})
+}
+
+func BenchmarkKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(2)
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, randVec(rng, 2, 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(randVec(rng, 2, 1000), 10)
+	}
+}

@@ -1,0 +1,528 @@
+// Package rtree implements an in-memory R-tree over low-dimensional points,
+// following Guttman's original design (quadratic split, condense-tree
+// deletion). It is the spatial substrate for every exact clustering engine
+// in this repository.
+//
+// Beyond the classic operations it implements the epoch-based probing method
+// of the DISC paper (Algorithm 4): every leaf entry and every node carries an
+// epoch drawn from a monotonically increasing tick counter. A range search
+// executed under a tick skips any entry or subtree whose epoch equals that
+// tick, so one connectivity check (one MS-BFS instance) can mark points as
+// visited inside the index itself and later searches of the same instance
+// prune whole subtrees — with no reset cost between instances, because a new
+// instance simply draws a larger tick.
+package rtree
+
+import (
+	"fmt"
+
+	"disc/internal/geom"
+)
+
+const (
+	defaultMaxEntries = 32
+	defaultMinEntries = 13 // ~40% fill, Guttman's recommendation
+)
+
+// Stats counts the work performed by the tree since construction or the last
+// ResetStats. The DISC evaluation (Fig. 7) reports range-search invocations;
+// node accesses additionally expose the benefit of epoch-based pruning.
+type Stats struct {
+	RangeSearches int64 // number of SearchBall/SearchRect/SearchBallEpoch calls
+	NodeAccesses  int64 // number of tree nodes touched by searches
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node // nil for leaf entries
+	id    int64 // point id, valid for leaf entries
+	epoch uint64
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+	epoch   uint64 // min over entries' epochs; 0 means "contains unvisited"
+}
+
+// T is an R-tree over points of a fixed dimensionality. The zero value is
+// not usable; construct with New. T is not safe for concurrent use.
+type T struct {
+	dims       int
+	maxEntries int
+	minEntries int
+	root       *node
+	size       int
+	tick       uint64
+
+	stats Stats
+}
+
+// New returns an empty R-tree for points with the given number of dimensions
+// (1..geom.MaxDims).
+func New(dims int) *T {
+	if dims < 1 || dims > geom.MaxDims {
+		panic(fmt.Sprintf("rtree: invalid dims %d", dims))
+	}
+	return &T{
+		dims:       dims,
+		maxEntries: defaultMaxEntries,
+		minEntries: defaultMinEntries,
+		root:       &node{leaf: true},
+	}
+}
+
+// Len returns the number of points currently indexed.
+func (t *T) Len() int { return t.size }
+
+// Dims returns the dimensionality the tree was created with.
+func (t *T) Dims() int { return t.dims }
+
+// Stats returns a copy of the tree's work counters.
+func (t *T) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the work counters.
+func (t *T) ResetStats() { t.stats = Stats{} }
+
+// NextTick returns a fresh, strictly increasing tick for one epoch-probed
+// traversal instance (e.g. one MS-BFS run). Entries stamped with this tick
+// are invisible to searches carrying the same tick.
+func (t *T) NextTick() uint64 {
+	t.tick++
+	return t.tick
+}
+
+// Insert adds a point with the given id. Duplicate coordinates and duplicate
+// ids are permitted (the tree is a multiset); Delete removes one matching
+// entry.
+func (t *T) Insert(id int64, p geom.Vec) {
+	e := entry{rect: geom.PointRect(p), id: id}
+	split := t.insert(t.root, e)
+	if split != nil {
+		t.growRoot(split)
+	}
+	t.size++
+}
+
+func (t *T) height(n *node) int {
+	h := 0
+	for !n.leaf {
+		n = n.entries[0].child
+		h++
+	}
+	return h
+}
+
+// insert places e in the subtree rooted at n and returns a new sibling node
+// if n was split, nil otherwise.
+func (t *T) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		n.epoch = 0 // fresh entry is unvisited
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	i := t.chooseSubtree(n, e.rect)
+	child := n.entries[i].child
+	split := t.insert(child, e)
+	n.entries[i].rect = n.entries[i].rect.Enlarged(e.rect, t.dims)
+	n.entries[i].epoch = child.epoch
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch})
+	}
+	n.epoch = minEpoch(n)
+	if len(n.entries) > t.maxEntries {
+		return t.splitNode(n)
+	}
+	return nil
+}
+
+// chooseSubtree returns the index of the child entry of n needing the least
+// area enlargement to cover r; ties broken by smallest area (Guttman's
+// ChooseLeaf criterion).
+func (t *T) chooseSubtree(n *node, r geom.Rect) int {
+	best := 0
+	bestEnl := n.entries[0].rect.EnlargementArea(r, t.dims)
+	bestArea := n.entries[0].rect.Area(t.dims)
+	for i := 1; i < len(n.entries); i++ {
+		enl := n.entries[i].rect.EnlargementArea(r, t.dims)
+		area := n.entries[i].rect.Area(t.dims)
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode performs Guttman's quadratic split on an overfull node in place
+// and returns the newly created sibling.
+func (t *T) splitNode(n *node) *node {
+	entries := n.entries
+	seedA, seedB := t.pickSeeds(entries)
+	groupA := []entry{entries[seedA]}
+	groupB := []entry{entries[seedB]}
+	rectA := entries[seedA].rect
+	rectB := entries[seedB].rect
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach minEntries, do so.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA = rectA.Enlarged(e.rect, t.dims)
+			}
+			rest = nil
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB = rectB.Enlarged(e.rect, t.dims)
+			}
+			rest = nil
+			break
+		}
+		// PickNext: entry with maximum preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := rectA.EnlargementArea(e.rect, t.dims)
+			dB := rectB.EnlargementArea(e.rect, t.dims)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		dA := rectA.EnlargementArea(e.rect, t.dims)
+		dB := rectB.EnlargementArea(e.rect, t.dims)
+		switch {
+		case dA < dB:
+			groupA = append(groupA, e)
+			rectA = rectA.Enlarged(e.rect, t.dims)
+		case dB < dA:
+			groupB = append(groupB, e)
+			rectB = rectB.Enlarged(e.rect, t.dims)
+		case rectA.Area(t.dims) < rectB.Area(t.dims):
+			groupA = append(groupA, e)
+			rectA = rectA.Enlarged(e.rect, t.dims)
+		case len(groupA) <= len(groupB):
+			groupA = append(groupA, e)
+			rectA = rectA.Enlarged(e.rect, t.dims)
+		default:
+			groupB = append(groupB, e)
+			rectB = rectB.Enlarged(e.rect, t.dims)
+		}
+	}
+
+	n.entries = groupA
+	n.epoch = minEpoch(n)
+	sib := &node{leaf: n.leaf, entries: groupB}
+	sib.epoch = minEpoch(sib)
+	return sib
+}
+
+// pickSeeds returns the two entries wasting the most area if grouped
+// together (Guttman's quadratic PickSeeds).
+func (t *T) pickSeeds(entries []entry) (int, int) {
+	a, b, worst := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].rect.Enlarged(entries[j].rect, t.dims).Area(t.dims) -
+				entries[i].rect.Area(t.dims) - entries[j].rect.Area(t.dims)
+			if waste > worst {
+				a, b, worst = i, j, waste
+			}
+		}
+	}
+	return a, b
+}
+
+// Delete removes one entry with the given id located at p. It reports
+// whether an entry was found and removed.
+func (t *T) Delete(id int64, p geom.Vec) bool {
+	leaf, idx := t.findLeaf(t.root, id, p)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	leaf.epoch = minEpoch(leaf)
+	t.condense(leaf, p)
+	t.size--
+	// Shrink the root while it is an internal node with a single child, and
+	// reset to an empty leaf if everything was orphaned away.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	return true
+}
+
+// findLeaf locates the leaf containing (id, p), returning the leaf and entry
+// index, or (nil, 0) if absent.
+func (t *T) findLeaf(n *node, id int64, p geom.Vec) (*node, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id && e.rect.Min == p {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(p, t.dims) {
+			if leaf, idx := t.findLeaf(e.child, id, p); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, 0
+}
+
+// condense walks from the root to the leaf that lost an entry, removing
+// underfull nodes and reinserting the points of their subtrees, and
+// tightening bounding rectangles along the path (Guttman's CondenseTree,
+// with orphaned subtrees reinserted as points for simplicity).
+func (t *T) condense(target *node, p geom.Vec) {
+	var orphans []entry
+	t.condenseRec(t.root, target, p, &orphans)
+	// Orphaned points were never subtracted from t.size, and t.insert does
+	// not add to it, so reinsertion keeps the count consistent.
+	for _, e := range orphans {
+		split := t.insert(t.root, e)
+		if split != nil {
+			t.growRoot(split)
+		}
+	}
+}
+
+// condenseRec returns true if the subtree rooted at n contains target (so
+// ancestors adjust rects) and prunes underfull children, collecting their
+// point entries into orphans.
+func (t *T) condenseRec(n *node, target *node, p geom.Vec, orphans *[]entry) bool {
+	if n == target {
+		return true
+	}
+	if n.leaf {
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Contains(p, t.dims) {
+			continue
+		}
+		if !t.condenseRec(e.child, target, p, orphans) {
+			continue
+		}
+		child := e.child
+		if len(child.entries) < t.minEntries {
+			collectLeafEntries(child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.rect = nodeRect(child, t.dims)
+			e.epoch = child.epoch
+		}
+		n.epoch = minEpoch(n)
+		return true
+	}
+	return false
+}
+
+func (t *T) growRoot(split *node) {
+	oldRoot := t.root
+	t.root = &node{
+		leaf: false,
+		entries: []entry{
+			{rect: nodeRect(oldRoot, t.dims), child: oldRoot, epoch: oldRoot.epoch},
+			{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch},
+		},
+	}
+	t.root.epoch = minEpoch(t.root)
+}
+
+func collectLeafEntries(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectLeafEntries(e.child, out)
+	}
+}
+
+func nodeRect(n *node, dims int) geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Enlarged(e.rect, dims)
+	}
+	return r
+}
+
+func minEpoch(n *node) uint64 {
+	if len(n.entries) == 0 {
+		return 0
+	}
+	m := n.entries[0].epoch
+	for _, e := range n.entries[1:] {
+		if e.epoch < m {
+			m = e.epoch
+		}
+	}
+	return m
+}
+
+// SearchBall visits every indexed point within distance eps of c. The
+// callback returns false to stop the search early; SearchBall reports
+// whether the traversal ran to completion.
+func (t *T) SearchBall(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool {
+	t.stats.RangeSearches++
+	return t.searchBall(t.root, c, eps, fn)
+}
+
+func (t *T) searchBall(n *node, c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool {
+	t.stats.NodeAccesses++
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.IntersectsBall(c, t.dims, eps) {
+			continue
+		}
+		if n.leaf {
+			if geom.WithinEps(e.rect.Min, c, t.dims, eps) {
+				if !fn(e.id, e.rect.Min) {
+					return false
+				}
+			}
+		} else if !t.searchBall(e.child, c, eps, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchRect visits every indexed point inside rectangle r.
+func (t *T) SearchRect(r geom.Rect, fn func(id int64, p geom.Vec) bool) bool {
+	t.stats.RangeSearches++
+	return t.searchRect(t.root, r, fn)
+}
+
+func (t *T) searchRect(n *node, r geom.Rect, fn func(id int64, p geom.Vec) bool) bool {
+	t.stats.NodeAccesses++
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(r, t.dims) {
+			continue
+		}
+		if n.leaf {
+			if r.Contains(e.rect.Min, t.dims) {
+				if !fn(e.id, e.rect.Min) {
+					return false
+				}
+			}
+		} else if !t.searchRect(e.child, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchBallEpoch is the epoch-probed range search of DISC (Algorithm 4).
+// It visits every point within eps of c whose epoch is strictly below tick,
+// pruning any entry or subtree already stamped with tick. For each visited
+// point the callback decides, by returning true, whether to stamp the
+// point's leaf entry with tick, hiding it from subsequent searches that use
+// the same tick. On backtracking, node and parent-entry epochs are updated
+// to the minimum of their children, as in the paper.
+func (t *T) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(id int64, p geom.Vec) bool) {
+	t.stats.RangeSearches++
+	t.searchBallEpoch(t.root, c, eps, tick, fn)
+}
+
+// searchBallEpoch reports whether any epoch under n changed, so ancestors
+// recompute their minima only along paths where stamping actually happened.
+func (t *T) searchBallEpoch(n *node, c geom.Vec, eps float64, tick uint64, fn func(id int64, p geom.Vec) bool) bool {
+	t.stats.NodeAccesses++
+	changed := false
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.epoch >= tick || !e.rect.IntersectsBall(c, t.dims, eps) {
+			continue
+		}
+		if n.leaf {
+			if geom.WithinEps(e.rect.Min, c, t.dims, eps) && fn(e.id, e.rect.Min) {
+				e.epoch = tick
+				changed = true
+			}
+		} else if t.searchBallEpoch(e.child, c, eps, tick, fn) {
+			e.epoch = e.child.epoch
+			changed = true
+		}
+	}
+	if changed {
+		n.epoch = minEpoch(n)
+	}
+	return changed
+}
+
+// StampBall stamps with tick every point within eps of c satisfying pred,
+// without invoking any per-point work. It is used to mark a search center as
+// expanded.
+func (t *T) StampBall(c geom.Vec, eps float64, tick uint64, pred func(id int64) bool) {
+	t.searchBallEpoch(t.root, c, eps, tick, func(id int64, _ geom.Vec) bool { return pred(id) })
+}
+
+// Depth returns the height of the tree (1 for a lone leaf root).
+func (t *T) Depth() int { return t.height(t.root) + 1 }
+
+// checkInvariants validates structural invariants; used by tests.
+func (t *T) checkInvariants() error {
+	return t.check(t.root, true)
+}
+
+func (t *T) check(n *node, isRoot bool) error {
+	if !isRoot && (len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries) {
+		return fmt.Errorf("node fill %d outside [%d,%d]", len(n.entries), t.minEntries, t.maxEntries)
+	}
+	if len(n.entries) > 0 && n.epoch != minEpoch(n) {
+		return fmt.Errorf("node epoch %d != min entry epoch %d", n.epoch, minEpoch(n))
+	}
+	if n.leaf {
+		return nil
+	}
+	h := -1
+	for _, e := range n.entries {
+		if e.child == nil {
+			return fmt.Errorf("internal entry without child")
+		}
+		if got := nodeRect(e.child, t.dims); !e.rect.ContainsRect(got, t.dims) {
+			return fmt.Errorf("entry rect %+v does not cover child rect %+v", e.rect, got)
+		}
+		if e.epoch != e.child.epoch {
+			return fmt.Errorf("entry epoch %d != child epoch %d", e.epoch, e.child.epoch)
+		}
+		ch := t.height(e.child)
+		if h == -1 {
+			h = ch
+		} else if h != ch {
+			return fmt.Errorf("unbalanced: child heights %d and %d", h, ch)
+		}
+		if err := t.check(e.child, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

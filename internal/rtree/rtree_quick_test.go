@@ -1,0 +1,132 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disc/internal/geom"
+)
+
+// opScript is a generated sequence of tree operations; quick drives random
+// scripts and the property re-validates tree contents and invariants after
+// each one.
+type opScript struct {
+	Seed int64
+	N    uint8 // operations, scaled up
+}
+
+// Property: after any random sequence of insert/delete operations, the tree
+// matches a brute-force set and all structural invariants hold.
+func TestRandomOpScriptProperty(t *testing.T) {
+	f := func(s opScript) bool {
+		rng := rand.New(rand.NewSource(s.Seed))
+		nOps := int(s.N)*4 + 10
+		tr := New(2)
+		bf := newBrute(2)
+		live := make(map[int64]geom.Vec)
+		var next int64
+		for i := 0; i < nOps; i++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.65:
+				p := randVec(rng, 2, 64)
+				tr.Insert(next, p)
+				bf.insert(next, p)
+				live[next] = p
+				next++
+			default:
+				var id int64
+				for id = range live {
+					break
+				}
+				if !tr.Delete(id, live[id]) {
+					return false
+				}
+				bf.delete(id)
+				delete(live, id)
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			c := randVec(rng, 2, 64)
+			eps := rng.Float64() * 12
+			if !equalIDs(collectBall(tr, c, eps), bf.searchBall(c, eps)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a bulk-loaded tree and an insert-built tree over the same points
+// answer every ball query identically.
+func TestBulkLoadEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)*8 + 1
+		ids := make([]int64, n)
+		pos := make([]geom.Vec, n)
+		inc := New(3)
+		for i := 0; i < n; i++ {
+			ids[i] = int64(i)
+			pos[i] = randVec(rng, 3, 40)
+			inc.Insert(ids[i], pos[i])
+		}
+		bulk := New(3)
+		bulk.BulkLoad(ids, pos)
+		if err := bulk.checkInvariants(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			c := randVec(rng, 3, 40)
+			eps := rng.Float64() * 10
+			if !equalIDs(collectBall(bulk, c, eps), collectBall(inc, c, eps)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KNN(k) of a tree equals the k smallest ball-search distances,
+// for any k and any query point.
+func TestKNNConsistentWithBallProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(2)
+	for i := int64(0); i < 800; i++ {
+		tr.Insert(i, randVec(rng, 2, 50))
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw)%30 + 1
+		c := randVec(r, 2, 50)
+		nn := tr.KNN(c, k)
+		if len(nn) != k {
+			return false
+		}
+		// The ball of radius = k-th distance must contain at least k points,
+		// and any strictly smaller ball fewer than k.
+		rk := nn[len(nn)-1].Dist2
+		within := 0
+		// Nudge the radius one ulp up: squaring the square root can round
+		// just below the true k-th distance.
+		radius := math.Nextafter(math.Sqrt(rk), math.Inf(1))
+		tr.SearchBall(c, radius, func(int64, geom.Vec) bool { within++; return true })
+		return within >= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,408 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"disc/internal/geom"
+)
+
+// brute is a reference implementation: a flat slice scanned linearly.
+type brute struct {
+	dims int
+	pts  map[int64]geom.Vec
+}
+
+func newBrute(dims int) *brute { return &brute{dims: dims, pts: make(map[int64]geom.Vec)} }
+
+func (b *brute) insert(id int64, p geom.Vec) { b.pts[id] = p }
+func (b *brute) delete(id int64)             { delete(b.pts, id) }
+
+func (b *brute) searchBall(c geom.Vec, eps float64) []int64 {
+	var out []int64
+	for id, p := range b.pts {
+		if geom.WithinEps(p, c, b.dims, eps) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectBall(t *T, c geom.Vec, eps float64) []int64 {
+	var out []int64
+	t.SearchBall(c, eps, func(id int64, _ geom.Vec) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randVec(rng *rand.Rand, dims int, scale float64) geom.Vec {
+	var v geom.Vec
+	for i := 0; i < dims; i++ {
+		v[i] = rng.Float64() * scale
+	}
+	return v
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if got := collectBall(tr, geom.NewVec(0, 0), 10); len(got) != 0 {
+		t.Fatalf("search on empty tree returned %v", got)
+	}
+	if tr.Delete(1, geom.NewVec(0, 0)) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New(2)
+	tr.Insert(1, geom.NewVec(0, 0))
+	tr.Insert(2, geom.NewVec(1, 0))
+	tr.Insert(3, geom.NewVec(5, 5))
+	got := collectBall(tr, geom.NewVec(0, 0), 1.5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("search = %v, want [1 2]", got)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	tr := New(2)
+	p := geom.NewVec(1, 1)
+	for id := int64(0); id < 100; id++ {
+		tr.Insert(id, p)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	got := collectBall(tr, p, 0)
+	if len(got) != 100 {
+		t.Fatalf("found %d duplicates, want 100", len(got))
+	}
+	for id := int64(0); id < 100; id++ {
+		if !tr.Delete(id, p) {
+			t.Fatalf("Delete(%d) failed", id)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deletes = %d, want 0", tr.Len())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(dims) * 101))
+		tr := New(dims)
+		bf := newBrute(dims)
+		for id := int64(0); id < 2000; id++ {
+			p := randVec(rng, dims, 100)
+			tr.Insert(id, p)
+			bf.insert(id, p)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		for i := 0; i < 200; i++ {
+			c := randVec(rng, dims, 100)
+			eps := rng.Float64() * 20
+			got := collectBall(tr, c, eps)
+			want := bf.searchBall(c, eps)
+			if !equalIDs(got, want) {
+				t.Fatalf("dims=%d search mismatch: got %d ids, want %d", dims, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestInsertDeleteInterleavedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New(2)
+	bf := newBrute(2)
+	live := make(map[int64]geom.Vec)
+	var nextID int64
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			p := randVec(rng, 2, 50)
+			tr.Insert(nextID, p)
+			bf.insert(nextID, p)
+			live[nextID] = p
+			nextID++
+		} else {
+			// Delete a random live id.
+			var id int64
+			for id = range live {
+				break
+			}
+			p := live[id]
+			if !tr.Delete(id, p) {
+				t.Fatalf("step %d: Delete(%d) failed", step, id)
+			}
+			bf.delete(id)
+			delete(live, id)
+		}
+		if step%500 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: Len=%d, want %d", step, tr.Len(), len(live))
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c := randVec(rng, 2, 50)
+		eps := rng.Float64() * 10
+		if got, want := collectBall(tr, c, eps), bf.searchBall(c, eps); !equalIDs(got, want) {
+			t.Fatalf("post-churn search mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSearchRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(2)
+	bf := newBrute(2)
+	for id := int64(0); id < 1000; id++ {
+		p := randVec(rng, 2, 100)
+		tr.Insert(id, p)
+		bf.insert(id, p)
+	}
+	for i := 0; i < 100; i++ {
+		lo := randVec(rng, 2, 90)
+		r := geom.Rect{Min: lo, Max: geom.NewVec(lo[0]+rng.Float64()*20, lo[1]+rng.Float64()*20)}
+		var got []int64
+		tr.SearchRect(r, func(id int64, _ geom.Vec) bool { got = append(got, id); return true })
+		var want []int64
+		for id, p := range bf.pts {
+			if r.Contains(p, 2) {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if !equalIDs(got, want) {
+			t.Fatalf("rect search mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(2)
+	for id := int64(0); id < 100; id++ {
+		tr.Insert(id, geom.NewVec(float64(id%10), float64(id/10)))
+	}
+	count := 0
+	completed := tr.SearchBall(geom.NewVec(5, 5), 100, func(int64, geom.Vec) bool {
+		count++
+		return count < 5
+	})
+	if completed {
+		t.Error("search should report early termination")
+	}
+	if count != 5 {
+		t.Errorf("callback ran %d times, want 5", count)
+	}
+}
+
+// TestEpochSearchEquivalence: an epoch search that stamps nothing must see
+// exactly what a plain search sees; stamped points must vanish for the same
+// tick but reappear under a fresh tick.
+func TestEpochSearchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := New(3)
+	bf := newBrute(3)
+	for id := int64(0); id < 3000; id++ {
+		p := randVec(rng, 3, 100)
+		tr.Insert(id, p)
+		bf.insert(id, p)
+	}
+	for i := 0; i < 50; i++ {
+		c := randVec(rng, 3, 100)
+		eps := 5 + rng.Float64()*10
+		tick := tr.NextTick()
+
+		var seen []int64
+		tr.SearchBallEpoch(c, eps, tick, func(id int64, _ geom.Vec) bool {
+			seen = append(seen, id)
+			return false // no stamping
+		})
+		sort.Slice(seen, func(a, b int) bool { return seen[a] < seen[b] })
+		if want := bf.searchBall(c, eps); !equalIDs(seen, want) {
+			t.Fatalf("epoch search (no stamping) mismatch: got %d want %d", len(seen), len(want))
+		}
+
+		// Stamp everything, same tick: second search must be empty.
+		tr.SearchBallEpoch(c, eps, tick, func(int64, geom.Vec) bool { return true })
+		empty := true
+		tr.SearchBallEpoch(c, eps, tick, func(int64, geom.Vec) bool { empty = false; return false })
+		if !empty {
+			t.Fatal("points remained visible after stamping with same tick")
+		}
+
+		// Fresh tick: everything visible again with zero reset work.
+		tick2 := tr.NextTick()
+		var again []int64
+		tr.SearchBallEpoch(c, eps, tick2, func(id int64, _ geom.Vec) bool {
+			again = append(again, id)
+			return false
+		})
+		sort.Slice(again, func(a, b int) bool { return again[a] < again[b] })
+		if want := bf.searchBall(c, eps); !equalIDs(again, want) {
+			t.Fatal("fresh tick did not resurrect stamped points")
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochPartialStamp: selective stamping hides only the stamped subset.
+func TestEpochPartialStamp(t *testing.T) {
+	tr := New(2)
+	for id := int64(0); id < 500; id++ {
+		tr.Insert(id, geom.NewVec(float64(id%25), float64(id/25)))
+	}
+	tick := tr.NextTick()
+	c := geom.NewVec(12, 10)
+	// Stamp even ids only.
+	tr.SearchBallEpoch(c, 30, tick, func(id int64, _ geom.Vec) bool { return id%2 == 0 })
+	var visible []int64
+	tr.SearchBallEpoch(c, 30, tick, func(id int64, _ geom.Vec) bool {
+		visible = append(visible, id)
+		return false
+	})
+	for _, id := range visible {
+		if id%2 == 0 {
+			t.Fatalf("stamped id %d still visible", id)
+		}
+	}
+	if len(visible) != 250 {
+		t.Fatalf("visible = %d, want 250 odd ids", len(visible))
+	}
+}
+
+// TestEpochSurvivesStructuralChange: inserts after stamping must be visible
+// under the same tick (fresh entries carry epoch 0).
+func TestEpochSurvivesStructuralChange(t *testing.T) {
+	tr := New(2)
+	for id := int64(0); id < 200; id++ {
+		tr.Insert(id, geom.NewVec(float64(id), 0))
+	}
+	tick := tr.NextTick()
+	tr.SearchBallEpoch(geom.NewVec(100, 0), 300, tick, func(int64, geom.Vec) bool { return true })
+	tr.Insert(1000, geom.NewVec(50, 0))
+	found := false
+	tr.SearchBallEpoch(geom.NewVec(50, 0), 1, tick, func(id int64, _ geom.Vec) bool {
+		if id == 1000 {
+			found = true
+		}
+		return false
+	})
+	if !found {
+		t.Fatal("entry inserted after stamping is invisible to the same tick")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tr := New(2)
+	for id := int64(0); id < 100; id++ {
+		tr.Insert(id, geom.NewVec(float64(id), float64(id)))
+	}
+	tr.ResetStats()
+	tr.SearchBall(geom.NewVec(50, 50), 5, func(int64, geom.Vec) bool { return true })
+	s := tr.Stats()
+	if s.RangeSearches != 1 {
+		t.Errorf("RangeSearches = %d, want 1", s.RangeSearches)
+	}
+	if s.NodeAccesses < 1 {
+		t.Errorf("NodeAccesses = %d, want >= 1", s.NodeAccesses)
+	}
+	tr.ResetStats()
+	if tr.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestDeleteMissingPoint(t *testing.T) {
+	tr := New(2)
+	tr.Insert(1, geom.NewVec(1, 1))
+	if tr.Delete(1, geom.NewVec(2, 2)) {
+		t.Error("Delete with wrong coordinates must fail")
+	}
+	if tr.Delete(2, geom.NewVec(1, 1)) {
+		t.Error("Delete with wrong id must fail")
+	}
+	if !tr.Delete(1, geom.NewVec(1, 1)) {
+		t.Error("Delete with exact match must succeed")
+	}
+}
+
+func TestNextTickMonotonic(t *testing.T) {
+	tr := New(2)
+	prev := tr.NextTick()
+	for i := 0; i < 100; i++ {
+		next := tr.NextTick()
+		if next <= prev {
+			t.Fatalf("tick not strictly increasing: %d then %d", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestInvalidDims(t *testing.T) {
+	for _, d := range []int{0, -1, geom.MaxDims + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), randVec(rng, 2, 1000))
+	}
+}
+
+func BenchmarkSearchBall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(2)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(int64(i), randVec(rng, 2, 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SearchBall(randVec(rng, 2, 1000), 10, func(int64, geom.Vec) bool { return true })
+	}
+}

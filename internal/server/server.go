@@ -1,0 +1,363 @@
+// Package server provides an HTTP facade over a DISC engine: a minimal
+// stream-clustering service that ingests points, advances a count-based
+// sliding window, and answers cluster queries — the shape in which a
+// monitoring deployment (the paper's traffic scenario) would consume the
+// library. Everything is stdlib net/http; state is guarded by one mutex,
+// matching the single-writer nature of the engine.
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"disc/internal/core"
+	"disc/internal/geom"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+// Config configures the service.
+type Config struct {
+	Cluster model.Config
+	Window  int // sliding-window extent in points
+	Stride  int // points per window advance
+	// EventLog bounds the in-memory cluster-evolution event ring; 0 keeps
+	// the default of 1024.
+	EventLog int
+}
+
+// Server is the HTTP handler set. Create with New, mount via Handler.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	eng      *core.Engine
+	slider   *window.CountSlider
+	events   []eventRecord
+	eventSeq uint64
+	ingested uint64
+}
+
+type eventRecord struct {
+	Seq     uint64 `json:"seq"`
+	Stride  uint64 `json:"stride"`
+	Type    string `json:"type"`
+	Cluster int    `json:"cluster"`
+	// Extra carries merged-away or split-off cluster ids when applicable.
+	Extra []int `json:"extra,omitempty"`
+	Cores int   `json:"cores"`
+}
+
+// New returns a service around a fresh DISC engine.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	slider, err := window.NewCountSlider(cfg.Window, cfg.Stride)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EventLog <= 0 {
+		cfg.EventLog = 1024
+	}
+	s := &Server{cfg: cfg, slider: slider}
+	s.eng = core.New(cfg.Cluster, core.WithEventHandler(s.recordEvent))
+	return s, nil
+}
+
+func (s *Server) recordEvent(ev core.Event) {
+	s.eventSeq++
+	rec := eventRecord{
+		Seq:     s.eventSeq,
+		Stride:  ev.Stride,
+		Type:    ev.Type.String(),
+		Cluster: ev.ClusterID,
+		Cores:   ev.Cores,
+	}
+	switch ev.Type {
+	case core.Merger:
+		rec.Extra = ev.Absorbed
+	case core.Split:
+		rec.Extra = ev.NewClusters
+	}
+	s.events = append(s.events, rec)
+	if len(s.events) > s.cfg.EventLog {
+		s.events = s.events[len(s.events)-s.cfg.EventLog:]
+	}
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /clusters", s.handleClusters)
+	mux.HandleFunc("GET /points/{id}", s.handlePoint)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /checkpoint", s.handleCheckpointSave)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpointLoad)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// checkpointEnvelope carries the engine snapshot plus the service's own
+// stream position: the window contents in arrival order (pending partial
+// strides are dropped — checkpoints represent the last stride boundary).
+type checkpointEnvelope struct {
+	Engine   []byte
+	Window   []model.Point
+	Ingested uint64
+	EventSeq uint64
+}
+
+// handleCheckpointSave streams a binary service checkpoint.
+func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	var engBuf bytes.Buffer
+	err := s.eng.SaveSnapshot(&engBuf)
+	env := checkpointEnvelope{
+		Engine:   engBuf.Bytes(),
+		Window:   append([]model.Point(nil), s.slider.Window()...),
+		Ingested: s.ingested,
+		EventSeq: s.eventSeq,
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleCheckpointLoad replaces the engine and stream position with the
+// posted checkpoint; ingestion then resumes exactly where the checkpoint
+// was taken.
+func (s *Server) handleCheckpointLoad(w http.ResponseWriter, r *http.Request) {
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	eng, err := core.LoadEngine(bytes.NewReader(env.Engine), core.WithEventHandler(s.recordEvent))
+	if err != nil {
+		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	slider, err := window.NewCountSlider(s.cfg.Window, s.cfg.Stride)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := slider.RestoreWindow(env.Window); err != nil {
+		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng = eng
+	s.slider = slider
+	s.ingested = env.Ingested
+	s.eventSeq = env.EventSeq
+	s.events = nil
+	writeJSON(w, map[string]any{"restored": eng.WindowSize()})
+}
+
+// ingestPoint is the wire form of one point.
+type ingestPoint struct {
+	ID     int64     `json:"id"`
+	Time   int64     `json:"time"`
+	Coords []float64 `json:"coords"`
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Strides  uint64 `json:"strides"`
+	Window   int    `json:"window"`
+}
+
+// handleIngest accepts a JSON array of points (or a single object) and
+// pushes them through the sliding window, advancing the engine whenever a
+// stride completes.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var batch []ingestPoint
+	// Accept either a JSON array or a single object.
+	if err := dec.Decode(&batch); err != nil {
+		http.Error(w, "body must be a JSON array of {id,time,coords}: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ip := range batch {
+		if len(ip.Coords) != s.cfg.Cluster.Dims {
+			http.Error(w, fmt.Sprintf("point %d: got %d coords, want %d", i, len(ip.Coords), s.cfg.Cluster.Dims), http.StatusBadRequest)
+			return
+		}
+		p := model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
+		if step := s.slider.Push(p); step != nil {
+			if err := s.safeAdvance(step); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+		}
+		s.ingested++
+	}
+	writeJSON(w, ingestResponse{
+		Accepted: len(batch),
+		Strides:  uint64(s.eng.Stats().Strides),
+		Window:   s.eng.WindowSize(),
+	})
+}
+
+// safeAdvance converts engine protocol panics (duplicate ids and the like)
+// into HTTP-reportable errors rather than crashing the service.
+func (s *Server) safeAdvance(step *window.Step) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rejected: %v", r)
+		}
+	}()
+	s.eng.Advance(step.In, step.Out)
+	return nil
+}
+
+type clusterSummary struct {
+	ID      int `json:"id"`
+	Size    int `json:"size"`
+	Cores   int `json:"cores"`
+	Borders int `json:"borders"`
+}
+
+type clustersResponse struct {
+	Strides  uint64           `json:"strides"`
+	Window   int              `json:"window"`
+	Noise    int              `json:"noise"`
+	Clusters []clusterSummary `json:"clusters"`
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	strides := uint64(s.eng.Stats().Strides)
+	s.mu.Unlock()
+	byID := map[int]*clusterSummary{}
+	noise := 0
+	for _, a := range snap {
+		if a.ClusterID == model.NoCluster {
+			noise++
+			continue
+		}
+		cs := byID[a.ClusterID]
+		if cs == nil {
+			cs = &clusterSummary{ID: a.ClusterID}
+			byID[a.ClusterID] = cs
+		}
+		cs.Size++
+		if a.Label == model.Core {
+			cs.Cores++
+		} else {
+			cs.Borders++
+		}
+	}
+	resp := clustersResponse{Strides: strides, Window: len(snap), Noise: noise}
+	for _, cs := range byID {
+		resp.Clusters = append(resp.Clusters, *cs)
+	}
+	sort.Slice(resp.Clusters, func(i, j int) bool {
+		if resp.Clusters[i].Size != resp.Clusters[j].Size {
+			return resp.Clusters[i].Size > resp.Clusters[j].Size
+		}
+		return resp.Clusters[i].ID < resp.Clusters[j].ID
+	})
+	writeJSON(w, resp)
+}
+
+type pointResponse struct {
+	ID      int64  `json:"id"`
+	Label   string `json:"label"`
+	Cluster int    `json:"cluster"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(strings.TrimSpace(r.PathValue("id")), 10, 64)
+	if err != nil {
+		http.Error(w, "bad point id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	a, ok := s.eng.Assignment(id)
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "point not in the current window", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, pointResponse{ID: id, Label: a.Label.String(), Cluster: a.ClusterID})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	s.mu.Lock()
+	var out []eventRecord
+	for _, ev := range s.events {
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+type statsResponse struct {
+	Config    model.Config `json:"config"`
+	Window    int          `json:"windowExtent"`
+	Stride    int          `json:"stride"`
+	Ingested  uint64       `json:"ingested"`
+	Resident  int          `json:"resident"`
+	Stats     model.Stats  `json:"stats"`
+	EventSeq  uint64       `json:"eventSeq"`
+	EventKept int          `json:"eventKept"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := statsResponse{
+		Config:    s.cfg.Cluster,
+		Window:    s.cfg.Window,
+		Stride:    s.cfg.Stride,
+		Ingested:  s.ingested,
+		Resident:  s.eng.WindowSize(),
+		Stats:     s.eng.Stats(),
+		EventSeq:  s.eventSeq,
+		EventKept: len(s.events),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

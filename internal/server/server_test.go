@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"disc/internal/model"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	s, err := New(Config{
+		Cluster: model.Config{Dims: 2, Eps: 2, MinPts: 4},
+		Window:  200,
+		Stride:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func postPoints(t *testing.T, ts *httptest.Server, pts []ingestPoint) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(pts)
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func clusteredBatch(rng *rand.Rand, idBase int64, n int) []ingestPoint {
+	out := make([]ingestPoint, n)
+	for i := range out {
+		c := float64(rng.Intn(2)) * 20
+		out[i] = ingestPoint{
+			ID:     idBase + int64(i),
+			Time:   idBase + int64(i),
+			Coords: []float64{c + rng.NormFloat64(), c + rng.NormFloat64()},
+		}
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestIngestAndClusters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(1))
+	resp := postPoints(t, ts, clusteredBatch(rng, 0, 400))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var ir ingestResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if ir.Accepted != 400 || ir.Strides == 0 {
+		t.Fatalf("ingest response %+v", ir)
+	}
+
+	var cr clustersResponse
+	getJSON(t, ts.URL+"/clusters", &cr)
+	if cr.Window != 200 {
+		t.Fatalf("window %d, want 200", cr.Window)
+	}
+	if len(cr.Clusters) < 2 {
+		t.Fatalf("found %d clusters, want >= 2", len(cr.Clusters))
+	}
+	total := cr.Noise
+	for _, c := range cr.Clusters {
+		total += c.Size
+		if c.Size != c.Cores+c.Borders {
+			t.Fatalf("cluster %d: size %d != cores %d + borders %d", c.ID, c.Size, c.Cores, c.Borders)
+		}
+	}
+	if total != cr.Window {
+		t.Fatalf("sizes sum to %d, window %d", total, cr.Window)
+	}
+}
+
+func TestPointLookup(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(2))
+	postPoints(t, ts, clusteredBatch(rng, 0, 250)).Body.Close()
+
+	// The newest points are certainly in the window.
+	var pr pointResponse
+	resp := getJSON(t, fmt.Sprintf("%s/points/%d", ts.URL, 249), &pr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if pr.ID != 249 || pr.Label == "" {
+		t.Fatalf("point response %+v", pr)
+	}
+	// Expired or unknown points are 404.
+	if resp := getJSON(t, ts.URL+"/points/0", new(pointResponse)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired point status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/points/abc", new(pointResponse)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(3))
+	postPoints(t, ts, clusteredBatch(rng, 0, 400)).Body.Close()
+
+	var evs []eventRecord
+	getJSON(t, ts.URL+"/events", &evs)
+	if len(evs) == 0 {
+		t.Fatal("no events after clustered ingest")
+	}
+	foundEmergence := false
+	for _, ev := range evs {
+		if ev.Type == "emergence" {
+			foundEmergence = true
+		}
+		if ev.Seq == 0 {
+			t.Fatal("event without sequence number")
+		}
+	}
+	if !foundEmergence {
+		t.Fatalf("no emergence among %d events", len(evs))
+	}
+	// since= filters.
+	last := evs[len(evs)-1].Seq
+	var tail []eventRecord
+	getJSON(t, fmt.Sprintf("%s/events?since=%d", ts.URL, last), &tail)
+	if len(tail) != 0 {
+		t.Fatalf("since=%d returned %d events", last, len(tail))
+	}
+	if resp := getJSON(t, ts.URL+"/events?since=x", &tail); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("bad since accepted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(4))
+	postPoints(t, ts, clusteredBatch(rng, 0, 300)).Body.Close()
+	var sr statsResponse
+	getJSON(t, ts.URL+"/stats", &sr)
+	if sr.Ingested != 300 || sr.Resident != 200 {
+		t.Fatalf("stats %+v", sr)
+	}
+	if sr.Stats.RangeSearches == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Wrong dimensionality.
+	resp := postPoints(t, ts, []ingestPoint{{ID: 1, Coords: []float64{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("3-coord point accepted: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Not JSON.
+	r2, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte("nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage accepted: %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+}
+
+func TestDuplicateIDRejectedNotFatal(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(5))
+	postPoints(t, ts, clusteredBatch(rng, 0, 200)).Body.Close()
+	// Re-sending ids still in the window triggers the engine's duplicate
+	// protection; the server must answer 409, not crash.
+	resp := postPoints(t, ts, clusteredBatch(rng, 100, 200))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ingest status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// And the service must still be healthy.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatal("service unhealthy after rejected batch")
+	}
+	hz.Body.Close()
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	resp.Body.Close()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Cluster: model.Config{}, Window: 10, Stride: 5}); err == nil {
+		t.Error("invalid cluster config accepted")
+	}
+	if _, err := New(Config{Cluster: model.Config{Dims: 2, Eps: 1, MinPts: 2}, Window: 5, Stride: 10}); err == nil {
+		t.Error("stride > window accepted")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(6))
+	postPoints(t, ts, clusteredBatch(rng, 0, 300)).Body.Close()
+
+	// Snapshot the service.
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(blob) == 0 {
+		t.Fatalf("checkpoint save: status %d, %d bytes", resp.StatusCode, len(blob))
+	}
+	var before clustersResponse
+	getJSON(t, ts.URL+"/clusters", &before)
+
+	// Fresh server restores from the checkpoint and continues the stream.
+	ts2, _ := newTestServer(t)
+	r2, err := http.Post(ts2.URL+"/checkpoint", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(r2.Body)
+		t.Fatalf("checkpoint load: status %d: %s", r2.StatusCode, body)
+	}
+	r2.Body.Close()
+	var after clustersResponse
+	getJSON(t, ts2.URL+"/clusters", &after)
+	if after.Window != before.Window || len(after.Clusters) != len(before.Clusters) {
+		t.Fatalf("restored census differs: %+v vs %+v", after, before)
+	}
+	// Resume ingestion exactly where the checkpoint left off.
+	resp3 := postPoints(t, ts2, clusteredBatch(rng, 300, 200))
+	if resp3.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp3.Body)
+		t.Fatalf("resume ingest: status %d: %s", resp3.StatusCode, body)
+	}
+	resp3.Body.Close()
+	var sr statsResponse
+	getJSON(t, ts2.URL+"/stats", &sr)
+	if sr.Ingested != 500 {
+		t.Fatalf("ingested = %d, want 500 (300 pre-checkpoint + 200 resumed)", sr.Ingested)
+	}
+}
+
+func TestCheckpointLoadRejectsGarbage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	r, err := http.Post(ts.URL+"/checkpoint", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage checkpoint: status %d, want 400", r.StatusCode)
+	}
+}

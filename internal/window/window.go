@@ -1,0 +1,189 @@
+// Package window implements the sliding-window model of stream processing
+// used throughout the DISC paper: a window of fixed extent anchored at the
+// newest data, advancing in strides. Both count-based windows (extent and
+// stride measured in points) and time-based windows (measured in timestamp
+// units) are provided; the clustering engines are agnostic to which is used,
+// exactly as §II-B of the paper requires.
+package window
+
+import (
+	"fmt"
+
+	"disc/internal/model"
+)
+
+// Step is one window advance: Out lists points leaving the window, In points
+// entering it. For the first step Out is empty and In is the initial window
+// fill.
+type Step struct {
+	In, Out []model.Point
+	// Window is the full content of the window after this step, in arrival
+	// order. It aliases the slider's internal storage and is only valid
+	// until the next step.
+	Window []model.Point
+}
+
+// CountSlider produces steps for a count-based sliding window over a stream
+// of points delivered via Push. The window holds exactly `window` points
+// (once warm) and advances whenever `stride` new points have accumulated.
+type CountSlider struct {
+	window, stride int
+	buf            []model.Point // current window contents, arrival order
+	pending        []model.Point
+	warm           bool
+}
+
+// NewCountSlider returns a slider for a count-based window. stride must not
+// exceed window; both must be positive.
+func NewCountSlider(window, stride int) (*CountSlider, error) {
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("window: extent %d and stride %d must be positive", window, stride)
+	}
+	if stride > window {
+		return nil, fmt.Errorf("window: stride %d exceeds window %d", stride, window)
+	}
+	return &CountSlider{window: window, stride: stride}, nil
+}
+
+// Push adds one point to the stream. It returns a non-nil Step when the
+// arrival completes a stride (or the initial window fill), nil otherwise.
+func (s *CountSlider) Push(p model.Point) *Step {
+	s.pending = append(s.pending, p)
+	if !s.warm {
+		if len(s.pending) < s.window {
+			return nil
+		}
+		s.buf = append(s.buf, s.pending...)
+		s.pending = s.pending[:0]
+		s.warm = true
+		in := make([]model.Point, len(s.buf))
+		copy(in, s.buf)
+		return &Step{In: in, Window: s.buf}
+	}
+	if len(s.pending) < s.stride {
+		return nil
+	}
+	out := make([]model.Point, s.stride)
+	copy(out, s.buf[:s.stride])
+	s.buf = append(s.buf[:0], s.buf[s.stride:]...)
+	in := make([]model.Point, len(s.pending))
+	copy(in, s.pending)
+	s.buf = append(s.buf, in...)
+	s.pending = s.pending[:0]
+	return &Step{In: in, Out: out, Window: s.buf}
+}
+
+// Window returns the current window contents in arrival order (aliased).
+func (s *CountSlider) Window() []model.Point { return s.buf }
+
+// RestoreWindow primes the slider with an already-full window in arrival
+// order (resuming from a checkpoint). Any pending partial stride is
+// discarded. The slice must be empty (reset to cold start) or exactly one
+// window long.
+func (s *CountSlider) RestoreWindow(pts []model.Point) error {
+	if len(pts) != 0 && len(pts) != s.window {
+		return fmt.Errorf("window: restore needs 0 or %d points, got %d", s.window, len(pts))
+	}
+	s.buf = append(s.buf[:0], pts...)
+	s.pending = s.pending[:0]
+	s.warm = len(pts) == s.window
+	return nil
+}
+
+// TimeSlider produces steps for a time-based sliding window: the window
+// covers (t-window, t] where t is the end of the most recent stride
+// boundary, and advances every `stride` timestamp units. Points must be
+// pushed in non-decreasing timestamp order.
+type TimeSlider struct {
+	window, stride int64
+	origin         int64 // timestamp of the first point
+	nextBoundary   int64
+	started        bool
+	buf            []model.Point
+	pending        []model.Point
+}
+
+// NewTimeSlider returns a slider for a time-based window measured in the
+// units of model.Point.Time.
+func NewTimeSlider(window, stride int64) (*TimeSlider, error) {
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("window: extent %d and stride %d must be positive", window, stride)
+	}
+	if stride > window {
+		return nil, fmt.Errorf("window: stride %d exceeds window %d", stride, window)
+	}
+	return &TimeSlider{window: window, stride: stride}, nil
+}
+
+// Push adds one point; it returns a Step when the point's timestamp crosses
+// a stride boundary. The triggering point belongs to the *next* stride, as
+// is conventional: a boundary at time b emits the window (b-window, b].
+func (s *TimeSlider) Push(p model.Point) *Step {
+	if !s.started {
+		s.started = true
+		s.origin = p.Time
+		s.nextBoundary = p.Time + s.window
+	}
+	if p.Time < s.nextBoundary {
+		s.pending = append(s.pending, p)
+		return nil
+	}
+	step := s.emit()
+	s.nextBoundary += s.stride
+	// The triggering point may skip several empty strides.
+	for p.Time >= s.nextBoundary {
+		s.nextBoundary += s.stride
+	}
+	s.pending = append(s.pending, p)
+	return step
+}
+
+// Flush emits a final step covering any pending points; returns nil if
+// nothing is pending.
+func (s *TimeSlider) Flush() *Step {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	s.nextBoundary += s.stride
+	return s.emit()
+}
+
+func (s *TimeSlider) emit() *Step {
+	in := make([]model.Point, len(s.pending))
+	copy(in, s.pending)
+	s.pending = s.pending[:0]
+	lo := s.nextBoundary - s.window // expiry threshold: drop Time < lo ... window covers [lo, boundary)
+	var out []model.Point
+	keep := s.buf[:0]
+	for _, p := range s.buf {
+		if p.Time < lo {
+			out = append(out, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	s.buf = append(keep, in...)
+	return &Step{In: in, Out: out, Window: s.buf}
+}
+
+// Steps slices a finite dataset into count-based window steps: the first
+// step fills the window, each later step advances by stride. Points are
+// taken in slice order (the paper ingests by record timestamp order). The
+// returned steps share backing storage with data; callers must not mutate.
+func Steps(data []model.Point, window, stride int) ([]Step, error) {
+	if window <= 0 || stride <= 0 || stride > window {
+		return nil, fmt.Errorf("window: invalid extent %d / stride %d", window, stride)
+	}
+	if len(data) < window {
+		return nil, fmt.Errorf("window: dataset of %d points smaller than window %d", len(data), window)
+	}
+	steps := []Step{{In: data[:window], Window: data[:window]}}
+	for start := stride; start+window <= len(data); start += stride {
+		steps = append(steps, Step{
+			Out:    data[start-stride : start],
+			In:     data[start+window-stride : start+window],
+			Window: data[start : start+window],
+		})
+	}
+	return steps, nil
+}

@@ -1,0 +1,109 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"disc/internal/model"
+)
+
+// Property: for any (n, window, stride), Steps produces windows that are
+// exactly the sliding view of the data: step k covers data[k*stride :
+// k*stride+window], Out is the prefix that left, In the suffix that
+// arrived, and In/Out transform window k-1 into window k.
+func TestStepsSlidingViewProperty(t *testing.T) {
+	f := func(nRaw, winRaw, strideRaw uint16) bool {
+		n := int(nRaw)%400 + 1
+		win := int(winRaw)%n + 1
+		stride := int(strideRaw)%win + 1
+		data := make([]model.Point, n)
+		for i := range data {
+			data[i] = model.Point{ID: int64(i)}
+		}
+		steps, err := Steps(data, win, stride)
+		if err != nil {
+			return false
+		}
+		for k, st := range steps {
+			start := k * stride
+			if len(st.Window) != win {
+				return false
+			}
+			for i, p := range st.Window {
+				if p.ID != int64(start+i) {
+					return false
+				}
+			}
+			if k == 0 {
+				if len(st.Out) != 0 || len(st.In) != win {
+					return false
+				}
+				continue
+			}
+			if len(st.Out) != stride || len(st.In) != stride {
+				return false
+			}
+			if st.Out[0].ID != int64(start-stride) || st.In[0].ID != int64(start+win-stride) {
+				return false
+			}
+		}
+		// Steps must cover as many slides as fit.
+		wantSteps := 1 + (n-win)/stride
+		return len(steps) == wantSteps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the streaming CountSlider emits exactly the same steps as the
+// batch Steps function for any parameters.
+func TestCountSliderMatchesStepsProperty(t *testing.T) {
+	f := func(nRaw, winRaw, strideRaw uint16) bool {
+		n := int(nRaw)%300 + 1
+		win := int(winRaw)%n + 1
+		stride := int(strideRaw)%win + 1
+		data := make([]model.Point, n)
+		for i := range data {
+			data[i] = model.Point{ID: int64(i)}
+		}
+		want, err := Steps(data, win, stride)
+		if err != nil {
+			return false
+		}
+		s, err := NewCountSlider(win, stride)
+		if err != nil {
+			return false
+		}
+		var got []*Step
+		for _, p := range data {
+			if st := s.Push(p); st != nil {
+				got = append(got, st)
+				// Windows alias internal state; verify immediately.
+				w := want[len(got)-1]
+				if len(st.In) != len(w.In) || len(st.Out) != len(w.Out) || len(st.Window) != len(w.Window) {
+					return false
+				}
+				for i := range st.In {
+					if st.In[i].ID != w.In[i].ID {
+						return false
+					}
+				}
+				for i := range st.Out {
+					if st.Out[i].ID != w.Out[i].ID {
+						return false
+					}
+				}
+				for i := range st.Window {
+					if st.Window[i].ID != w.Window[i].ID {
+						return false
+					}
+				}
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package window
+
+import (
+	"testing"
+
+	"disc/internal/model"
+)
+
+func pts(ids ...int64) []model.Point {
+	out := make([]model.Point, len(ids))
+	for i, id := range ids {
+		out[i] = model.Point{ID: id, Time: id}
+	}
+	return out
+}
+
+func ids(ps []model.Point) []int64 {
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func eq(a []int64, b ...int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCountSliderWarmupAndSlides(t *testing.T) {
+	s, err := NewCountSlider(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []*Step
+	for _, p := range pts(1, 2, 3, 4, 5, 6, 7, 8) {
+		if st := s.Push(p); st != nil {
+			steps = append(steps, st)
+		}
+	}
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps, want 3", len(steps))
+	}
+	if !eq(ids(steps[0].In), 1, 2, 3, 4) || len(steps[0].Out) != 0 {
+		t.Fatalf("warmup step wrong: in=%v out=%v", ids(steps[0].In), ids(steps[0].Out))
+	}
+	if !eq(ids(steps[1].Out), 1, 2) || !eq(ids(steps[1].In), 5, 6) {
+		t.Fatalf("step1 wrong: in=%v out=%v", ids(steps[1].In), ids(steps[1].Out))
+	}
+	if !eq(ids(steps[2].Out), 3, 4) || !eq(ids(steps[2].In), 7, 8) {
+		t.Fatalf("step2 wrong: in=%v out=%v", ids(steps[2].In), ids(steps[2].Out))
+	}
+	if !eq(ids(s.Window()), 5, 6, 7, 8) {
+		t.Fatalf("window = %v", ids(s.Window()))
+	}
+}
+
+func TestCountSliderStrideEqualsWindow(t *testing.T) {
+	s, _ := NewCountSlider(3, 3)
+	var steps []*Step
+	for _, p := range pts(1, 2, 3, 4, 5, 6) {
+		if st := s.Push(p); st != nil {
+			steps = append(steps, st)
+		}
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(steps))
+	}
+	if !eq(ids(steps[1].Out), 1, 2, 3) || !eq(ids(steps[1].In), 4, 5, 6) {
+		t.Fatal("full-window slide wrong")
+	}
+}
+
+func TestCountSliderValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {-1, -1}} {
+		if _, err := NewCountSlider(tc[0], tc[1]); err == nil {
+			t.Errorf("NewCountSlider(%d,%d) accepted", tc[0], tc[1])
+		}
+	}
+}
+
+// Property: In/Out deltas must reconstruct the window exactly.
+func TestCountSliderDeltaInvariant(t *testing.T) {
+	s, _ := NewCountSlider(10, 3)
+	win := map[int64]bool{}
+	for id := int64(0); id < 100; id++ {
+		st := s.Push(model.Point{ID: id})
+		if st == nil {
+			continue
+		}
+		for _, p := range st.Out {
+			if !win[p.ID] {
+				t.Fatalf("out point %d was not in window", p.ID)
+			}
+			delete(win, p.ID)
+		}
+		for _, p := range st.In {
+			if win[p.ID] {
+				t.Fatalf("in point %d already in window", p.ID)
+			}
+			win[p.ID] = true
+		}
+		if len(win) != 10 {
+			t.Fatalf("window size %d after step", len(win))
+		}
+		if len(st.Window) != 10 {
+			t.Fatalf("reported window size %d", len(st.Window))
+		}
+		for _, p := range st.Window {
+			if !win[p.ID] {
+				t.Fatalf("reported window contains stale point %d", p.ID)
+			}
+		}
+	}
+}
+
+func TestTimeSlider(t *testing.T) {
+	s, err := NewTimeSlider(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []*Step
+	// Points at times 0..24.
+	for tm := int64(0); tm < 25; tm++ {
+		if st := s.Push(model.Point{ID: tm, Time: tm}); st != nil {
+			steps = append(steps, st)
+		}
+	}
+	if st := s.Flush(); st != nil {
+		steps = append(steps, st)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("got %d steps, want 4", len(steps))
+	}
+	// First step: initial fill with times 0..9.
+	if !eq(ids(steps[0].In), 0, 1, 2, 3, 4, 5, 6, 7, 8, 9) {
+		t.Fatalf("warmup in = %v", ids(steps[0].In))
+	}
+	// Second step: in 10..14, out 0..4.
+	if !eq(ids(steps[1].In), 10, 11, 12, 13, 14) || !eq(ids(steps[1].Out), 0, 1, 2, 3, 4) {
+		t.Fatalf("step1 in=%v out=%v", ids(steps[1].In), ids(steps[1].Out))
+	}
+}
+
+func TestTimeSliderGap(t *testing.T) {
+	s, _ := NewTimeSlider(10, 5)
+	var steps []*Step
+	for _, tm := range []int64{0, 1, 2, 50, 51} {
+		if st := s.Push(model.Point{ID: tm, Time: tm}); st != nil {
+			steps = append(steps, st)
+		}
+	}
+	if st := s.Flush(); st != nil {
+		steps = append(steps, st)
+	}
+	// After the gap, old points must all have expired.
+	last := steps[len(steps)-1]
+	for _, p := range last.Window {
+		if p.Time < 41 {
+			t.Fatalf("stale point %d survived the gap", p.ID)
+		}
+	}
+}
+
+func TestStepsBatch(t *testing.T) {
+	data := pts(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	steps, err := Steps(data, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(steps))
+	}
+	if !eq(ids(steps[0].In), 1, 2, 3, 4) {
+		t.Fatal("bad initial window")
+	}
+	last := steps[len(steps)-1]
+	if !eq(ids(last.Window), 7, 8, 9, 10) {
+		t.Fatalf("last window = %v", ids(last.Window))
+	}
+	// Each step's In/Out must be consistent with consecutive windows.
+	for i := 1; i < len(steps); i++ {
+		prev := map[int64]bool{}
+		for _, p := range steps[i-1].Window {
+			prev[p.ID] = true
+		}
+		for _, p := range steps[i].Out {
+			if !prev[p.ID] {
+				t.Fatalf("step %d out %d not in previous window", i, p.ID)
+			}
+		}
+	}
+}
+
+func TestStepsErrors(t *testing.T) {
+	data := pts(1, 2, 3)
+	if _, err := Steps(data, 5, 1); err == nil {
+		t.Error("window larger than data accepted")
+	}
+	if _, err := Steps(data, 2, 3); err == nil {
+		t.Error("stride > window accepted")
+	}
+	if _, err := Steps(data, 0, 0); err == nil {
+		t.Error("zero sizes accepted")
+	}
+}
+
+func TestRestoreWindow(t *testing.T) {
+	s, _ := NewCountSlider(4, 2)
+	// Restore a full window; the next two pushes complete a stride.
+	if err := s.RestoreWindow(pts(10, 11, 12, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Push(pts(14)[0]); st != nil {
+		t.Fatal("premature step after restore")
+	}
+	st := s.Push(pts(15)[0])
+	if st == nil {
+		t.Fatal("no step after a full stride post-restore")
+	}
+	if !eq(ids(st.Out), 10, 11) || !eq(ids(st.In), 14, 15) {
+		t.Fatalf("step after restore: in=%v out=%v", ids(st.In), ids(st.Out))
+	}
+	// Restoring empty resets to cold start.
+	if err := s.RestoreWindow(nil); err != nil {
+		t.Fatal(err)
+	}
+	var steps int
+	for _, p := range pts(1, 2, 3, 4) {
+		if s.Push(p) != nil {
+			steps++
+		}
+	}
+	if steps != 1 {
+		t.Fatalf("cold restart warmup steps = %d, want 1", steps)
+	}
+	// Wrong length is rejected.
+	if err := s.RestoreWindow(pts(1, 2)); err == nil {
+		t.Fatal("partial window accepted")
+	}
+}

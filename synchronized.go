@@ -1,0 +1,56 @@
+package disc
+
+import "sync"
+
+// Synchronized wraps any engine with a mutex, making the full Engine
+// interface safe for concurrent use by multiple goroutines. The engines
+// themselves are single-threaded (matching the paper's setting); use this
+// wrapper when one goroutine feeds the stream while others query
+// assignments or snapshots.
+//
+// Note that Advance still serializes against queries: the wrapper provides
+// safety, not parallelism.
+func Synchronized(e Engine) Engine {
+	return &syncedEngine{inner: e}
+}
+
+type syncedEngine struct {
+	mu    sync.Mutex
+	inner Engine
+}
+
+func (s *syncedEngine) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Name()
+}
+
+func (s *syncedEngine) Advance(in, out []Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Advance(in, out)
+}
+
+func (s *syncedEngine) Assignment(id int64) (Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Assignment(id)
+}
+
+func (s *syncedEngine) Snapshot() map[int64]Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Snapshot()
+}
+
+func (s *syncedEngine) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Stats()
+}
+
+func (s *syncedEngine) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.ResetStats()
+}
