@@ -8,7 +8,9 @@
 //	discbench -fig all          # everything, in paper order
 //	discbench -fig 9 -scale 0.5 # half-size windows (faster)
 //
-// Fig. 12 additionally writes CSV cluster dumps under -outdir.
+// Fig. 12 additionally writes CSV cluster dumps under -outdir. Unless -json
+// is set to the empty string, every run also writes a machine-readable
+// throughput summary (all measured rows plus host metadata) to BENCH_disc.json.
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 	outdir := flag.String("outdir", "out", "directory for Fig. 12 cluster dumps")
 	seed := flag.Int64("seed", 0, "dataset seed override (0 keeps defaults)")
 	csvPath := flag.String("csv", "", "also export every measured row to this CSV file")
+	jsonPath := flag.String("json", "BENCH_disc.json", "write the JSON throughput summary here (empty disables)")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -79,5 +82,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\n%d rows exported to %s\n", len(allRows), *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteRowsJSON(*jsonPath, allRows); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n%d rows summarized in %s\n", len(allRows), *jsonPath)
 	}
 }

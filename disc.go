@@ -101,6 +101,14 @@ func WithMSBFS(on bool) DISCOption { return core.WithMSBFS(on) }
 // WithEpochProbing enables (default) or disables epoch-based R-tree probing.
 func WithEpochProbing(on bool) DISCOption { return core.WithEpochProbing(on) }
 
+// WithWorkers sets how many goroutines DISC's COLLECT step fans its ε-range
+// searches over; n <= 0 selects GOMAXPROCS, 1 (the default) stays
+// sequential. Clustering output is bit-identical for every worker count —
+// the searches are read-only and their private result buffers are merged
+// deterministically — so this is purely a throughput knob. The setting is
+// persisted in checkpoints.
+func WithWorkers(n int) DISCOption { return core.WithWorkers(n) }
+
 // WithGridIndex swaps DISC's R-tree for a hash grid with the given cell
 // side (≤ 0 selects ε/2) — an index-choice ablation; epoch probing then
 // degrades to an external visited set.

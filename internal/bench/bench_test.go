@@ -2,13 +2,17 @@ package bench
 
 import (
 	"bytes"
-
-	"disc/internal/model"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"disc/internal/core"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
 )
 
 // small returns Options tuned for fast tests.
@@ -322,5 +326,43 @@ func TestWriteRowsCSV(t *testing.T) {
 	}
 	if c := strings.Count(strings.TrimSpace(out), "\n"); c != 3 {
 		t.Fatalf("line count %d, want 3 data lines + header", c)
+	}
+}
+
+// TestWorkersExactOnAllDatasets pins the tentpole acceptance criterion on
+// every built-in dataset generator: a WithWorkers(8) engine must produce a
+// clustering identical to the sequential engine at every stride — both as an
+// exact per-point snapshot and through the SameClustering oracle.
+func TestWorkersExactOnAllDatasets(t *testing.T) {
+	for _, name := range append(EvalDatasets(), "maze") {
+		t.Run(name, func(t *testing.T) {
+			dc, err := Defaults(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dc = dc.Scaled(0.05)
+			stride := ratioStride(dc.Window, 0.25)
+			ds, err := dc.Stream(stride, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := window.Steps(ds.Points, dc.Window, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := core.New(dc.Cfg)
+			par := core.New(dc.Cfg, core.WithWorkers(8))
+			for i, st := range steps {
+				seq.Advance(st.In, st.Out)
+				par.Advance(st.In, st.Out)
+				want, got := seq.Snapshot(), par.Snapshot()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d: parallel snapshot differs from sequential", i)
+				}
+				if err := metrics.SameClustering(got, want, st.Window, dc.Cfg); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		})
 	}
 }

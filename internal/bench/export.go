@@ -2,10 +2,13 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // WriteRowsCSV writes figure rows to a CSV file for plotting: one line per
@@ -58,6 +61,51 @@ func WriteRowsCSV(path string, rows []Row) error {
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Summary is the machine-readable report written by WriteRowsJSON: the raw
+// figure rows plus enough host metadata to compare runs across machines
+// (worker-scaling numbers are meaningless without the core count).
+type Summary struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Rows        []Row    `json:"rows"`
+	Figures     []string `json:"figures"`
+}
+
+// WriteRowsJSON writes the rows as a JSON throughput summary (the
+// BENCH_disc.json artifact emitted by cmd/discbench and CI).
+func WriteRowsJSON(path string, rows []Row) error {
+	figSet := map[string]bool{}
+	var figs []string
+	for _, r := range rows {
+		if !figSet[r.Figure] {
+			figSet[r.Figure] = true
+			figs = append(figs, r.Figure)
+		}
+	}
+	sum := Summary{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Rows:        rows,
+		Figures:     figs,
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("bench: writing %s: %w", path, err)
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -54,15 +55,15 @@ func (o *Options) fill() {
 
 // Row is one data point of a regenerated figure.
 type Row struct {
-	Figure  string
-	Dataset string
-	Param   string // x-axis value ("stride=5%", "window=2x", "eps=0.004", ...)
-	Engine  string
-	Value   float64 // primary metric (speedup, ms, searches, ARI, µs/point)
-	Unit    string
-	Extra   map[string]float64
-	DNF     bool
-	Note    string
+	Figure  string             `json:"figure"`
+	Dataset string             `json:"dataset"`
+	Param   string             `json:"param"` // x-axis value ("stride=5%", "window=2x", "eps=0.004", ...)
+	Engine  string             `json:"engine"`
+	Value   float64            `json:"value"` // primary metric (speedup, ms, searches, ARI, µs/point)
+	Unit    string             `json:"unit"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+	DNF     bool               `json:"dnf,omitempty"`
+	Note    string             `json:"note,omitempty"`
 }
 
 func (o Options) config(name string) (DataConfig, error) {
@@ -591,6 +592,65 @@ func FigExt2(o Options) ([]Row, error) {
 	return rows, tw.Flush()
 }
 
+// FigExt3 is an extension experiment (not in the paper): scaling of the
+// parallel COLLECT phase with the worker count, on the DTG analog at a 25%
+// stride (arrival-heavy, so COLLECT dominates the per-stride cost). The merge
+// is exactness-preserving, so every worker count produces the identical
+// clustering; only the wall clock changes. Speedups are bounded by
+// GOMAXPROCS — on a single-core host every worker count degenerates to ~1x.
+func FigExt3(o Options) ([]Row, error) {
+	o.fill()
+	dc, err := o.config("dtg")
+	if err != nil {
+		return nil, err
+	}
+	stride := ratioStride(dc.Window, 0.25)
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	fmt.Fprintf(o.Out, "\n[Fig ext3] %s: parallel COLLECT scaling (stride=25%%, GOMAXPROCS=%d)\n",
+		dc.Label, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\tCOLLECT ms\tstride ms\tCOLLECT speedup\tpoints/s")
+	var baseCollect float64
+	for _, w := range []int{1, 2, 4, 8} {
+		eng := core.New(dc.Cfg, core.WithWorkers(w))
+		res := Run(eng, steps, RunOpts{Timeout: o.Timeout})
+		n := float64(res.Strides)
+		if n == 0 {
+			n = 1
+		}
+		collectMS := msOf(eng.PhaseTimings().Collect) / n
+		if w == 1 {
+			baseCollect = collectMS
+		}
+		var speedup float64
+		if collectMS > 0 {
+			speedup = baseCollect / collectMS
+		}
+		var pps float64
+		if res.PerPoint > 0 {
+			pps = float64(time.Second) / float64(res.PerPoint)
+		}
+		rows = append(rows, Row{
+			Figure: "ext3", Dataset: dc.Label,
+			Param: fmt.Sprintf("workers=%d", w), Engine: "DISC",
+			Value: collectMS, Unit: "ms",
+			Extra: map[string]float64{
+				"speedup":        speedup,
+				"points_per_sec": pps,
+				"stride_ms":      msOf(res.PerStride),
+			},
+			DNF: res.DNF, Note: res.DNFReason,
+		})
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t%.0f\n",
+			w, collectMS, msOf(res.PerStride), speedup, pps)
+	}
+	return rows, tw.Flush()
+}
+
 // Fig11 regenerates Figure 11: per-point update latency of DISC vs
 // ρ²-DBSCAN (ρ=0.001) across distance thresholds, on Maze and DTG; the
 // crossover appears only at thresholds too coarse to be useful.
@@ -792,11 +852,11 @@ func Figures() map[string]func(Options) ([]Row, error) {
 	return map[string]func(Options) ([]Row, error){
 		"4": Fig4, "5": Fig5, "6": Fig6, "7": Fig7,
 		"8": Fig8, "9": Fig9, "10": Fig10, "11": Fig11, "12": Fig12,
-		"ext1": FigExt1, "ext2": FigExt2,
+		"ext1": FigExt1, "ext2": FigExt2, "ext3": FigExt3,
 	}
 }
 
 // FigureIDs returns the figure ids in presentation order.
 func FigureIDs() []string {
-	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2"}
+	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2", "ext3"}
 }

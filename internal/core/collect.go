@@ -1,0 +1,203 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// This file implements the parallel half of COLLECT (Algorithm 1). COLLECT
+// dominates per-stride cost (Fig. 7 of the paper): one ε-range search per
+// point of Δin ∪ Δout, each an independent read against the spatial index.
+// The step is restructured into three phases so those searches can fan out
+// over a worker pool without changing a single resulting bit:
+//
+//  1. Structural phase (sequential): mark every Δout departure Deleted,
+//     remove non-core departures from the index, insert every Δin arrival.
+//     After this phase neither the index nor any pstate field read by a
+//     search changes until phase 3.
+//  2. Search phase (parallel): every point of Δout ∪ Δin runs one read-only
+//     ε-range search (SearchBallRO) that accumulates its findings — counter
+//     deltas, hint candidate, touched neighbor ids — into a private
+//     collectDelta buffer owned by that point alone. Workers share nothing
+//     but the immutable index and pstates; each also counts its search and
+//     node-access work privately.
+//  3. Merge phase (sequential): the buffers are folded into the engine in
+//     Δout-then-Δin slice order. Because every buffer is keyed by its
+//     point's position in the input and the fold order is fixed, the merged
+//     state is identical for any worker count — including 1, where phase 2
+//     runs inline without spawning goroutines.
+//
+// Exactness relative to the interleaved formulation of Algorithm 1 follows
+// from three observations (see DESIGN.md for the full argument):
+//
+//   - Departure searches must decrement nε of surviving neighbors exactly
+//     once. Marking all departures Deleted up front makes every departure
+//     search skip every other departure; the interleaved code reached the
+//     same totals because a departure's own nε is forced to zero anyway.
+//   - Arrival searches in the interleaved code saw only earlier-inserted
+//     co-arrivals, crediting each close pair exactly once (+1 to both
+//     sides). With all arrivals pre-inserted each pair is seen from both
+//     ends, so only the smaller-id endpoint records it ("pairs" below) and
+//     the merge credits both sides — the same single +1/+1.
+//   - Everything else a search reads (label, wasCore, enterStamp, position)
+//     is written only in phase 1 or in previous strides.
+
+// collectDelta is the private buffer one phase-2 search writes. Slices are
+// retained across strides (resetDeltas) to keep the steady state
+// allocation-free.
+type collectDelta struct {
+	selfN   int32   // arrivals: surviving neighbors found (adds to own nε)
+	coreDeg int32   // arrivals: surviving cores among them
+	hint    int64   // arrivals: first surviving core in traversal order
+	touched []int64 // surviving neighbors whose nε this point changes
+	pairs   []int64 // arrivals: co-arriving neighbors with a larger id
+	nodes   int64   // index nodes the search traversed
+}
+
+// resetDeltas returns buf resized to n cleared entries, reusing the inner
+// slice capacity accumulated by earlier strides.
+func resetDeltas(buf []collectDelta, n int) []collectDelta {
+	if cap(buf) < n {
+		buf = append(buf[:cap(buf)], make([]collectDelta, n-cap(buf))...)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i].selfN, buf[i].coreDeg, buf[i].hint = 0, 0, noHint
+		buf[i].touched = buf[i].touched[:0]
+		buf[i].pairs = buf[i].pairs[:0]
+		buf[i].nodes = 0
+	}
+	return buf
+}
+
+// searchDeparture runs the phase-2 search for one Δout point: record every
+// surviving neighbor whose nε must drop. Departures (label Deleted) and
+// this stride's arrivals (which never counted the departure) are skipped.
+func (e *Engine) searchDeparture(p model.Point, d *collectDelta) {
+	st := e.pts[p.ID]
+	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == p.ID {
+			return true
+		}
+		q := e.pts[qid]
+		if q.label == model.Deleted || q.enterStamp == e.stride {
+			return true
+		}
+		d.touched = append(d.touched, qid)
+		return true
+	})
+}
+
+// searchArrival runs the phase-2 search for one Δin point: count surviving
+// neighbors (crediting their nε and, for previous-window cores, the
+// arrival's coreDeg and border hint) and record co-arriving pairs once, from
+// the smaller-id endpoint.
+func (e *Engine) searchArrival(p model.Point, d *collectDelta) {
+	st := e.pts[p.ID]
+	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == p.ID {
+			return true
+		}
+		q := e.pts[qid]
+		if q.label == model.Deleted {
+			return true
+		}
+		if q.enterStamp == e.stride {
+			if p.ID < qid {
+				d.pairs = append(d.pairs, qid)
+			}
+			return true
+		}
+		d.touched = append(d.touched, qid)
+		d.selfN++
+		// Initialize coreDeg against cores surviving from the previous
+		// window; transitions (ex-cores, neo-cores) correct it later.
+		if q.wasCore {
+			d.coreDeg++
+			if d.hint == noHint {
+				d.hint = qid
+			}
+		}
+		return true
+	})
+}
+
+// collectChunk is how many searches a worker claims from the shared cursor
+// at a time — coarse enough to keep the atomic off the hot path, fine
+// enough to balance the skewed per-search cost of dense neighborhoods.
+const collectChunk = 8
+
+// fanOutSearches runs phase 2: one search per Δout and Δin point, fanned
+// over e.workers goroutines (inline when one worker suffices). Search and
+// node-access counts are accumulated per worker and folded into the
+// engine's stats afterwards, keeping the totals identical to a sequential
+// run — the same searches against the same fixed tree touch the same nodes.
+func (e *Engine) fanOutSearches(in, out []model.Point) {
+	total := len(out) + len(in)
+	if total == 0 {
+		return
+	}
+	run := func(k int) *collectDelta {
+		if k < len(out) {
+			e.searchDeparture(out[k], &e.outDeltas[k])
+			return &e.outDeltas[k]
+		}
+		e.searchArrival(in[k-len(out)], &e.inDeltas[k-len(out)])
+		return &e.inDeltas[k-len(out)]
+	}
+
+	workers := e.workers
+	if workers > total {
+		workers = total
+	}
+	var nodes int64
+	if workers <= 1 {
+		for k := 0; k < total; k++ {
+			nodes += run(k).nodes
+		}
+	} else {
+		var cursor atomic.Int64
+		nodesBy := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var n int64
+				for {
+					hi := cursor.Add(collectChunk)
+					lo := hi - collectChunk
+					if int(lo) >= total {
+						break
+					}
+					if int(hi) > total {
+						hi = int64(total)
+					}
+					for k := int(lo); k < int(hi); k++ {
+						n += run(k).nodes
+					}
+				}
+				nodesBy[w] = n
+			}(w)
+		}
+		wg.Wait()
+		for _, n := range nodesBy {
+			nodes += n
+		}
+	}
+	e.stats.RangeSearches += int64(total)
+	e.stats.NodeAccesses += nodes
+}
+
+// defaultWorkers resolves the WithWorkers argument: n <= 0 selects
+// GOMAXPROCS.
+func defaultWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

@@ -60,6 +60,13 @@ func WithMSBFS(on bool) Option { return func(e *Engine) { e.useMSBFS = on } }
 // every already-visited point.
 func WithEpochProbing(on bool) Option { return func(e *Engine) { e.useEpoch = on } }
 
+// WithWorkers sets how many goroutines COLLECT fans its ε-range searches
+// over; n <= 0 selects GOMAXPROCS and 1 (the default) runs them inline.
+// Every worker count produces bit-identical engine state: the parallel
+// searches are read-only and fill private per-point buffers that are merged
+// single-threaded in a fixed order (see collect.go).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = defaultWorkers(n) } }
+
 // pstate is the per-point bookkeeping DISC maintains for every point in the
 // current window (plus, transiently, the exited ex-cores C_out).
 type pstate struct {
@@ -95,13 +102,16 @@ type Engine struct {
 
 	useMSBFS bool
 	useEpoch bool
+	workers  int // COLLECT search fan-out; 1 = inline
 	onEvent  func(Event)
 
 	stats   model.Stats
 	timings PhaseTimings
 
 	// Scratch reused across strides.
-	affected []int64
+	affected  []int64
+	inDeltas  []collectDelta
+	outDeltas []collectDelta
 }
 
 // New returns a DISC engine for the given configuration. It panics on an
@@ -118,6 +128,7 @@ func New(cfg model.Config, opts ...Option) *Engine {
 		nextCID:  1,
 		useMSBFS: true,
 		useEpoch: true,
+		workers:  1,
 	}
 	for _, o := range opts {
 		o(e)
@@ -174,10 +185,15 @@ func (e *Engine) markAffected(id int64, st *pstate) {
 	}
 }
 
-// collect is the COLLECT step (Algorithm 1): apply Δout then Δin, updating
-// nε for all touched neighbors, and return the ex-cores, neo-cores, and the
-// exited ex-cores C_out (still resident in the R-tree).
+// collect is the COLLECT step (Algorithm 1), restructured into three phases
+// (see collect.go): structural index mutations first, then one read-only
+// ε-range search per point of Δout ∪ Δin — fanned over e.workers goroutines
+// into private delta buffers — and finally a deterministic single-threaded
+// merge. It returns the ex-cores, neo-cores, and the exited ex-cores C_out
+// (still resident in the R-tree).
 func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64) {
+	// Phase 1 — structural mutations, applied up front so every phase-2
+	// search runs against one fixed index and immutable pstates.
 	for _, p := range out {
 		st, ok := e.pts[p.ID]
 		if !ok {
@@ -188,51 +204,51 @@ func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64
 		} else {
 			e.tree.Delete(p.ID, st.pos)
 		}
-		e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-			if qid == p.ID {
-				return true
-			}
-			q := e.pts[qid]
-			if q.label == model.Deleted {
-				return true
-			}
-			q.n--
-			e.markAffected(qid, q)
-			return true
-		})
 		st.label = model.Deleted
 		st.n = 0
-		e.markAffected(p.ID, st)
 	}
-
 	for _, p := range in {
 		if _, dup := e.pts[p.ID]; dup {
 			panic(fmt.Sprintf("disc: duplicate point id %d entered the window", p.ID))
 		}
-		st := &pstate{pos: p.Pos, n: 1, hint: noHint, label: model.Unclassified, enterStamp: e.stride}
-		e.pts[p.ID] = st
+		e.pts[p.ID] = &pstate{pos: p.Pos, n: 1, hint: noHint, label: model.Unclassified, enterStamp: e.stride}
 		e.tree.Insert(p.ID, p.Pos)
-		e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-			if qid == p.ID {
-				return true
-			}
+	}
+
+	// Phase 2 — the parallel search fan-out.
+	e.outDeltas = resetDeltas(e.outDeltas, len(out))
+	e.inDeltas = resetDeltas(e.inDeltas, len(in))
+	e.fanOutSearches(in, out)
+
+	// Phase 3 — fold the private buffers into the engine, Δout then Δin, in
+	// slice order; the fixed order makes the result independent of workers.
+	for i, p := range out {
+		for _, qid := range e.outDeltas[i].touched {
 			q := e.pts[qid]
-			if q.label == model.Deleted {
-				return true
-			}
+			q.n--
+			e.markAffected(qid, q)
+		}
+		e.markAffected(p.ID, e.pts[p.ID])
+	}
+	for i, p := range in {
+		st := e.pts[p.ID]
+		d := &e.inDeltas[i]
+		st.n += d.selfN
+		st.coreDeg = d.coreDeg
+		st.hint = d.hint
+		for _, qid := range d.touched {
+			q := e.pts[qid]
+			q.n++
+			e.markAffected(qid, q)
+		}
+		// Each co-arriving pair was recorded once, by its smaller-id
+		// endpoint; credit both sides here.
+		for _, qid := range d.pairs {
+			q := e.pts[qid]
 			q.n++
 			st.n++
 			e.markAffected(qid, q)
-			// Initialize coreDeg against cores surviving from the previous
-			// window; transitions (ex-cores, neo-cores) correct it later.
-			if q.wasCore {
-				st.coreDeg++
-				if st.hint == noHint {
-					st.hint = qid
-				}
-			}
-			return true
-		})
+		}
 		e.markAffected(p.ID, st)
 	}
 
@@ -537,20 +553,55 @@ func (e *Engine) Snapshot() map[int64]model.Assignment {
 	return out
 }
 
+// assignmentOf resolves a point's current assignment. It is genuinely
+// read-only — cluster ids resolve through the non-compressing FindRO and a
+// stale border hint is healed by a statistics-free re-search — so any number
+// of callers may run concurrently between Advance calls.
 func (e *Engine) assignmentOf(id int64, st *pstate) model.Assignment {
 	switch st.label {
 	case model.Core:
-		return model.Assignment{Label: model.Core, ClusterID: e.cids.Find(st.cid)}
+		return model.Assignment{Label: model.Core, ClusterID: e.cids.FindRO(st.cid)}
 	case model.Border:
-		h, ok := e.pts[st.hint]
-		if !ok {
-			panic(fmt.Sprintf("disc: border point %d hints at absent point %d", id, st.hint))
+		if h, ok := e.pts[st.hint]; ok && e.isCoreNow(h) {
+			return model.Assignment{Label: model.Border, ClusterID: e.cids.FindRO(h.cid)}
 		}
-		return model.Assignment{Label: model.Border, ClusterID: e.cids.Find(h.cid)}
+		// The hint names an absent or demoted point — possible only after a
+		// corrupted checkpoint or an internal inconsistency. Degrade
+		// gracefully: re-derive the assignment from any live core ε-neighbor
+		// instead of crashing the serving process mid-query.
+		if cid, ok := e.borderCID(id, st); ok {
+			return model.Assignment{Label: model.Border, ClusterID: cid}
+		}
+		return model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}
 	default:
 		return model.Assignment{Label: model.Noise, ClusterID: model.NoCluster}
 	}
 }
+
+// borderCID locates one live core ε-neighbor of the border point id with a
+// read-only search and returns its resolved cluster id.
+func (e *Engine) borderCID(id int64, st *pstate) (int, bool) {
+	cid, found := 0, false
+	e.tree.SearchBallRO(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == id {
+			return true
+		}
+		if q := e.pts[qid]; e.isCoreNow(q) {
+			cid, found = e.cids.FindRO(q.cid), true
+			return false
+		}
+		return true
+	})
+	return cid, found
+}
+
+// ConcurrentReadable marks the engine's query methods (Assignment, Snapshot,
+// Stats, Name) as safe for any number of concurrent callers while no
+// Advance, ResetStats, SaveSnapshot, or other mutation is in flight: they
+// perform no writes, not even hidden ones (no union-find path compression,
+// no index statistics). disc.Synchronized detects this marker and serves
+// such engines' queries under a shared read lock.
+func (e *Engine) ConcurrentReadable() {}
 
 // Stats implements model.Engine.
 func (e *Engine) Stats() model.Stats { return e.stats }

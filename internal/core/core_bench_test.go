@@ -47,6 +47,48 @@ func BenchmarkAdvanceNoMSBFS(b *testing.B) { benchAdvance(b, WithMSBFS(false)) }
 func BenchmarkAdvanceNoEpoch(b *testing.B) { benchAdvance(b, WithEpochProbing(false)) }
 func BenchmarkAdvanceGridIdx(b *testing.B) { benchAdvance(b, WithGridIndex(0)) }
 
+// BenchmarkAdvanceWorkers measures the parallel COLLECT across worker counts
+// on a large-stride (25%) workload where COLLECT dominates; speedups are
+// bounded by GOMAXPROCS.
+func BenchmarkAdvanceWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchAdvanceStride(b, 1000, WithWorkers(w))
+		})
+	}
+}
+
+// benchAdvanceStride is benchAdvance with a configurable stride (window 4000).
+func benchAdvanceStride(b *testing.B, stride int, opts ...Option) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const win = 4000
+	data := clustered2D(rng, win+stride*16)
+	steps, err := window.Steps(data, win, stride)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEng := func() *Engine {
+		eng := New(cfg2(2.5, 5), opts...)
+		eng.Advance(steps[0].In, steps[0].Out)
+		return eng
+	}
+	eng := newEng()
+	idx := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx >= len(steps) {
+			b.StopTimer()
+			eng = newEng()
+			idx = 1
+			b.StartTimer()
+		}
+		st := steps[idx]
+		eng.Advance(st.In, st.Out)
+		idx++
+	}
+}
+
 // BenchmarkConnectivity measures one MS-BFS/sequential connectivity check
 // over a chain of cores with starters at both ends (worst case for the
 // early-exit: threads must traverse half the chain each to meet).

@@ -17,6 +17,12 @@ type spatialIndex interface {
 	Delete(id int64, p geom.Vec) bool
 	Len() int
 	SearchBall(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool
+	// SearchBallRO is SearchBall minus the statistics accounting: a pure
+	// read of the index, safe for any number of concurrent callers while no
+	// mutation runs. It returns the node (or cell) accesses the traversal
+	// performed so callers can merge the work into their own counters —
+	// the parallel COLLECT fan-out depends on this method.
+	SearchBallRO(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) int64
 	// SearchBallEpoch visits points whose epoch is below tick; fn returning
 	// true stamps the point for the remainder of that tick's traversals.
 	SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(id int64, p geom.Vec) bool)
@@ -68,6 +74,22 @@ func (gi *gridIndex) SearchBall(c geom.Vec, eps float64, fn func(int64, geom.Vec
 	})
 	gi.stats.NodeAccesses += int64(cells)
 	return ok
+}
+
+func (gi *gridIndex) SearchBallRO(c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) int64 {
+	cells := int64(0)
+	gi.g.ForNeighborCells(c, eps, func(_ grid.Key, items []grid.Item) bool {
+		cells++
+		for _, it := range items {
+			if geom.WithinEps(it.Pos, c, gi.g.Dims(), eps) {
+				if !fn(it.ID, it.Pos) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return cells
 }
 
 func (gi *gridIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(int64, geom.Vec) bool) {
@@ -134,6 +156,10 @@ func (ki *kdIndex) Len() int                         { return ki.t.Len() }
 
 func (ki *kdIndex) SearchBall(c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) bool {
 	return ki.t.SearchBall(c, eps, fn)
+}
+
+func (ki *kdIndex) SearchBallRO(c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) int64 {
+	return ki.t.SearchBallRO(c, eps, fn)
 }
 
 func (ki *kdIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(int64, geom.Vec) bool) {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/geom"
+	"disc/internal/metrics"
+	"disc/internal/model"
+	"disc/internal/window"
+)
+
+// FuzzParallelCollect is the differential fuzz target for the parallel
+// COLLECT: over random stream geometries, thresholds and worker counts, the
+// parallel engine must produce bit-identical snapshots to the sequential
+// (workers=1) engine after every stride, and both must satisfy the engine
+// invariants. The seed corpus mirrors FuzzDISCEquivalence's stream shapes so
+// plain `go test` exercises the same geometries; run with
+// `go test -fuzz=FuzzParallelCollect ./internal/core` to explore further.
+func FuzzParallelCollect(f *testing.F) {
+	f.Add(int64(1), uint8(100), uint8(20), uint8(25), uint8(5), uint8(4))
+	f.Add(int64(2), uint8(60), uint8(60), uint8(5), uint8(1), uint8(8))
+	f.Add(int64(3), uint8(200), uint8(3), uint8(40), uint8(12), uint8(2))
+	f.Add(int64(4), uint8(80), uint8(10), uint8(1), uint8(3), uint8(3))
+	f.Add(int64(5), uint8(120), uint8(40), uint8(30), uint8(7), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, winRaw, strideRaw, epsRaw, minPtsRaw, workersRaw uint8) {
+		win := int(winRaw)%200 + 20
+		stride := int(strideRaw)%win + 1
+		eps := 0.2 + float64(epsRaw)*0.1
+		minPts := int(minPtsRaw)%15 + 1
+		workers := int(workersRaw)%16 + 2
+		rng := rand.New(rand.NewSource(seed))
+		n := win + stride*6
+		data := make([]model.Point, n)
+		for i := range data {
+			var x, y float64
+			if rng.Float64() < 0.2 {
+				x, y = rng.Float64()*40, rng.Float64()*40
+			} else {
+				c := float64(rng.Intn(3)) * 12
+				x, y = c+rng.NormFloat64()*1.5, c+rng.NormFloat64()*1.5
+			}
+			data[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+		}
+		cfg := model.Config{Dims: 2, Eps: eps, MinPts: minPts}
+		steps, err := window.Steps(data, win, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := New(cfg)
+		par := New(cfg, WithWorkers(workers))
+		for i, st := range steps {
+			seq.Advance(st.In, st.Out)
+			par.Advance(st.In, st.Out)
+			want, got := seq.Snapshot(), par.Snapshot()
+			if len(got) != len(want) {
+				t.Fatalf("step %d (workers=%d): %d points vs %d sequential", i, workers, len(got), len(want))
+			}
+			for id, w := range want {
+				if g := got[id]; g != w {
+					t.Fatalf("step %d (workers=%d): point %d: parallel %+v, sequential %+v",
+						i, workers, id, g, w)
+				}
+			}
+			// Belt and braces: the shared-id check above implies clustering
+			// equivalence, but SameClustering also validates density facts
+			// against the raw window.
+			if err := metrics.SameClustering(got, want, st.Window, cfg); err != nil {
+				t.Fatalf("step %d (workers=%d): %v", i, workers, err)
+			}
+		}
+		if err := par.CheckInvariants(); err != nil {
+			t.Fatalf("invariants (workers=%d): %v", workers, err)
+		}
+		if seq.Stats() != par.Stats() {
+			t.Fatalf("stats diverged: sequential %+v, parallel %+v", seq.Stats(), par.Stats())
+		}
+	})
+}

@@ -40,6 +40,7 @@ type persistedEngine struct {
 	UseEpoch  bool
 	IndexKind uint8
 	GridSide  float64
+	Workers   int // COLLECT search fan-out; 0 in pre-worker snapshots means 1
 	NextCID   int
 	Stride    uint64
 	Stats     model.Stats
@@ -58,6 +59,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		UseEpoch:  e.useEpoch,
 		IndexKind: uint8(e.indexKind),
 		GridSide:  e.gridSide,
+		Workers:   e.workers,
 		NextCID:   e.nextCID,
 		Stride:    e.stride,
 		Stats:     e.stats,
@@ -92,6 +94,9 @@ func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
 	e := New(ps.Cfg)
 	e.useMSBFS = ps.UseMSBFS
 	e.useEpoch = ps.UseEpoch
+	if ps.Workers > 0 {
+		e.workers = ps.Workers
+	}
 	e.nextCID = ps.NextCID
 	e.stride = ps.Stride
 	e.stats = ps.Stats
@@ -107,6 +112,20 @@ func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
 		}
 		ids = append(ids, pp.ID)
 		pos = append(pos, pp.Pos)
+	}
+	// Border hints are dereferenced on every query; validate them now so a
+	// corrupt or hand-edited snapshot surfaces as a load error instead of a
+	// degraded (self-healed) assignment at some later query.
+	for id, st := range e.pts {
+		if st.label != model.Border {
+			continue
+		}
+		if st.hint == noHint {
+			return nil, fmt.Errorf("disc: snapshot border point %d carries no hint", id)
+		}
+		if _, ok := e.pts[st.hint]; !ok {
+			return nil, fmt.Errorf("disc: snapshot border point %d hints at absent point %d", id, st.hint)
+		}
 	}
 	switch indexKind(ps.IndexKind) {
 	case indexGrid:

@@ -34,6 +34,22 @@ func (d *Int) Find(x int) int {
 	return x
 }
 
+// FindRO returns the canonical representative of x without modifying the
+// forest: no path compression, and an unseen x is reported as its own
+// representative without being added. Because it performs no writes, any
+// number of FindRO calls may run concurrently as long as no Find/Union/Reset
+// is in flight — this is what makes engine query paths (Snapshot,
+// Assignment) genuinely read-only.
+func (d *Int) FindRO(x int) int {
+	for {
+		p, ok := d.parent[x]
+		if !ok || p == x {
+			return x
+		}
+		x = p
+	}
+}
+
 // Union merges the sets containing a and b and returns the surviving
 // representative. The larger set's representative wins ties to keep trees
 // shallow.

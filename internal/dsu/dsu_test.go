@@ -36,6 +36,43 @@ func TestIntUnionInto(t *testing.T) {
 	}
 }
 
+// TestIntFindRO checks the read-only Find agrees with the compressing one
+// and performs no writes: it must not add unseen keys, and concurrent
+// FindRO calls over a quiescent forest must be race-free.
+func TestIntFindRO(t *testing.T) {
+	d := NewInt()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		d.Union(rng.Intn(100), rng.Intn(100))
+	}
+	for x := 0; x < 100; x++ {
+		if got, want := d.FindRO(x), d.Find(x); got != want {
+			t.Fatalf("FindRO(%d) = %d, Find = %d", x, got, want)
+		}
+	}
+	before := d.Len()
+	if d.FindRO(10_000) != 10_000 {
+		t.Fatal("unseen key must be its own representative")
+	}
+	if d.Len() != before {
+		t.Fatalf("FindRO added a key: Len %d -> %d", before, d.Len())
+	}
+
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				d.FindRO(r.Intn(120))
+			}
+			done <- struct{}{}
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
 func TestIntIdempotentUnion(t *testing.T) {
 	d := NewInt()
 	d.Union(1, 2)

@@ -244,6 +244,41 @@ func (t *T) SearchBall(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bo
 	return t.search(t.root, c, eps, fn)
 }
 
+// SearchBallRO is SearchBall without the search/node-access accounting: it
+// performs no writes to the tree, so concurrent SearchBallRO calls are safe
+// as long as no Insert/Delete/BulkLoad runs. It returns the number of nodes
+// touched so callers can fold the work into their own counters.
+func (t *T) SearchBallRO(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) (nodes int64) {
+	t.searchRO(t.root, c, eps, fn, &nodes)
+	return nodes
+}
+
+func (t *T) searchRO(n *node, c geom.Vec, eps float64, fn func(int64, geom.Vec) bool, nodes *int64) bool {
+	*nodes++
+	if n.leaf() {
+		for i := range n.items {
+			if geom.WithinEps(n.items[i].pos, c, t.dims, eps) {
+				if !fn(n.items[i].id, n.items[i].pos) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	d := c[n.axis] - n.split
+	near, far := n.left, n.right
+	if d >= 0 {
+		near, far = n.right, n.left
+	}
+	if !t.searchRO(near, c, eps, fn, nodes) {
+		return false
+	}
+	if d*d <= eps*eps {
+		return t.searchRO(far, c, eps, fn, nodes)
+	}
+	return true
+}
+
 func (t *T) search(n *node, c geom.Vec, eps float64, fn func(int64, geom.Vec) bool) bool {
 	t.nodeAccesses++
 	if n.leaf() {

@@ -414,6 +414,37 @@ func (t *T) searchBall(n *node, c geom.Vec, eps float64, fn func(id int64, p geo
 	return true
 }
 
+// SearchBallRO is SearchBall without statistics accounting: it performs no
+// writes to the tree whatsoever, so any number of SearchBallRO calls may run
+// concurrently (with each other and with SearchBall-free readers) as long as
+// no mutation — Insert, Delete, BulkLoad, SearchBallEpoch — is in flight. It
+// returns the number of nodes the traversal touched so callers can fold the
+// work into their own counters.
+func (t *T) SearchBallRO(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) (nodes int64) {
+	t.searchBallRO(t.root, c, eps, fn, &nodes)
+	return nodes
+}
+
+func (t *T) searchBallRO(n *node, c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool, nodes *int64) bool {
+	*nodes++
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.IntersectsBall(c, t.dims, eps) {
+			continue
+		}
+		if n.leaf {
+			if geom.WithinEps(e.rect.Min, c, t.dims, eps) {
+				if !fn(e.id, e.rect.Min) {
+					return false
+				}
+			}
+		} else if !t.searchBallRO(e.child, c, eps, fn, nodes) {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchRect visits every indexed point inside rectangle r.
 func (t *T) SearchRect(r geom.Rect, fn func(id int64, p geom.Vec) bool) bool {
 	t.stats.RangeSearches++

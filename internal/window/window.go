@@ -128,31 +128,43 @@ func (s *TimeSlider) Push(p model.Point) *Step {
 		s.pending = append(s.pending, p)
 		return nil
 	}
-	step := s.emit()
-	s.nextBoundary += s.stride
-	// The triggering point may skip several empty strides.
-	for p.Time >= s.nextBoundary {
+	// A quiet stream can leave several stride boundaries behind before the
+	// triggering point arrives. Advance to the last boundary the point
+	// crosses before emitting, so the emitted window reflects every expiry
+	// the skipped boundaries caused — emitting at the first boundary would
+	// hand the consumer points that are already out of the window, leaving
+	// them to linger until the next emit.
+	for p.Time >= s.nextBoundary+s.stride {
 		s.nextBoundary += s.stride
 	}
+	step := s.emit()
+	s.nextBoundary += s.stride
 	s.pending = append(s.pending, p)
 	return step
 }
 
-// Flush emits a final step covering any pending points; returns nil if
-// nothing is pending.
+// Flush emits a final step covering any pending points, as if the next
+// stride boundary had just been reached; returns nil if nothing is pending.
 func (s *TimeSlider) Flush() *Step {
 	if len(s.pending) == 0 {
 		return nil
 	}
-	s.nextBoundary += s.stride
 	return s.emit()
 }
 
 func (s *TimeSlider) emit() *Step {
-	in := make([]model.Point, len(s.pending))
-	copy(in, s.pending)
-	s.pending = s.pending[:0]
 	lo := s.nextBoundary - s.window // expiry threshold: drop Time < lo ... window covers [lo, boundary)
+	// A pending point that already expired — possible only when a gap
+	// skipped past it before any boundary emitted it — was never part of an
+	// observable window: drop it silently rather than reporting it in In
+	// (it would instantly be stale) or Out (it was never In).
+	in := make([]model.Point, 0, len(s.pending))
+	for _, p := range s.pending {
+		if p.Time >= lo {
+			in = append(in, p)
+		}
+	}
+	s.pending = s.pending[:0]
 	var out []model.Point
 	keep := s.buf[:0]
 	for _, p := range s.buf {

@@ -169,6 +169,93 @@ func TestTimeSliderGap(t *testing.T) {
 	}
 }
 
+// TestTimeSliderGapSkipsStrides is the regression test for gaps spanning
+// several stride boundaries: the step emitted by the triggering point must
+// reflect the LAST crossed boundary, so points expired by the skipped
+// boundaries are evicted from the emitted window instead of lingering until
+// the next emit.
+func TestTimeSliderGapSkipsStrides(t *testing.T) {
+	s, _ := NewTimeSlider(10, 5) // boundaries at 10, 15, 20, ...
+	var steps []*Step
+	// Warm-up window (0,10], one normal stride, then a gap spanning four
+	// stride boundaries (20, 25, 30, 35) before the trigger at t=36.
+	for _, tm := range []int64{0, 3, 7, 9, 12, 14, 16, 36} {
+		if st := s.Push(model.Point{ID: tm, Time: tm}); st != nil {
+			steps = append(steps, st)
+		}
+	}
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps, want 3 (fill, stride, gap)", len(steps))
+	}
+	// Fill at boundary 10: window (0,10].
+	if !eq(ids(steps[0].In), 0, 3, 7, 9) {
+		t.Fatalf("fill in = %v", ids(steps[0].In))
+	}
+	// Boundary 15: in 12,14, out 0,3 (times ≤ 5).
+	if !eq(ids(steps[1].In), 12, 14) || !eq(ids(steps[1].Out), 0, 3) {
+		t.Fatalf("stride in=%v out=%v", ids(steps[1].In), ids(steps[1].Out))
+	}
+	// The trigger at t=36 crosses boundaries 20, 25, 30 and 35; the emitted
+	// step is the boundary-35 window (25,35]. Every buffered point expired
+	// (all times < 25) and must be reported out; the pending point t=16 also
+	// expired before any boundary emitted it, so it appears nowhere.
+	gap := steps[2]
+	if !eq(ids(gap.Out), 7, 9, 12, 14) {
+		t.Fatalf("gap out = %v, want the whole stale window", ids(gap.Out))
+	}
+	if len(gap.In) != 0 {
+		t.Fatalf("gap in = %v, want empty (t=16 expired while pending)", ids(gap.In))
+	}
+	if len(gap.Window) != 0 {
+		t.Fatalf("gap window = %v, want empty — stale points must not linger", ids(gap.Window))
+	}
+	// The trigger itself belongs to the next stride.
+	if st := s.Flush(); st == nil || !eq(ids(st.In), 36) || !eq(ids(st.Window), 36) {
+		t.Fatalf("flush after gap = %+v, want window {36}", st)
+	}
+}
+
+// TestTimeSliderGapEngineConsistency feeds a gapped time-sliced stream into
+// a DISC-like in/out ledger and verifies the In/Out protocol stays
+// consistent: no point is removed twice or removed without having entered,
+// and the ledger always equals the reported window.
+func TestTimeSliderGapEngineConsistency(t *testing.T) {
+	s, _ := NewTimeSlider(20, 4)
+	live := map[int64]bool{}
+	apply := func(st *Step) {
+		t.Helper()
+		for _, p := range st.Out {
+			if !live[p.ID] {
+				t.Fatalf("point %d left but never entered", p.ID)
+			}
+			delete(live, p.ID)
+		}
+		for _, p := range st.In {
+			if live[p.ID] {
+				t.Fatalf("point %d entered twice", p.ID)
+			}
+			live[p.ID] = true
+		}
+		if len(live) != len(st.Window) {
+			t.Fatalf("ledger %d points, window %d", len(live), len(st.Window))
+		}
+		for _, p := range st.Window {
+			if !live[p.ID] {
+				t.Fatalf("window point %d missing from ledger", p.ID)
+			}
+		}
+	}
+	times := []int64{0, 2, 5, 9, 13, 18, 21, 22, 24, 70, 71, 90, 130, 131, 133}
+	for i, tm := range times {
+		if st := s.Push(model.Point{ID: int64(i), Time: tm}); st != nil {
+			apply(st)
+		}
+	}
+	if st := s.Flush(); st != nil {
+		apply(st)
+	}
+}
+
 func TestStepsBatch(t *testing.T) {
 	data := pts(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 	steps, err := Steps(data, 4, 2)

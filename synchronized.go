@@ -2,26 +2,50 @@ package disc
 
 import "sync"
 
-// Synchronized wraps any engine with a mutex, making the full Engine
-// interface safe for concurrent use by multiple goroutines. The engines
-// themselves are single-threaded (matching the paper's setting); use this
-// wrapper when one goroutine feeds the stream while others query
-// assignments or snapshots.
+// ConcurrentReadable is the marker interface an engine implements to declare
+// its query methods (Name, Assignment, Snapshot, Stats) free of writes —
+// including hidden ones such as union-find path compression or index
+// statistics — and therefore safe for any number of concurrent callers
+// while no mutation is in flight. The DISC engine implements it; baseline
+// engines that mutate internal state on reads must not.
+type ConcurrentReadable interface {
+	ConcurrentReadable()
+}
+
+// Synchronized wraps any engine with a lock, making the full Engine
+// interface safe for concurrent use by multiple goroutines: one goroutine
+// can feed the stream while others query assignments or snapshots.
 //
-// Note that Advance still serializes against queries: the wrapper provides
-// safety, not parallelism.
+// If the engine declares ConcurrentReadable, queries are served under a
+// shared read lock and run concurrently with each other, serializing only
+// against Advance and ResetStats. For every other engine, queries fall back
+// to the exclusive lock — path-compressing union-finds and statistics
+// counters make many "read" paths writes in disguise, and a shared lock
+// would race them.
 func Synchronized(e Engine) Engine {
-	return &syncedEngine{inner: e}
+	_, ro := e.(ConcurrentReadable)
+	return &syncedEngine{inner: e, roQueries: ro}
 }
 
 type syncedEngine struct {
-	mu    sync.Mutex
-	inner Engine
+	mu        sync.RWMutex
+	inner     Engine
+	roQueries bool
+}
+
+// rlock acquires the shared lock when the inner engine's queries are
+// read-only, the exclusive lock otherwise; it returns the matching unlock.
+func (s *syncedEngine) rlock() func() {
+	if s.roQueries {
+		s.mu.RLock()
+		return s.mu.RUnlock
+	}
+	s.mu.Lock()
+	return s.mu.Unlock
 }
 
 func (s *syncedEngine) Name() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.rlock()()
 	return s.inner.Name()
 }
 
@@ -32,20 +56,17 @@ func (s *syncedEngine) Advance(in, out []Point) {
 }
 
 func (s *syncedEngine) Assignment(id int64) (Assignment, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.rlock()()
 	return s.inner.Assignment(id)
 }
 
 func (s *syncedEngine) Snapshot() map[int64]Assignment {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.rlock()()
 	return s.inner.Snapshot()
 }
 
 func (s *syncedEngine) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.rlock()()
 	return s.inner.Stats()
 }
 
