@@ -11,6 +11,10 @@
 // Fig. 12 additionally writes CSV cluster dumps under -outdir. Unless -json
 // is set to the empty string, every run also writes a machine-readable
 // throughput summary (all measured rows plus host metadata) to BENCH_disc.json.
+// With -stridelog file.jsonl, every measured DISC stride additionally emits
+// one JSON record (phase timings, Δ sizes, ex/neo-core counts, search and
+// prune counters, evolution events), and exact stride-latency percentiles
+// are folded into the BENCH_disc.json summary.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "dataset seed override (0 keeps defaults)")
 	csvPath := flag.String("csv", "", "also export every measured row to this CSV file")
 	jsonPath := flag.String("json", "BENCH_disc.json", "write the JSON throughput summary here (empty disables)")
+	strideLogPath := flag.String("stridelog", "", "write one JSON record per measured DISC stride to this JSONL file")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -44,8 +49,23 @@ func main() {
 		Seed:      *seed,
 	}
 
+	var strideLog *bench.StrideLogger
+	if *strideLogPath != "" {
+		f, err := os.Create(*strideLogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		strideLog = bench.NewStrideLogger(f)
+		opts.StrideLog = strideLog
+	}
+
 	var allRows []bench.Row
 	run := func(id string) error {
+		if strideLog != nil {
+			strideLog.SetFigure(id)
+		}
 		if id == "table2" {
 			fmt.Println("\n[Table II] thresholds and window sizes (scaled analogs)")
 			return bench.Table2(opts)
@@ -83,8 +103,15 @@ func main() {
 		}
 		fmt.Printf("\n%d rows exported to %s\n", len(allRows), *csvPath)
 	}
+	if strideLog != nil {
+		fmt.Printf("\n%d stride records logged to %s\n", strideLog.Lines(), *strideLogPath)
+	}
 	if *jsonPath != "" {
-		if err := bench.WriteRowsJSON(*jsonPath, allRows); err != nil {
+		var lat *bench.LatencySummary
+		if strideLog != nil {
+			lat = strideLog.Summary()
+		}
+		if err := bench.WriteRowsJSON(*jsonPath, allRows, lat); err != nil {
 			fail(err)
 		}
 		fmt.Printf("\n%d rows summarized in %s\n", len(allRows), *jsonPath)

@@ -1,5 +1,6 @@
 // Command discserver runs the DISC stream-clustering HTTP service: ingest
-// points, query clusters and their evolution over a sliding window.
+// points, query clusters and their evolution over a sliding window, and
+// scrape live telemetry.
 //
 // Usage:
 //
@@ -12,16 +13,27 @@
 //	GET  /points/{id}   assignment of one point
 //	GET  /events        cluster-evolution log (?since=<seq>)
 //	GET  /stats         engine work counters and configuration
+//	GET  /metrics       Prometheus text exposition (per-stride histograms)
+//	GET  /debug/vars    expvar JSON (registry published as "disc")
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //	GET  /checkpoint    binary service checkpoint (engine + window position)
 //	POST /checkpoint    restore from a checkpoint and resume the stream
 //	GET  /healthz       liveness
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
+// (including a final checkpoint download or metrics scrape) get up to
+// -drain to complete before the listener closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"disc/internal/model"
@@ -35,12 +47,15 @@ func main() {
 	minPts := flag.Int("minpts", 5, "density threshold τ")
 	win := flag.Int("window", 10000, "sliding window size in points")
 	stride := flag.Int("stride", 500, "stride size in points")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Cluster: model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
-		Window:  *win,
-		Stride:  *stride,
+		Cluster:     model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
+		Window:      *win,
+		Stride:      *stride,
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("discserver: %v", err)
@@ -50,7 +65,30 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d)\n",
-		*addr, *eps, *minPts, *win, *stride)
-	log.Fatal(httpServer.ListenAndServe())
+	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d pprof=%v)\n",
+		*addr, *eps, *minPts, *win, *stride, *pprofOn)
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
+	// and waits for in-flight handlers (a checkpoint save mid-write, a
+	// scrape) up to the deadline instead of cutting them off.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("discserver: %v", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Printf("discserver: signal received, draining for up to %v\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpServer.Shutdown(shutCtx); err != nil {
+			log.Fatalf("discserver: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("discserver: %v", err)
+		}
+		fmt.Println("discserver: shut down cleanly")
+	}
 }

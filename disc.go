@@ -139,6 +139,23 @@ const (
 // synchronously during Advance.
 func WithEventHandler(fn func(Event)) DISCOption { return core.WithEventHandler(fn) }
 
+// StrideRecord is the per-Advance telemetry record DISC emits to an
+// attached Observer: phase durations, Δin/Δout sizes, ex/neo-core counts,
+// search and epoch-prune work, MS-BFS merges, and cluster-evolution event
+// tallies — everything the paper's §VI-D cost drill-down measures, scoped
+// to one stride.
+type StrideRecord = core.StrideRecord
+
+// Observer receives one StrideRecord per Advance, synchronously.
+type Observer = core.Observer
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// WithObserver attaches a per-stride telemetry observer to DISC. With no
+// observer attached the telemetry path costs a single nil check.
+func WithObserver(o Observer) DISCOption { return core.WithObserver(o) }
+
 // NewDISC returns the DISC engine — exact incremental clustering optimized
 // for batched window strides. It panics if cfg is invalid (use
 // cfg.Validate to pre-check).

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -364,5 +365,70 @@ func TestWorkersExactOnAllDatasets(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestStrideLogger(t *testing.T) {
+	var jsonl bytes.Buffer
+	lg := NewStrideLogger(&jsonl)
+	o := small()
+	o.StrideLog = lg
+	o.fill()
+	lg.SetFigure("ext1")
+	dc, err := o.config("dtg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := dc.Window / 10
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.runKind("disc", dc.Cfg, dc.Window, stride, steps, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Lines() == 0 {
+		t.Fatal("stride logger recorded no strides")
+	}
+	// Every line is valid JSON with the identifying context and sane timings.
+	dec := json.NewDecoder(&jsonl)
+	lines := 0
+	for dec.More() {
+		var rec StrideLogRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+		if rec.Figure != "ext1" || rec.Engine == "" {
+			t.Fatalf("line %d missing context: %+v", lines, rec)
+		}
+		if rec.Stride == 0 || rec.TotalMS <= 0 || rec.Window <= 0 {
+			t.Fatalf("line %d implausible: %+v", lines, rec)
+		}
+	}
+	if lines != lg.Lines() {
+		t.Fatalf("decoded %d lines, logger counted %d", lines, lg.Lines())
+	}
+	sum := lg.Summary()
+	if sum == nil || sum.Strides != lines {
+		t.Fatalf("summary %+v, want %d strides", sum, lines)
+	}
+	if sum.P50MS <= 0 || sum.P50MS > sum.P95MS || sum.P95MS > sum.MaxMS {
+		t.Fatalf("percentiles out of order: %+v", sum)
+	}
+}
+
+// TestStrideLoggerNilWriter covers the percentiles-only mode used when
+// -stridelog is absent but a latency summary is still wanted.
+func TestStrideLoggerNilWriter(t *testing.T) {
+	lg := NewStrideLogger(nil)
+	lg.ObserveStride(core.StrideRecord{Stride: 1, Total: 5 * time.Millisecond})
+	lg.ObserveStride(core.StrideRecord{Stride: 2, Total: 10 * time.Millisecond})
+	if lg.Lines() != 0 {
+		t.Fatalf("nil-writer logger wrote %d lines", lg.Lines())
+	}
+	sum := lg.Summary()
+	if sum == nil || sum.Strides != 2 || sum.MaxMS < 9.9 {
+		t.Fatalf("summary %+v", sum)
 	}
 }

@@ -78,11 +78,16 @@ type Summary struct {
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	Rows        []Row    `json:"rows"`
 	Figures     []string `json:"figures"`
+	// StrideLatency carries exact per-stride latency percentiles over every
+	// observed DISC stride of the run; present only when a stride log was
+	// active (discbench -stridelog).
+	StrideLatency *LatencySummary `json:"stride_latency,omitempty"`
 }
 
 // WriteRowsJSON writes the rows as a JSON throughput summary (the
-// BENCH_disc.json artifact emitted by cmd/discbench and CI).
-func WriteRowsJSON(path string, rows []Row) error {
+// BENCH_disc.json artifact emitted by cmd/discbench and CI). lat may be
+// nil when no stride observer was attached.
+func WriteRowsJSON(path string, rows []Row, lat *LatencySummary) error {
 	figSet := map[string]bool{}
 	var figs []string
 	for _, r := range rows {
@@ -92,14 +97,15 @@ func WriteRowsJSON(path string, rows []Row) error {
 		}
 	}
 	sum := Summary{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Rows:        rows,
-		Figures:     figs,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Rows:          rows,
+		Figures:       figs,
+		StrideLatency: lat,
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {

@@ -30,6 +30,10 @@ type Options struct {
 	MemoryCap int64         // EXTRA-N bookkeeping budget; default 5M items
 	OutDir    string        // Fig. 12 artifact directory; default "out"
 	Seed      int64         // dataset seed override; 0 keeps defaults
+	// StrideLog, when non-nil, is attached as the stride observer of every
+	// engine that supports one (the DISC variants), producing one JSONL
+	// record per measured stride plus exact latency percentiles.
+	StrideLog *StrideLogger
 }
 
 func (o *Options) fill() {
@@ -116,6 +120,7 @@ func (o Options) runKind(kind string, cfg model.Config, win, stride int, steps [
 	if err != nil {
 		return RunResult{}, err
 	}
+	opts = o.observed(kind, opts)
 	if opts.Timeout == 0 {
 		opts.Timeout = o.Timeout
 	}
@@ -123,6 +128,17 @@ func (o Options) runKind(kind string, cfg model.Config, win, stride int, steps [
 		opts.MemoryCap = o.MemoryCap
 	}
 	return Run(eng, steps, opts), nil
+}
+
+// observed attaches the stride logger (when one is configured) to a run,
+// labeling its records with the engine under test. Figures that build
+// engines outside runKind use this directly.
+func (o Options) observed(engine string, opts RunOpts) RunOpts {
+	if o.StrideLog != nil {
+		o.StrideLog.SetEngine(engine)
+		opts.Observer = o.StrideLog
+	}
+	return opts
 }
 
 // Table2 prints the Table II analog: thresholds and (scaled) window sizes.
@@ -563,7 +579,7 @@ func FigExt2(o Options) ([]Row, error) {
 			return nil, err
 		}
 		eng := core.New(dc.Cfg)
-		res := Run(eng, steps, RunOpts{Timeout: o.Timeout})
+		res := Run(eng, steps, o.observed("disc", RunOpts{Timeout: o.Timeout}))
 		pt := eng.PhaseTimings()
 		n := float64(res.Strides)
 		if n == 0 {
@@ -617,7 +633,7 @@ func FigExt3(o Options) ([]Row, error) {
 	var baseCollect float64
 	for _, w := range []int{1, 2, 4, 8} {
 		eng := core.New(dc.Cfg, core.WithWorkers(w))
-		res := Run(eng, steps, RunOpts{Timeout: o.Timeout})
+		res := Run(eng, steps, o.observed(fmt.Sprintf("disc-w%d", w), RunOpts{Timeout: o.Timeout}))
 		n := float64(res.Strides)
 		if n == 0 {
 			n = 1

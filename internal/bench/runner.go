@@ -81,6 +81,17 @@ type RunOpts struct {
 	// Snapshot, when non-nil, is invoked after every measured stride with
 	// the stride index and the engine (for ARI-style quality probes).
 	Snapshot func(strideIdx int, eng model.Engine)
+	// Observer, when non-nil, is attached to engines that support one (the
+	// DISC variants) for the measured strides only — the bootstrap fill is
+	// deliberately excluded so it cannot skew latency percentiles — and
+	// detached again before Run returns.
+	Observer core.Observer
+}
+
+// observable is implemented by engines whose per-stride telemetry can be
+// tapped (currently the DISC core engine).
+type observable interface {
+	SetObserver(core.Observer)
 }
 
 // RunResult summarizes one engine over one windowed workload.
@@ -108,6 +119,12 @@ func Run(eng model.Engine, steps []window.Step, opts RunOpts) RunResult {
 	eng.Advance(steps[0].In, steps[0].Out)
 	res.BootstrapMS = float64(time.Since(start).Microseconds()) / 1000
 	eng.ResetStats()
+	if opts.Observer != nil {
+		if ob, ok := eng.(observable); ok {
+			ob.SetObserver(opts.Observer)
+			defer ob.SetObserver(nil)
+		}
+	}
 
 	var elapsed time.Duration
 	var points int

@@ -104,9 +104,16 @@ type Engine struct {
 	useEpoch bool
 	workers  int // COLLECT search fan-out; 1 = inline
 	onEvent  func(Event)
+	observer Observer
 
 	stats   model.Stats
 	timings PhaseTimings
+
+	// Per-stride telemetry tallies, reset at the top of Advance and read by
+	// observeStride; plain int fields so maintaining them costs one
+	// increment on paths that already allocate Event values.
+	strideEvents [numEventTypes]int
+	strideMerges int64
 
 	// Scratch reused across strides.
 	affected  []int64
@@ -144,7 +151,10 @@ func (e *Engine) Name() string { return "DISC" }
 func (e *Engine) Advance(in, out []model.Point) {
 	e.stride++
 	e.affected = e.affected[:0]
+	e.strideEvents = [numEventTypes]int{}
+	e.strideMerges = 0
 	treeBefore := e.tree.Stats()
+	statsBefore := e.stats
 
 	t0 := time.Now()
 	exCores, neoCores, cout := e.collect(in, out)
@@ -171,6 +181,12 @@ func (e *Engine) Advance(in, out []model.Point) {
 	e.stats.NodeAccesses += treeAfter.NodeAccesses - treeBefore.NodeAccesses
 	e.stats.Strides++
 	e.stats.MemoryItems = int64(len(e.pts))
+
+	if e.observer != nil {
+		e.observeStride(in, out, len(exCores), len(neoCores),
+			t0, t1, t2, t3, t4, statsBefore,
+			treeAfter.EpochPruned-treeBefore.EpochPruned)
+	}
 
 	if e.stride%compactInterval == 0 {
 		e.compactCIDs()

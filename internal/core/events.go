@@ -22,6 +22,9 @@ const (
 	// Dissipation: an ex-core component with no surviving bonding cores —
 	// the whole cluster dissolved.
 	Dissipation
+
+	// numEventTypes sizes per-type tally arrays; keep it last.
+	numEventTypes
 )
 
 // String returns the lower-case name of the event type.
@@ -83,8 +86,10 @@ func WithEventHandler(fn func(Event)) Option {
 	return func(e *Engine) { e.onEvent = fn }
 }
 
-// emit dispatches an event if a handler is registered.
+// emit dispatches an event if a handler is registered, and tallies it for
+// the stride's telemetry record.
 func (e *Engine) emit(ev Event) {
+	e.strideEvents[ev.Type]++
 	if e.onEvent != nil {
 		ev.Stride = e.stride
 		e.onEvent(ev)

@@ -99,6 +99,7 @@ func (gi *gridIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn fu
 	}
 	gi.SearchBall(c, eps, func(id int64, p geom.Vec) bool {
 		if gi.stamped[id] {
+			gi.stats.EpochPruned++
 			return true
 		}
 		if fn(id, p) {
@@ -144,6 +145,7 @@ type kdIndex struct {
 	tick    uint64
 	curTick uint64
 	stamped map[int64]bool
+	pruned  int64 // stamped-set skips, the emulated analog of EpochPruned
 }
 
 func newKDIndex(dims int) *kdIndex {
@@ -169,6 +171,7 @@ func (ki *kdIndex) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func
 	}
 	ki.t.SearchBall(c, eps, func(id int64, p geom.Vec) bool {
 		if ki.stamped[id] {
+			ki.pruned++
 			return true
 		}
 		if fn(id, p) {
@@ -184,7 +187,7 @@ func (ki *kdIndex) NextTick() uint64 {
 }
 
 func (ki *kdIndex) Stats() rtree.Stats {
-	return rtree.Stats{RangeSearches: ki.t.Searches(), NodeAccesses: ki.t.NodeAccesses()}
+	return rtree.Stats{RangeSearches: ki.t.Searches(), NodeAccesses: ki.t.NodeAccesses(), EpochPruned: ki.pruned}
 }
 
 func (ki *kdIndex) BulkLoad(ids []int64, pos []geom.Vec) { ki.t.BulkLoad(ids, pos) }

@@ -180,6 +180,7 @@ func (e *Engine) multiStarterBFS(bonding []int64) (closed [][]int64, ncc int) {
 				// either starter, so the winning root's slot is re-pointed
 				// at g and recorded as g's root.
 				threads.Union(g.root, j)
+				e.strideMerges++
 				g.q.Concat(&other.q)
 				g.members = append(g.members, other.members...)
 				other.members = nil

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"time"
+
+	"disc/internal/model"
+)
+
+// This file is the engine's telemetry tap. DISC's whole claim is work
+// proportional to the change, not the window (§VI of the paper breaks
+// per-stride cost into COLLECT / ex-core / neo-core phases and Fig. 7
+// counts range searches); the lump-sum Stats and PhaseTimings accumulators
+// cannot show a latency distribution or a per-stride trend. An Observer
+// receives one StrideRecord per Advance — everything the §VI-D drill-down
+// measures, as deltas scoped to that stride — so callers can feed
+// histograms, stride logs, or live dashboards without the engine knowing
+// about any of them.
+//
+// The tap is free when unused: every per-stride aggregate the record needs
+// is either already computed by Advance (phase timestamps, index stats
+// deltas) or a plain integer increment on an existing code path (event
+// tallies, MS-BFS merge count), and the record itself is a stack value
+// built behind a nil check.
+
+// StrideRecord is the per-Advance telemetry record. All counter-like
+// fields are deltas for that stride, not running totals.
+type StrideRecord struct {
+	Stride     uint64 // 1-based window advance counter
+	DeltaIn    int    // arrivals |Δin|
+	DeltaOut   int    // departures |Δout|
+	WindowSize int    // points resident after the advance
+
+	ExCores  int // ex-cores identified by COLLECT
+	NeoCores int // neo-cores identified by COLLECT
+
+	// Phase durations; Total = Collect + ExCorePhase + NeoCorePhase +
+	// Finalize (the phases partition the advance exactly).
+	Collect      time.Duration
+	ExCorePhase  time.Duration
+	NeoCorePhase time.Duration
+	Finalize     time.Duration
+	Total        time.Duration
+
+	RangeSearches int64 // ε-range searches issued this stride
+	NodeAccesses  int64 // index nodes (or grid cells) touched this stride
+	EpochPruned   int64 // entries/subtrees hidden by epoch probing this stride
+	MSBFSMerges   int64 // MS-BFS thread (queue) merges this stride
+
+	// Cluster-evolution event tallies for this stride.
+	Emergences   int
+	Expansions   int
+	Mergers      int
+	Splits       int
+	Shrinks      int
+	Dissipations int
+
+	Workers int // COLLECT fan-out width actually used this stride
+}
+
+// Observer receives one StrideRecord per Advance, synchronously, after the
+// stride's labels are finalized. Implementations must not call back into
+// the engine and should return quickly — they run on the Advance path.
+type Observer interface {
+	ObserveStride(StrideRecord)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(StrideRecord)
+
+// ObserveStride implements Observer.
+func (f ObserverFunc) ObserveStride(rec StrideRecord) { f(rec) }
+
+// WithObserver attaches an Observer to the engine. Only one observer is
+// held; attaching nil detaches. With no observer attached the telemetry
+// path is a single nil check per Advance.
+func WithObserver(o Observer) Option { return func(e *Engine) { e.observer = o } }
+
+// SetObserver attaches (or, with nil, detaches) the engine's Observer
+// between Advance calls — the post-construction form of WithObserver, for
+// callers that receive an already-built engine (checkpoint restore, the
+// bench runner).
+func (e *Engine) SetObserver(o Observer) { e.observer = o }
+
+// observeStride assembles and delivers the StrideRecord. Callers must have
+// checked e.observer != nil; statsBefore/treeBefore are the engine and
+// index counters captured at the top of Advance.
+func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
+	t0, t1, t2, t3, t4 time.Time, statsBefore model.Stats, epochPruned int64) {
+	workers := e.workers
+	if total := len(in) + len(out); workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e.observer.ObserveStride(StrideRecord{
+		Stride:        e.stride,
+		DeltaIn:       len(in),
+		DeltaOut:      len(out),
+		WindowSize:    len(e.pts),
+		ExCores:       exCores,
+		NeoCores:      neoCores,
+		Collect:       t1.Sub(t0),
+		ExCorePhase:   t2.Sub(t1),
+		NeoCorePhase:  t3.Sub(t2),
+		Finalize:      t4.Sub(t3),
+		Total:         t4.Sub(t0),
+		RangeSearches: e.stats.RangeSearches - statsBefore.RangeSearches,
+		NodeAccesses:  e.stats.NodeAccesses - statsBefore.NodeAccesses,
+		EpochPruned:   epochPruned,
+		MSBFSMerges:   e.strideMerges,
+		Emergences:    e.strideEvents[Emergence],
+		Expansions:    e.strideEvents[Expansion],
+		Mergers:       e.strideEvents[Merger],
+		Splits:        e.strideEvents[Split],
+		Shrinks:       e.strideEvents[Shrink],
+		Dissipations:  e.strideEvents[Dissipation],
+		Workers:       workers,
+	})
+}

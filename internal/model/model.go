@@ -77,7 +77,12 @@ type Stats struct {
 	MemoryItems   int64 // engine-specific resident bookkeeping entries (EXTRA-N's sub-window records, micro-cluster counts, ...)
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Flow counters (searches, accesses,
+// strides, splits, merges) sum; MemoryItems does NOT — it is a level, the
+// resident bookkeeping high-water mark, so Add keeps the maximum of the
+// two sides. Summing it across strides or engines would double-count state
+// that stayed resident the whole time (and would break DNF memory-cap
+// checks, which compare against a peak, not a total).
 func (s *Stats) Add(other Stats) {
 	s.RangeSearches += other.RangeSearches
 	s.NodeAccesses += other.NodeAccesses

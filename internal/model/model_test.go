@@ -61,3 +61,19 @@ func TestStatsAdd(t *testing.T) {
 		t.Fatalf("MemoryItems = %d, want 100", a.MemoryItems)
 	}
 }
+
+// TestStatsAddMemoryItemsIsLevel pins the documented Add contract: folding
+// per-stride snapshots that each report the same resident footprint must
+// yield that footprint (a peak), never a multiple of it (a total).
+func TestStatsAddMemoryItemsIsLevel(t *testing.T) {
+	var total Stats
+	for i := 0; i < 10; i++ {
+		total.Add(Stats{Strides: 1, MemoryItems: 4000})
+	}
+	if total.Strides != 10 {
+		t.Fatalf("Strides = %d, want 10 (flow counters sum)", total.Strides)
+	}
+	if total.MemoryItems != 4000 {
+		t.Fatalf("MemoryItems = %d, want 4000 (levels keep the max)", total.MemoryItems)
+	}
+}

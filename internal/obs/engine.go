@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"disc/internal/core"
+)
+
+// EngineMetrics is a core.Observer that feeds a Registry: one instance
+// registers the full disc_* metric family and translates each StrideRecord
+// into counter/gauge/histogram updates. Attach it with
+// core.WithObserver(m) (or Engine.SetObserver) and mount the registry's
+// Handler at /metrics.
+//
+// Metric inventory (all prefixed disc_):
+//
+//	stride_duration_seconds        histogram  whole-Advance latency
+//	phase_duration_seconds{phase}  histogram  collect|ex_cores|neo_cores|finalize
+//	strides_total                  counter    window advances
+//	points_in_total                counter    Δin arrivals
+//	points_out_total               counter    Δout departures
+//	ex_cores_total                 counter    ex-cores identified
+//	neo_cores_total                counter    neo-cores identified
+//	range_searches_total           counter    ε-range searches issued
+//	node_accesses_total            counter    index nodes / grid cells touched
+//	epoch_pruned_total             counter    entries hidden by epoch probing
+//	msbfs_queue_merges_total       counter    MS-BFS thread merges
+//	cluster_events_total{type}     counter    emergence|expansion|merger|split|shrink|dissipation
+//	window_size                    gauge      resident points after the last stride
+//	collect_workers                gauge      COLLECT fan-out width of the last stride
+type EngineMetrics struct {
+	strideDur *Histogram
+	phaseDur  [4]*Histogram // collect, ex_cores, neo_cores, finalize
+
+	strides       *Counter
+	pointsIn      *Counter
+	pointsOut     *Counter
+	exCores       *Counter
+	neoCores      *Counter
+	rangeSearches *Counter
+	nodeAccesses  *Counter
+	epochPruned   *Counter
+	msbfsMerges   *Counter
+	events        [6]*Counter // indexed by core.EventType
+
+	windowSize *Gauge
+	workers    *Gauge
+}
+
+// NewEngineMetrics registers the disc_* instruments on r and returns the
+// observer. Register at most once per registry (duplicate names panic).
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	m := &EngineMetrics{
+		strideDur: r.Histogram("disc_stride_duration_seconds",
+			"Wall-clock duration of one window advance (COLLECT through finalize).", nil, nil),
+		strides: r.Counter("disc_strides_total",
+			"Window advances processed.", nil),
+		pointsIn: r.Counter("disc_points_in_total",
+			"Points that entered the window (sum of stride delta-in sizes).", nil),
+		pointsOut: r.Counter("disc_points_out_total",
+			"Points that left the window (sum of stride delta-out sizes).", nil),
+		exCores: r.Counter("disc_ex_cores_total",
+			"Ex-cores identified by COLLECT (were cores, no longer are or exited).", nil),
+		neoCores: r.Counter("disc_neo_cores_total",
+			"Neo-cores identified by COLLECT (are cores, were not or just arrived).", nil),
+		rangeSearches: r.Counter("disc_range_searches_total",
+			"Epsilon-range searches issued against the spatial index.", nil),
+		nodeAccesses: r.Counter("disc_node_accesses_total",
+			"Index nodes (or grid cells) touched by range searches.", nil),
+		epochPruned: r.Counter("disc_epoch_pruned_total",
+			"Entries or subtrees hidden from reachability searches by epoch probing.", nil),
+		msbfsMerges: r.Counter("disc_msbfs_queue_merges_total",
+			"Multi-Starter BFS thread merges (two search frontiers met).", nil),
+		windowSize: r.Gauge("disc_window_size",
+			"Points resident in the sliding window after the last stride.", nil),
+		workers: r.Gauge("disc_collect_workers",
+			"COLLECT worker fan-out width used by the last stride.", nil),
+	}
+	phases := []string{"collect", "ex_cores", "neo_cores", "finalize"}
+	for i, ph := range phases {
+		m.phaseDur[i] = r.Histogram("disc_phase_duration_seconds",
+			"Wall-clock duration of one DISC phase within an advance.", nil, Labels{"phase": ph})
+	}
+	for t := core.EventType(0); int(t) < len(m.events); t++ {
+		m.events[t] = r.Counter("disc_cluster_events_total",
+			"Cluster-evolution events detected, by kind.", Labels{"type": t.String()})
+	}
+	return m
+}
+
+// ObserveStride implements core.Observer.
+func (m *EngineMetrics) ObserveStride(rec core.StrideRecord) {
+	m.strideDur.Observe(rec.Total.Seconds())
+	m.phaseDur[0].Observe(rec.Collect.Seconds())
+	m.phaseDur[1].Observe(rec.ExCorePhase.Seconds())
+	m.phaseDur[2].Observe(rec.NeoCorePhase.Seconds())
+	m.phaseDur[3].Observe(rec.Finalize.Seconds())
+
+	m.strides.Inc()
+	m.pointsIn.Add(int64(rec.DeltaIn))
+	m.pointsOut.Add(int64(rec.DeltaOut))
+	m.exCores.Add(int64(rec.ExCores))
+	m.neoCores.Add(int64(rec.NeoCores))
+	m.rangeSearches.Add(rec.RangeSearches)
+	m.nodeAccesses.Add(rec.NodeAccesses)
+	m.epochPruned.Add(rec.EpochPruned)
+	m.msbfsMerges.Add(rec.MSBFSMerges)
+
+	m.events[core.Emergence].Add(int64(rec.Emergences))
+	m.events[core.Expansion].Add(int64(rec.Expansions))
+	m.events[core.Merger].Add(int64(rec.Mergers))
+	m.events[core.Split].Add(int64(rec.Splits))
+	m.events[core.Shrink].Add(int64(rec.Shrinks))
+	m.events[core.Dissipation].Add(int64(rec.Dissipations))
+
+	m.windowSize.Set(float64(rec.WindowSize))
+	m.workers.Set(float64(rec.Workers))
+}

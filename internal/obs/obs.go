@@ -1,0 +1,370 @@
+// Package obs is a dependency-free telemetry kit for the DISC stack: a
+// metrics registry of counters, gauges, and fixed-bucket histograms whose
+// hot paths are single atomic operations, rendered in the Prometheus text
+// exposition format and publishable through the standard library's expvar.
+//
+// The design goals, in order:
+//
+//  1. Zero cost when unused — instruments are plain structs around
+//     sync/atomic words; observing a value is one or two atomic adds, no
+//     locks, no allocation, no time lookups.
+//  2. Scrape-while-update safety — a /metrics render may run concurrently
+//     with any number of writers; readers see a (per-instrument) consistent
+//     snapshot without ever blocking the writers.
+//  3. No dependencies — everything is stdlib, matching the repository rule.
+//
+// A Registry owns a set of named instruments. Names follow Prometheus
+// conventions (snake_case, base-unit suffixes, _total for counters); an
+// instrument may carry constant labels, which is how per-phase families
+// such as disc_phase_duration_seconds{phase="collect"} are expressed.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant key→value pairs attached to one instrument. They are
+// copied at registration; mutating the original map afterwards has no
+// effect.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric. The zero value is usable
+// but unregistered; obtain registered counters from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must not be negative (counters only go up). Negative
+// deltas are dropped rather than corrupting the monotonic contract.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] tallies observations ≤ bounds[i], with one overflow
+// bucket (le="+Inf") at the end. Observing is a binary search plus two
+// atomic adds; no locks are taken on the hot path.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds, +Inf excluded
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	count   atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Find the first bound >= v; sort.SearchFloat64s returns len(bounds)
+	// when v exceeds every bound, which is exactly the +Inf bucket index.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket that crosses the target rank — the same estimate
+// Prometheus's histogram_quantile computes. It returns 0 with no samples;
+// ranks landing in the overflow bucket return the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank && c > 0 {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+		lower = bound
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefDurationBuckets are the default latency bounds in seconds: 100µs to
+// 10s in a roughly 1-2.5-5 progression, sized for per-stride engine work
+// that ranges from sub-millisecond (small strides) to seconds (bulk
+// windows).
+func DefDurationBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// instrument ties one registered metric to its identity.
+type instrument struct {
+	family string // metric family name (no labels)
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry owns a set of instruments and renders them for scraping. All
+// methods are safe for concurrent use; instruments are typically created
+// once at startup and then only written.
+type Registry struct {
+	mu    sync.Mutex
+	insts []*instrument
+	seen  map[string]bool // family+labels, to reject duplicates
+	types map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool), types: make(map[string]string)}
+}
+
+// Counter registers and returns a counter. It panics on a duplicate
+// name+labels combination or a family re-registered under another type —
+// both are programming errors, caught at startup.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(&instrument{family: name, help: help, typ: "counter", labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(&instrument{family: name, help: help, typ: "gauge", labels: renderLabels(labels), g: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (strictly increasing, +Inf implied; nil selects
+// DefDurationBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if buckets == nil {
+		buckets = DefDurationBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), buckets...), counts: make([]atomic.Int64, len(buckets)+1)}
+	r.register(&instrument{family: name, help: help, typ: "histogram", labels: renderLabels(labels), h: h})
+	return h
+}
+
+func (r *Registry) register(in *instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := in.family + in.labels
+	if r.seen[key] {
+		panic(fmt.Sprintf("obs: duplicate metric %s%s", in.family, in.labels))
+	}
+	if t, ok := r.types[in.family]; ok && t != in.typ {
+		panic(fmt.Sprintf("obs: metric family %s registered as both %s and %s", in.family, t, in.typ))
+	}
+	r.seen[key] = true
+	r.types[in.family] = in.typ
+	r.insts = append(r.insts, in)
+}
+
+// renderLabels produces the canonical `{k="v",...}` suffix with keys
+// sorted, or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices extra into a rendered label suffix (for the le label
+// of histogram buckets).
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), grouping instruments of one
+// family under a single HELP/TYPE header in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	insts := append([]*instrument(nil), r.insts...)
+	r.mu.Unlock()
+
+	// Group by family, preserving first-registration order.
+	var families []string
+	byFam := map[string][]*instrument{}
+	for _, in := range insts {
+		if _, ok := byFam[in.family]; !ok {
+			families = append(families, in.family)
+		}
+		byFam[in.family] = append(byFam[in.family], in)
+	}
+	var b strings.Builder
+	for _, fam := range families {
+		group := byFam[fam]
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam, escapeHelp(group[0].help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, group[0].typ)
+		for _, in := range group {
+			switch in.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", fam, in.labels, in.c.Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", fam, in.labels, fmtFloat(in.g.Value()))
+			case "histogram":
+				h := in.h
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, mergeLabels(in.labels, fmt.Sprintf("le=%q", fmtFloat(bound))), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, mergeLabels(in.labels, `le="+Inf"`), h.Count())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam, in.labels, fmtFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam, in.labels, h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Expvar returns an expvar.Var whose String() is a JSON object mapping
+// metric name (with labels) to its current value — counters and gauges to
+// numbers, histograms to {count, sum, p50, p95, p99}.
+func (r *Registry) Expvar() expvar.Var {
+	return expvar.Func(func() any {
+		r.mu.Lock()
+		insts := append([]*instrument(nil), r.insts...)
+		r.mu.Unlock()
+		out := make(map[string]any, len(insts))
+		for _, in := range insts {
+			key := in.family + in.labels
+			switch in.typ {
+			case "counter":
+				out[key] = in.c.Value()
+			case "gauge":
+				out[key] = in.g.Value()
+			case "histogram":
+				out[key] = map[string]any{
+					"count": in.h.Count(),
+					"sum":   in.h.Sum(),
+					"p50":   in.h.Quantile(0.50),
+					"p95":   in.h.Quantile(0.95),
+					"p99":   in.h.Quantile(0.99),
+				}
+			}
+		}
+		return out
+	})
+}
+
+// PublishExpvar publishes the registry under the given expvar name (it
+// then appears in GET /debug/vars). Publishing is first-wins: if the name
+// is already taken — e.g. a second server in the same process — the call
+// is a no-op, because expvar.Publish panics on duplicates and process-wide
+// vars cannot be unpublished.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.Expvar())
+}

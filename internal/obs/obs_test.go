@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help", nil)
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // dropped: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("x_level", "help", nil)
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.56) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.56", h.Sum())
+	}
+	// Quantiles interpolate within the crossing bucket and clamp overflow
+	// ranks to the largest finite bound.
+	if q := h.Quantile(0.5); q < 0 || q > 0.1 {
+		t.Fatalf("p50 = %g, want within (0, 0.1]", q)
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Fatalf("p99 = %g, want clamped to 1", q)
+	}
+	empty := r.Histogram("lat2_seconds", "help", []float64{1}, nil)
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("disc_range_searches_total", "Range searches.", nil)
+	c.Add(7)
+	g := r.Gauge("disc_window_size", "Window size.", nil)
+	g.Set(4000)
+	h := r.Histogram("disc_stride_duration_seconds", "Stride latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	for _, ph := range []string{"collect", "finalize"} {
+		r.Histogram("disc_phase_duration_seconds", "Phase latency.", []float64{1}, Labels{"phase": ph})
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP disc_range_searches_total Range searches.\n",
+		"# TYPE disc_range_searches_total counter\n",
+		"disc_range_searches_total 7\n",
+		"disc_window_size 4000\n",
+		"# TYPE disc_stride_duration_seconds histogram\n",
+		`disc_stride_duration_seconds_bucket{le="0.1"} 1` + "\n",
+		`disc_stride_duration_seconds_bucket{le="1"} 2` + "\n",
+		`disc_stride_duration_seconds_bucket{le="+Inf"} 3` + "\n",
+		"disc_stride_duration_seconds_sum 2.55\n",
+		"disc_stride_duration_seconds_count 3\n",
+		`disc_phase_duration_seconds_bucket{phase="collect",le="1"} 0` + "\n",
+		`disc_phase_duration_seconds_bucket{phase="finalize",le="+Inf"} 0` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family even with several label sets.
+	if n := strings.Count(out, "# TYPE disc_phase_duration_seconds"); n != 1 {
+		t.Errorf("phase family has %d TYPE headers, want 1", n)
+	}
+}
+
+func TestRegistryDuplicatesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h", nil)
+	mustPanic(t, "duplicate name", func() { r.Counter("a_total", "h", nil) })
+	mustPanic(t, "family type clash", func() { r.Gauge("a_total", "h", Labels{"x": "y"}) })
+	r.Counter("a_total", "h", Labels{"x": "y"}) // distinct labels: fine
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("b", "h", []float64{1, 1}, nil) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestExpvarSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", nil).Add(3)
+	h := r.Histogram("h_seconds", "h", []float64{1}, nil)
+	h.Observe(0.5)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.Expvar().String()), &m); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if m["c_total"] != float64(3) {
+		t.Fatalf("c_total = %v", m["c_total"])
+	}
+	hist, ok := m["h_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("h_seconds = %v", m["h_seconds"])
+	}
+}
+
+// TestConcurrentScrape hammers one registry from writer and scraper
+// goroutines; run under -race this proves scrape-while-update safety.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h", nil)
+	g := r.Gauge("g", "h", nil)
+	h := r.Histogram("h_seconds", "h", nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.Expvar().String()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d g=%g", c.Value(), h.Count(), g.Value())
+	}
+}

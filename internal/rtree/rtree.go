@@ -30,6 +30,11 @@ const (
 type Stats struct {
 	RangeSearches int64 // number of SearchBall/SearchRect/SearchBallEpoch calls
 	NodeAccesses  int64 // number of tree nodes touched by searches
+	// EpochPruned counts the entries — leaf points or whole subtrees — an
+	// epoch-probed search skipped because their epoch already matched the
+	// search's tick: the work Algorithm 4 saves over re-descending for
+	// every already-visited point.
+	EpochPruned int64
 }
 
 type entry struct {
@@ -490,7 +495,11 @@ func (t *T) searchBallEpoch(n *node, c geom.Vec, eps float64, tick uint64, fn fu
 	changed := false
 	for i := range n.entries {
 		e := &n.entries[i]
-		if e.epoch >= tick || !e.rect.IntersectsBall(c, t.dims, eps) {
+		if e.epoch >= tick {
+			t.stats.EpochPruned++
+			continue
+		}
+		if !e.rect.IntersectsBall(c, t.dims, eps) {
 			continue
 		}
 		if n.leaf {

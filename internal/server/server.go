@@ -10,8 +10,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +22,7 @@ import (
 	"disc/internal/core"
 	"disc/internal/geom"
 	"disc/internal/model"
+	"disc/internal/obs"
 	"disc/internal/window"
 )
 
@@ -31,11 +34,22 @@ type Config struct {
 	// EventLog bounds the in-memory cluster-evolution event ring; 0 keeps
 	// the default of 1024.
 	EventLog int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and should only be
+	// reachable on trusted networks.
+	EnablePprof bool
 }
 
 // Server is the HTTP handler set. Create with New, mount via Handler.
 type Server struct {
 	cfg Config
+
+	// Telemetry. The registry's instruments are atomics, so /metrics and
+	// /debug/vars scrape them without taking mu — scrapes never stall
+	// ingestion and ingestion never stalls scrapes.
+	reg      *obs.Registry
+	metrics  *obs.EngineMetrics
+	ingestMx *obs.Counter // disc_ingested_points_total
 
 	mu       sync.Mutex
 	eng      *core.Engine
@@ -67,10 +81,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.EventLog <= 0 {
 		cfg.EventLog = 1024
 	}
-	s := &Server{cfg: cfg, slider: slider}
-	s.eng = core.New(cfg.Cluster, core.WithEventHandler(s.recordEvent))
+	s := &Server{cfg: cfg, slider: slider, reg: obs.NewRegistry()}
+	s.metrics = obs.NewEngineMetrics(s.reg)
+	s.ingestMx = s.reg.Counter("disc_ingested_points_total",
+		"Points accepted by POST /ingest (including those still buffered below a stride boundary).", nil)
+	s.eng = core.New(cfg.Cluster,
+		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
 	return s, nil
 }
+
+// Registry exposes the server's metrics registry, e.g. to add
+// process-level instruments before mounting the handler.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 func (s *Server) recordEvent(ev core.Event) {
 	s.eventSeq++
@@ -107,6 +129,19 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
+	// expvar: the registry is published process-wide under "disc"
+	// (first server wins — expvar names cannot be unpublished), alongside
+	// the standard cmdline/memstats vars.
+	s.reg.PublishExpvar("disc")
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -151,7 +186,8 @@ func (s *Server) handleCheckpointLoad(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	eng, err := core.LoadEngine(bytes.NewReader(env.Engine), core.WithEventHandler(s.recordEvent))
+	eng, err := core.LoadEngine(bytes.NewReader(env.Engine),
+		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
 	if err != nil {
 		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
 		return
@@ -214,6 +250,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.ingested++
+		s.ingestMx.Inc()
 	}
 	writeJSON(w, ingestResponse{
 		Accepted: len(batch),
