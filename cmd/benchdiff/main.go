@@ -1,0 +1,131 @@
+// Command benchdiff compares two `go test -bench` output files and fails
+// when a gated benchmark's median ns/op regresses beyond a threshold. It is
+// the CI regression gate behind the benchstat report: benchstat renders the
+// human-readable comparison, benchdiff turns "median Advance latency got
+// >10% slower" into a non-zero exit code.
+//
+// Usage:
+//
+//	benchdiff -old baseline.txt -new current.txt [-gate regexp] [-threshold pct]
+//
+// Both files hold raw `go test -bench` output, ideally with -count>1 so the
+// median is taken over several samples. Benchmark names are compared with
+// the -N GOMAXPROCS suffix stripped. Benchmarks present in only one file are
+// reported and skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkAdvance-4   100   11761106 ns/op   123 B/op   4 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from a -bench output
+// file.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even counts).
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline go test -bench output")
+	newPath := flag.String("new", "", "current go test -bench output")
+	gate := flag.String("gate", "^BenchmarkAdvance$", "regexp of benchmarks that fail the run on regression")
+	threshold := flag.Float64("threshold", 10, "allowed median regression for gated benchmarks, percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	oldRes, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		nv := median(newRes[name])
+		ov, ok := oldRes[name]
+		if !ok {
+			fmt.Printf("%-60s new benchmark, no baseline\n", name)
+			continue
+		}
+		base := median(ov)
+		deltaPct := 0.0
+		if base > 0 {
+			deltaPct = (nv - base) / base * 100
+		}
+		gated := gateRE.MatchString(name)
+		status := "ok"
+		if gated && deltaPct > *threshold {
+			status = fmt.Sprintf("FAIL (> %.0f%%)", *threshold)
+			failed = true
+		} else if !gated {
+			status = "info"
+		}
+		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, base, nv, deltaPct, status)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Printf("%-60s removed (present only in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: gated benchmark regressed beyond threshold")
+		os.Exit(1)
+	}
+}

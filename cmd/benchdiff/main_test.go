@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchMedian(t *testing.T) {
+	p := writeTemp(t, "bench.txt", `goos: linux
+goarch: amd64
+pkg: disc/internal/core
+BenchmarkAdvance-4   	     100	  11000000 ns/op	  123 B/op	       4 allocs/op
+BenchmarkAdvance-4   	     100	  13000000 ns/op
+BenchmarkAdvance-4   	     100	  12000000 ns/op
+BenchmarkClusterWorkers/workers=4-4  	      20	 135814949 ns/op
+PASS
+`)
+	res, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res["BenchmarkAdvance"]); got != 3 {
+		t.Fatalf("BenchmarkAdvance samples = %d, want 3", got)
+	}
+	if m := median(res["BenchmarkAdvance"]); m != 12000000 {
+		t.Fatalf("median = %v, want 12000000", m)
+	}
+	if got := len(res["BenchmarkClusterWorkers/workers=4"]); got != 1 {
+		t.Fatalf("subbenchmark not parsed: %+v", res)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	discbench -fig 4            # one figure (4..12)
 //	discbench -fig table2       # the parameter table
+//	discbench -fig ext3,ext4    # a comma-separated subset
 //	discbench -fig all          # everything, in paper order
 //	discbench -fig 9 -scale 0.5 # half-size windows (faster)
 //
@@ -21,13 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"disc/internal/bench"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4..12, table2, or all")
+	fig := flag.String("fig", "all", "figures to regenerate: 4..12, table2, a comma-separated list, or all")
 	scale := flag.Float64("scale", 1, "window scale relative to the (already scaled-down) Table II defaults")
 	strides := flag.Int("strides", 10, "measured strides per engine run")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-engine-run time budget (DNF beyond)")
@@ -94,8 +96,12 @@ func main() {
 				fail(err)
 			}
 		}
-	} else if err := run(*fig); err != nil {
-		fail(err)
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			if err := run(strings.TrimSpace(id)); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if *csvPath != "" {
 		if err := bench.WriteRowsCSV(*csvPath, allRows); err != nil {

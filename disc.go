@@ -98,15 +98,18 @@ type DISCOption = core.Option
 // optimization; see the Fig. 8 ablation of the paper.
 func WithMSBFS(on bool) DISCOption { return core.WithMSBFS(on) }
 
-// WithEpochProbing enables (default) or disables epoch-based R-tree probing.
+// WithEpochProbing enables (default) or disables epoch-stamped reuse of the
+// reachability scratch state; disabling rebuilds fresh visited state per
+// connectivity check (the Fig. 8-style ablation), with identical results.
 func WithEpochProbing(on bool) DISCOption { return core.WithEpochProbing(on) }
 
-// WithWorkers sets how many goroutines DISC's COLLECT step fans its ε-range
-// searches over; n <= 0 selects GOMAXPROCS, 1 (the default) stays
-// sequential. Clustering output is bit-identical for every worker count —
-// the searches are read-only and their private result buffers are merged
-// deterministically — so this is purely a throughput knob. The setting is
-// persisted in checkpoints.
+// WithWorkers sets how many goroutines DISC fans its ε-range searches over
+// — both COLLECT's per-point searches and CLUSTER's component captures and
+// MS-BFS connectivity checks; n <= 0 selects GOMAXPROCS, 1 (the default)
+// stays sequential. Clustering output, statistics, and the event stream are
+// bit-identical for every worker count — the searches are read-only and
+// their private result buffers are folded in a fixed order — so this is
+// purely a throughput knob. The setting is persisted in checkpoints.
 func WithWorkers(n int) DISCOption { return core.WithWorkers(n) }
 
 // WithGridIndex swaps DISC's R-tree for a hash grid with the given cell

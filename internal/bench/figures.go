@@ -667,6 +667,76 @@ func FigExt3(o Options) ([]Row, error) {
 	return rows, tw.Flush()
 }
 
+// FigExt4 is an extension experiment (not in the paper): scaling of the
+// parallel CLUSTER phase (ex-core + neo-core processing) with the worker
+// count, on the DTG analog at a 25% stride — heavy churn makes every stride
+// carry large retro-/nascent-reachable components. The capture/fold split is
+// exactness-preserving, so every worker count produces the identical
+// clustering and event stream; only the wall clock changes. Speedups are
+// bounded by GOMAXPROCS — on a single-core host every worker count
+// degenerates to ~1x. Each run also samples per-phase heap allocations
+// (WithAllocTracking), recording allocs and bytes per stride for COLLECT and
+// CLUSTER next to the timing curve.
+func FigExt4(o Options) ([]Row, error) {
+	o.fill()
+	dc, err := o.config("dtg")
+	if err != nil {
+		return nil, err
+	}
+	stride := ratioStride(dc.Window, 0.25)
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	fmt.Fprintf(o.Out, "\n[Fig ext4] %s: parallel CLUSTER scaling (stride=25%%, GOMAXPROCS=%d)\n",
+		dc.Label, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\tCLUSTER ms\tstride ms\tCLUSTER speedup\tCLUSTER allocs/stride\tCLUSTER KB/stride")
+	var baseCluster float64
+	for _, w := range []int{1, 2, 4, 8} {
+		eng := core.New(dc.Cfg, core.WithWorkers(w), core.WithAllocTracking(true))
+		res := Run(eng, steps, o.observed(fmt.Sprintf("disc-w%d", w), RunOpts{Timeout: o.Timeout}))
+		n := float64(res.Strides)
+		if n == 0 {
+			n = 1
+		}
+		pt := eng.PhaseTimings()
+		clusterMS := (msOf(pt.ExCores) + msOf(pt.NeoCores)) / n
+		if w == 1 {
+			baseCluster = clusterMS
+		}
+		var speedup float64
+		if clusterMS > 0 {
+			speedup = baseCluster / clusterMS
+		}
+		al := eng.PhaseAllocs()
+		rows = append(rows, Row{
+			Figure: "ext4", Dataset: dc.Label,
+			Param: fmt.Sprintf("workers=%d", w), Engine: "DISC",
+			Value: clusterMS, Unit: "ms",
+			Extra: map[string]float64{
+				"speedup":            speedup,
+				"stride_ms":          msOf(res.PerStride),
+				"collect_ms":         msOf(pt.Collect) / n,
+				"advance_allocs_op":  float64(al.TotalObjs()) / n,
+				"advance_bytes_op":   float64(al.TotalBytes()) / n,
+				"collect_allocs_op":  float64(al.CollectObjs) / n,
+				"collect_bytes_op":   float64(al.CollectBytes) / n,
+				"cluster_allocs_op":  float64(al.ClusterObjs) / n,
+				"cluster_bytes_op":   float64(al.ClusterBytes) / n,
+				"finalize_allocs_op": float64(al.FinalizeObjs) / n,
+				"finalize_bytes_op":  float64(al.FinalizeBytes) / n,
+			},
+			DNF: res.DNF, Note: res.DNFReason,
+		})
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t%.0f\t%.1f\n",
+			w, clusterMS, msOf(res.PerStride), speedup,
+			float64(al.ClusterObjs)/n, float64(al.ClusterBytes)/n/1024)
+	}
+	return rows, tw.Flush()
+}
+
 // Fig11 regenerates Figure 11: per-point update latency of DISC vs
 // ρ²-DBSCAN (ρ=0.001) across distance thresholds, on Maze and DTG; the
 // crossover appears only at thresholds too coarse to be useful.
@@ -868,11 +938,11 @@ func Figures() map[string]func(Options) ([]Row, error) {
 	return map[string]func(Options) ([]Row, error){
 		"4": Fig4, "5": Fig5, "6": Fig6, "7": Fig7,
 		"8": Fig8, "9": Fig9, "10": Fig10, "11": Fig11, "12": Fig12,
-		"ext1": FigExt1, "ext2": FigExt2, "ext3": FigExt3,
+		"ext1": FigExt1, "ext2": FigExt2, "ext3": FigExt3, "ext4": FigExt4,
 	}
 }
 
 // FigureIDs returns the figure ids in presentation order.
 func FigureIDs() []string {
-	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2", "ext3"}
+	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2", "ext3", "ext4"}
 }

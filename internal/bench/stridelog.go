@@ -57,7 +57,10 @@ type StrideLogRecord struct {
 	Shrinks      int `json:"shrinks,omitempty"`
 	Dissipations int `json:"dissipations,omitempty"`
 
-	Workers int `json:"workers"`
+	Workers        int   `json:"workers"`
+	ClusterWorkers int   `json:"cluster_workers"`
+	ConnChecks     int   `json:"conn_checks,omitempty"`
+	PoolGrows      int64 `json:"pool_grows,omitempty"`
 }
 
 // NewStrideLogger returns a logger writing JSON lines to w. A nil w keeps
@@ -110,7 +113,8 @@ func (l *StrideLogger) ObserveStride(rec core.StrideRecord) {
 		Emergences: rec.Emergences, Expansions: rec.Expansions,
 		Mergers: rec.Mergers, Splits: rec.Splits,
 		Shrinks: rec.Shrinks, Dissipations: rec.Dissipations,
-		Workers: rec.Workers,
+		Workers: rec.Workers, ClusterWorkers: rec.ClusterWorkers,
+		ConnChecks: rec.ConnChecks, PoolGrows: rec.PoolGrows,
 	})
 }
 

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"disc/internal/geom"
+	"disc/internal/model"
+)
+
+// This file implements the parallel CLUSTER step (Algorithm 2), restructured
+// the way collect.go restructured COLLECT: read-only searches fan out over
+// the WithWorkers pool into private capture buffers, and every side effect
+// the serial walks applied inline is replayed single-threaded in a fixed
+// order, so any worker count — including 1, which runs the fan-outs inline —
+// produces bit-identical clusterings, event streams, and statistics.
+//
+// The ex-core phase runs as four sub-phases:
+//
+//	A. Capture (parallel): one SearchBallRO per ex-core — COLLECT already
+//	   identified every ex-core, and retro-reachable components consist of
+//	   nothing else — classifying each neighbor into the capture's buffers
+//	   (coreDeg decrements, hint operations, affected ids, M⁻ candidates,
+//	   R⁻ frontier edges) in ball order. Captures read only fields frozen
+//	   during CLUSTER (pos, n, label, wasCore, enterStamp) and write only
+//	   their own buffer, so they are trivially race-free.
+//	B. Assembly (sequential): a BFS over the captured frontier lists
+//	   partitions the ex-cores into retro-reachable components, visiting
+//	   members and deduplicating M⁻ (via bondTick/bondStamp) in exactly the
+//	   order the serial walk did.
+//	C. Connectivity (parallel): components with |M⁻| ≥ 2 run their MS-BFS
+//	   checks on the worker pool, each against a per-worker scratch,
+//	   recording results into a per-component connResult (msbfs.go).
+//	D. Fold (sequential, in component order): replay each member's captured
+//	   effects, then the component's connectivity effects, then decide
+//	   dissipation / shrink / split, allocate fresh cluster ids, relabel,
+//	   and emit the event — byte-for-byte the serial sequence.
+//
+// Determinism of the fold order is what resolves the hard case of two
+// components whose neighbor balls overlap on a shared non-core point: both
+// record hint writes for it, and the fold applies them in component order,
+// so the point ends with the hint the serial walk would have left.
+// Conditional effects — the serial walk clears a neighbor's hint only `if
+// q.hint == eid` — are recorded as conditional hintOps and evaluated at
+// fold time against the evolving state, which is exactly the state the
+// serial walk would have seen at that step.
+//
+// The neo-core phase is the same shape but needs no connectivity sub-phase:
+// captures fan out in parallel, then assembly and fold run fused,
+// per-component, in seed order. Cluster ids of bonding cores are captured
+// raw and resolved through cids.Find at fold time, because a merger earlier
+// in the fold mutates the union-find that later components must observe.
+//
+// All buffers live on the Engine and are pooled across strides; nothing
+// here is observable state and none of it is persisted (persist.go stores
+// an explicit field list).
+
+// hintOp is one deferred border-hint write captured during a read-only
+// CLUSTER search, replayed by the fold.
+type hintOp struct {
+	target int64 // point whose hint is written
+	arg    int64 // clear: the core id to test against; set: the new hint
+	clear  bool  // true: "if hint == arg, clear it"; false: "hint = arg"
+}
+
+// applyHintOps replays recorded hint operations against live state. Must
+// run single-threaded, in recording order.
+func (e *Engine) applyHintOps(ops []hintOp) {
+	for _, op := range ops {
+		q := e.pts[op.target]
+		if op.clear {
+			if q.hint == op.arg {
+				q.hint = noHint
+			}
+		} else {
+			q.hint = op.arg
+		}
+	}
+}
+
+// exCapture is the private buffer one phase-A search around one ex-core
+// fills. Slices are retained across strides; every list preserves ball
+// (traversal) order so the fold replays the serial effect sequence.
+type exCapture struct {
+	degDec   []int64  // neighbors whose coreDeg drops
+	hints    []hintOp // conditional clears + the ex-core's own hint updates
+	affected []int64  // neighbors to mark affected
+	bonding  []int64  // surviving-core neighbors: M⁻ candidates (pre-dedup)
+	frontier []int64  // ex-core neighbors: R⁻ expansion edges
+	nodes    int64    // index nodes the search touched
+}
+
+// neoCapture is the dual buffer for one neo-core. The same neighbor set
+// receives the coreDeg credit, the hint refresh, and the affected mark, so
+// one list serves all three.
+type neoCapture struct {
+	touched  []int64 // non-departed neighbors, ball order
+	rawCIDs  []int   // raw cluster ids of surviving-core neighbors (M⁺)
+	frontier []int64 // neo-core neighbors: R⁺ expansion edges
+	nodes    int64
+}
+
+// exComponent is one retro-reachable component: capture indices of its
+// members in BFS discovery order plus its deduplicated M⁻.
+type exComponent struct {
+	seed    int64
+	members []int32 // indices into exCores / e.exCaps
+	bonding []int64 // M⁻, serial discovery order
+}
+
+// grow extends buf to n entries, preserving the pooled inner slices of
+// entries beyond the previous length (the resetDeltas pattern).
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		buf = append(buf[:cap(buf)], make([]T, n-cap(buf))...)
+	}
+	return buf[:n]
+}
+
+func resetExCaps(buf []exCapture, n int) []exCapture {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i].degDec = buf[i].degDec[:0]
+		buf[i].hints = buf[i].hints[:0]
+		buf[i].affected = buf[i].affected[:0]
+		buf[i].bonding = buf[i].bonding[:0]
+		buf[i].frontier = buf[i].frontier[:0]
+		buf[i].nodes = 0
+	}
+	return buf
+}
+
+func resetNeoCaps(buf []neoCapture, n int) []neoCapture {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i].touched = buf[i].touched[:0]
+		buf[i].rawCIDs = buf[i].rawCIDs[:0]
+		buf[i].frontier = buf[i].frontier[:0]
+		buf[i].nodes = 0
+	}
+	return buf
+}
+
+func resetConnResults(buf []connResult, n int) []connResult {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i].reset()
+	}
+	return buf
+}
+
+// fanOutChunk is how many work items a worker claims from the shared cursor
+// at a time — coarse enough to keep the atomic off the hot path, fine
+// enough to balance skewed per-item cost (dense neighborhoods, large
+// components).
+const fanOutChunk = 8
+
+// fanOut runs fn(worker, k) for every k in [0, total) across
+// min(e.workers, total) goroutines — inline, without spawning, when that is
+// one — and returns the width actually used. fn is invoked exactly once per
+// k; distinct invocations must not share mutable state except through the
+// per-worker slot index.
+func (e *Engine) fanOut(total int, fn func(worker, k int)) int {
+	workers := e.workers
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for k := 0; k < total; k++ {
+			fn(0, k)
+		}
+		return 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				hi := cursor.Add(fanOutChunk)
+				lo := hi - fanOutChunk
+				if int(lo) >= total {
+					return
+				}
+				if int(hi) > total {
+					hi = int64(total)
+				}
+				for k := int(lo); k < int(hi); k++ {
+					fn(w, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return workers
+}
+
+// ensureScratches guarantees at least n per-worker connectivity scratches.
+func (e *Engine) ensureScratches(n int) {
+	for len(e.scratches) < n {
+		e.scratches = append(e.scratches, newMSScratch(e))
+	}
+}
+
+// poolGrows sums the growth counters of every pooled CLUSTER structure; the
+// per-stride delta is the observer's PoolGrows (zero in the steady state).
+func (e *Engine) poolGrows() int64 {
+	var g int64
+	for _, s := range e.scratches {
+		g += s.grown + s.qpool.Grown()
+	}
+	return g
+}
+
+// noteClusterWorkers records the widest CLUSTER fan-out of the stride.
+func (e *Engine) noteClusterWorkers(w int) {
+	if w > e.strideClusterWorkers {
+		e.strideClusterWorkers = w
+	}
+}
+
+// captureExCore runs the phase-A search for one ex-core, recording the
+// effects the serial walk would have applied while scanning its ε-ball.
+func (e *Engine) captureExCore(eid int64, cp *exCapture) {
+	est := e.pts[eid]
+	exited := est.label == model.Deleted
+	cp.nodes = e.tree.SearchBallRO(est.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == eid {
+			return true
+		}
+		q := e.pts[qid]
+		if q.label != model.Deleted {
+			// The neighbor lost the core point eid. A point that entered
+			// this stride never counted an exited core in its coreDeg
+			// initialization, so skip that combination.
+			if !(exited && q.enterStamp == e.stride) {
+				cp.degDec = append(cp.degDec, qid)
+			}
+			cp.hints = append(cp.hints, hintOp{target: qid, arg: eid, clear: true})
+			cp.affected = append(cp.affected, qid)
+		}
+		if e.isCoreNow(q) {
+			// Any current core serves as a border hint for the ex-core
+			// itself once it is demoted.
+			cp.hints = append(cp.hints, hintOp{target: eid, arg: qid})
+			if q.wasCore {
+				cp.bonding = append(cp.bonding, qid)
+			}
+		} else if e.isExCore(q) {
+			cp.frontier = append(cp.frontier, qid)
+		}
+		return true
+	})
+}
+
+// clusterExCores processes cluster evolution driven by ex-cores: for each
+// retro-reachable component it computes the minimal bonding cores M⁻ and
+// checks their density-connectedness. Theorem 1 of the paper justifies
+// retiring the entire component after a single check — and, since distinct
+// components share no minimal bonding cores, running those checks
+// concurrently. See the file header for the phase structure.
+func (e *Engine) clusterExCores(exCores []int64) {
+	if len(exCores) == 0 {
+		return
+	}
+
+	// Phase A — capture searches fan out over the worker pool.
+	e.exCaps = resetExCaps(e.exCaps, len(exCores))
+	for i, id := range exCores {
+		st := e.pts[id]
+		st.capStamp = e.stride
+		st.capIdx = int32(i)
+	}
+	e.noteClusterWorkers(e.fanOut(len(exCores), func(_, k int) {
+		e.captureExCore(exCores[k], &e.exCaps[k])
+	}))
+
+	// Phase B — assemble retro-reachable components from the captured
+	// frontier lists, replaying the serial BFS discovery order.
+	ncomp := 0
+	for _, seed := range exCores {
+		if e.pts[seed].exStamp == e.stride {
+			continue // already covered by an earlier component (Alg. 2 line 7)
+		}
+		e.exComps = grow(e.exComps, ncomp+1)
+		c := &e.exComps[ncomp]
+		ncomp++
+		c.seed = seed
+		c.members = c.members[:0]
+		c.bonding = c.bonding[:0]
+		e.bondTick++
+		e.walkQ = append(e.walkQ[:0], e.pts[seed].capIdx)
+		e.pts[seed].exStamp = e.stride
+		for head := 0; head < len(e.walkQ); head++ {
+			ci := e.walkQ[head]
+			c.members = append(c.members, ci)
+			cp := &e.exCaps[ci]
+			for _, qid := range cp.bonding {
+				if q := e.pts[qid]; q.bondStamp != e.bondTick {
+					q.bondStamp = e.bondTick
+					c.bonding = append(c.bonding, qid)
+				}
+			}
+			for _, fid := range cp.frontier {
+				if q := e.pts[fid]; q.exStamp != e.stride {
+					q.exStamp = e.stride
+					e.walkQ = append(e.walkQ, q.capIdx)
+				}
+			}
+		}
+	}
+
+	// Phase C — connectivity checks fan out over the components that need
+	// one (|M⁻| ≥ 2; smaller sets decide without a traversal).
+	e.connResults = resetConnResults(e.connResults, ncomp)
+	e.connWork = e.connWork[:0]
+	for i := 0; i < ncomp; i++ {
+		if len(e.exComps[i].bonding) >= 2 {
+			e.connWork = append(e.connWork, int32(i))
+		}
+	}
+	if len(e.connWork) > 0 {
+		e.strideConnChecks += len(e.connWork)
+		cw := e.workers
+		if cw > len(e.connWork) {
+			cw = len(e.connWork)
+		}
+		if cw < 1 {
+			cw = 1
+		}
+		e.ensureScratches(cw)
+		e.noteClusterWorkers(e.fanOut(len(e.connWork), func(w, k int) {
+			ci := e.connWork[k]
+			e.connectivityInto(e.exComps[ci].bonding, e.scratches[w], &e.connResults[ci])
+		}))
+	}
+
+	// Phase D — fold, in component order.
+	for i := 0; i < ncomp; i++ {
+		c := &e.exComps[i]
+		// All retro-reachable ex-cores shared one cluster in the previous
+		// window; remember it for event reporting before labels change.
+		oldCID := e.cids.Find(e.pts[c.seed].cid)
+		for _, ci := range c.members {
+			cp := &e.exCaps[ci]
+			for _, qid := range cp.degDec {
+				e.pts[qid].coreDeg--
+			}
+			e.applyHintOps(cp.hints)
+			for _, qid := range cp.affected {
+				e.markAffected(qid, e.pts[qid])
+			}
+			e.stats.RangeSearches++
+			e.stats.NodeAccesses += cp.nodes
+		}
+		res := &e.connResults[i]
+		e.applyConnResult(res)
+
+		// Decide the evolution of the component's previous cluster: an
+		// empty M⁻ is a dissipation, a connected M⁻ a shrink, a
+		// disconnected M⁻ a split (Algorithm 2 lines 4-6).
+		size := len(c.members)
+		if len(c.bonding) == 0 {
+			e.emit(Event{Type: Dissipation, ClusterID: oldCID, Cores: size})
+			continue
+		}
+		if len(c.bonding) == 1 || res.ncc <= 1 {
+			e.emit(Event{Type: Shrink, ClusterID: oldCID, Cores: size})
+			continue
+		}
+		e.stats.Splits += int64(res.ncc - 1)
+		var fresh []int
+		for k := 0; k < res.components(); k++ {
+			cid := e.nextCID
+			e.nextCID++
+			fresh = append(fresh, cid)
+			for _, id := range res.component(k) {
+				st := e.pts[id]
+				st.cid = cid
+				e.markAffected(id, st)
+			}
+		}
+		e.emit(Event{Type: Split, ClusterID: oldCID, NewClusters: fresh, Cores: size})
+	}
+}
+
+// captureNeoCore runs the capture search for one neo-core.
+func (e *Engine) captureNeoCore(nid int64, cp *neoCapture) {
+	nst := e.pts[nid]
+	cp.nodes = e.tree.SearchBallRO(nst.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
+		if qid == nid {
+			return true
+		}
+		q := e.pts[qid]
+		if q.label == model.Deleted {
+			return true
+		}
+		// The neighbor gains the core point nid: +1 coreDeg, hint refresh,
+		// affected mark — one list drives all three at fold time.
+		cp.touched = append(cp.touched, qid)
+		if !e.isCoreNow(q) {
+			return true
+		}
+		if q.wasCore {
+			// Raw, unresolved id: the fold resolves through cids.Find so a
+			// merger folded earlier in this stride is observed.
+			cp.rawCIDs = append(cp.rawCIDs, q.cid)
+		} else {
+			cp.frontier = append(cp.frontier, qid)
+		}
+		return true
+	})
+}
+
+// clusterNeoCores processes cluster evolution driven by neo-cores: each
+// nascent-reachable component gathers the cluster ids of its minimal
+// bonding cores M⁺; no ids means a new cluster emerges, one id means the
+// cluster expands, several mean those clusters merge (Algorithm 2 lines
+// 9-13). Captures fan out in parallel; assembly and fold run fused per
+// component, in seed order, so merger order — and therefore every union in
+// the cid forest — matches the serial walk.
+func (e *Engine) clusterNeoCores(neoCores []int64) {
+	if len(neoCores) == 0 {
+		return
+	}
+	e.neoCaps = resetNeoCaps(e.neoCaps, len(neoCores))
+	for i, id := range neoCores {
+		st := e.pts[id]
+		st.capStamp = e.stride
+		st.capIdx = int32(i)
+	}
+	e.noteClusterWorkers(e.fanOut(len(neoCores), func(_, k int) {
+		e.captureNeoCore(neoCores[k], &e.neoCaps[k])
+	}))
+
+	for _, seed := range neoCores {
+		if e.pts[seed].neoStamp == e.stride {
+			continue // covered by an earlier component
+		}
+		// Assemble and fold one nascent-reachable component. walkQ is a
+		// head-indexed ring, never shifted, so after the loop it holds the
+		// full member list for relabeling; cidScratch deduplicates resolved
+		// cluster ids in first-encounter order.
+		e.walkQ = append(e.walkQ[:0], e.pts[seed].capIdx)
+		e.cidScratch = e.cidScratch[:0]
+		e.pts[seed].neoStamp = e.stride
+		for head := 0; head < len(e.walkQ); head++ {
+			ci := e.walkQ[head]
+			nid := neoCores[ci]
+			e.markAffected(nid, e.pts[nid])
+			cp := &e.neoCaps[ci]
+			for _, qid := range cp.touched {
+				q := e.pts[qid]
+				q.coreDeg++
+				q.hint = nid
+				e.markAffected(qid, q)
+			}
+			for _, raw := range cp.rawCIDs {
+				cid := e.cids.Find(raw)
+				if !containsCID(e.cidScratch, cid) {
+					e.cidScratch = append(e.cidScratch, cid)
+				}
+			}
+			for _, fid := range cp.frontier {
+				if q := e.pts[fid]; q.neoStamp != e.stride {
+					q.neoStamp = e.stride
+					e.walkQ = append(e.walkQ, q.capIdx)
+				}
+			}
+			e.stats.RangeSearches++
+			e.stats.NodeAccesses += cp.nodes
+		}
+
+		var cid int
+		switch len(e.cidScratch) {
+		case 0: // emergence
+			cid = e.nextCID
+			e.nextCID++
+			e.emit(Event{Type: Emergence, ClusterID: cid, Cores: len(e.walkQ)})
+		case 1: // expansion
+			cid = e.cidScratch[0]
+			e.emit(Event{Type: Expansion, ClusterID: cid, Cores: len(e.walkQ)})
+		default: // merger
+			cid = e.cidScratch[0]
+			for _, c := range e.cidScratch[1:] {
+				if c < cid {
+					cid = c
+				}
+			}
+			var absorbed []int
+			for _, c := range e.cidScratch {
+				if c != cid {
+					e.cids.UnionInto(cid, c)
+					e.stats.Merges++
+					absorbed = append(absorbed, c)
+				}
+			}
+			e.emit(Event{Type: Merger, ClusterID: cid, Absorbed: absorbed, Cores: len(e.walkQ)})
+		}
+		for _, ci := range e.walkQ {
+			e.pts[neoCores[ci]].cid = cid
+		}
+	}
+}
+
+// containsCID reports whether the (small) dedup scratch already holds cid —
+// a linear scan beats a map for the handful of clusters a component
+// typically bonds to, and allocates nothing.
+func containsCID(s []int, cid int) bool {
+	for _, c := range s {
+		if c == cid {
+			return true
+		}
+	}
+	return false
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"disc/internal/geom"
 	"disc/internal/model"
@@ -126,68 +124,30 @@ func (e *Engine) searchArrival(p model.Point, d *collectDelta) {
 	})
 }
 
-// collectChunk is how many searches a worker claims from the shared cursor
-// at a time — coarse enough to keep the atomic off the hot path, fine
-// enough to balance the skewed per-search cost of dense neighborhoods.
-const collectChunk = 8
-
 // fanOutSearches runs phase 2: one search per Δout and Δin point, fanned
-// over e.workers goroutines (inline when one worker suffices). Search and
-// node-access counts are accumulated per worker and folded into the
-// engine's stats afterwards, keeping the totals identical to a sequential
-// run — the same searches against the same fixed tree touch the same nodes.
+// over the engine's shared worker dispatcher (fanOut, also used by CLUSTER;
+// inline when one worker suffices). Search and node-access counts land in
+// the private buffers and are summed in fixed slice order afterwards,
+// keeping the totals identical to a sequential run — the same searches
+// against the same fixed tree touch the same nodes.
 func (e *Engine) fanOutSearches(in, out []model.Point) {
 	total := len(out) + len(in)
 	if total == 0 {
 		return
 	}
-	run := func(k int) *collectDelta {
+	e.fanOut(total, func(_, k int) {
 		if k < len(out) {
 			e.searchDeparture(out[k], &e.outDeltas[k])
-			return &e.outDeltas[k]
+		} else {
+			e.searchArrival(in[k-len(out)], &e.inDeltas[k-len(out)])
 		}
-		e.searchArrival(in[k-len(out)], &e.inDeltas[k-len(out)])
-		return &e.inDeltas[k-len(out)]
-	}
-
-	workers := e.workers
-	if workers > total {
-		workers = total
-	}
+	})
 	var nodes int64
-	if workers <= 1 {
-		for k := 0; k < total; k++ {
-			nodes += run(k).nodes
-		}
-	} else {
-		var cursor atomic.Int64
-		nodesBy := make([]int64, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				var n int64
-				for {
-					hi := cursor.Add(collectChunk)
-					lo := hi - collectChunk
-					if int(lo) >= total {
-						break
-					}
-					if int(hi) > total {
-						hi = int64(total)
-					}
-					for k := int(lo); k < int(hi); k++ {
-						n += run(k).nodes
-					}
-				}
-				nodesBy[w] = n
-			}(w)
-		}
-		wg.Wait()
-		for _, n := range nodesBy {
-			nodes += n
-		}
+	for i := range e.outDeltas {
+		nodes += e.outDeltas[i].nodes
+	}
+	for i := range e.inDeltas {
+		nodes += e.inDeltas[i].nodes
 	}
 	e.stats.RangeSearches += int64(total)
 	e.stats.NodeAccesses += nodes

@@ -14,10 +14,12 @@
 //     component of ex-cores (one retro-reachable set R⁻) it gathers the
 //     minimal bonding cores M⁻ — the surviving cores directly ε-adjacent to
 //     the component — and checks their density-connectedness with MS-BFS
-//     (Algorithm 3) under epoch-based R-tree probing (Algorithm 4); a
+//     (Algorithm 3) over epoch-stamped scratch state (msbfs.go); a
 //     disconnected M⁻ is a cluster split. Neo-core components (R⁺) only
 //     inspect the cluster ids of their bonding cores M⁺ to decide emergence,
 //     expansion, or merger — no connectivity search is ever needed for them.
+//     Both phases fan their searches over the WithWorkers pool and fold the
+//     results deterministically (cluster_parallel.go).
 //
 // Label maintenance (§V of the paper) is folded into the same range searches:
 // every point keeps the count of its current core ε-neighbors, which changes
@@ -29,6 +31,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"disc/internal/dsu"
@@ -54,18 +57,30 @@ type Option func(*Engine)
 // single-source BFS traversals that explore entire components.
 func WithMSBFS(on bool) Option { return func(e *Engine) { e.useMSBFS = on } }
 
-// WithEpochProbing enables (default) or disables epoch-based R-tree probing.
-// When disabled, reachability searches run as plain range searches and the
-// visited set is kept outside the index, paying the full index descent for
-// every already-visited point.
+// WithEpochProbing enables (default) or disables epoch-stamped reuse of the
+// connectivity scratch (the descendant of the paper's Algorithm 4: visited
+// marks survive between checks and are invalidated in O(1) by bumping an
+// instance tick). When disabled, every connectivity check rebuilds its
+// visited set from scratch — the "no reuse" ablation — with identical
+// traversal order and statistics, paying the allocations the pooled path
+// avoids.
 func WithEpochProbing(on bool) Option { return func(e *Engine) { e.useEpoch = on } }
 
-// WithWorkers sets how many goroutines COLLECT fans its ε-range searches
-// over; n <= 0 selects GOMAXPROCS and 1 (the default) runs them inline.
-// Every worker count produces bit-identical engine state: the parallel
-// searches are read-only and fill private per-point buffers that are merged
-// single-threaded in a fixed order (see collect.go).
+// WithWorkers sets how many goroutines the per-stride search work fans out
+// over — COLLECT's ε-range searches and CLUSTER's capture searches and
+// MS-BFS connectivity checks alike; n <= 0 selects GOMAXPROCS and 1 (the
+// default) runs everything inline. Every worker count produces bit-identical
+// engine state, event streams, and statistics: the parallel work is
+// read-only and fills private buffers that are folded single-threaded in a
+// fixed order (see collect.go and cluster_parallel.go).
 func WithWorkers(n int) Option { return func(e *Engine) { e.workers = defaultWorkers(n) } }
+
+// WithAllocTracking enables per-phase heap-allocation accounting: Advance
+// brackets each phase with runtime.ReadMemStats and accumulates the deltas
+// readable via PhaseAllocs. This is bench instrumentation — the stops-the-
+// world sampling distorts latency — so it is off by default and costs only
+// a bool check when off.
+func WithAllocTracking(on bool) Option { return func(e *Engine) { e.trackAllocs = on } }
 
 // pstate is the per-point bookkeeping DISC maintains for every point in the
 // current window (plus, transiently, the exited ex-cores C_out).
@@ -85,6 +100,8 @@ type pstate struct {
 	exStamp    uint64 // visited by the retro-reachability (R⁻) traversal
 	neoStamp   uint64 // visited by the nascent-reachability (R⁺) traversal
 	bondStamp  uint64 // collected into the current component's M⁻ set
+	capStamp   uint64 // capIdx is valid for the current stride
+	capIdx     int32  // index of this ex-/neo-core's CLUSTER capture buffer
 }
 
 // Engine is the DISC clustering engine. It implements model.Engine. The
@@ -102,23 +119,40 @@ type Engine struct {
 
 	useMSBFS bool
 	useEpoch bool
-	workers  int // COLLECT search fan-out; 1 = inline
+	workers  int // per-stride search fan-out (COLLECT and CLUSTER); 1 = inline
 	onEvent  func(Event)
 	observer Observer
 
-	stats   model.Stats
-	timings PhaseTimings
+	stats       model.Stats
+	timings     PhaseTimings
+	trackAllocs bool
+	allocs      PhaseAllocs
 
 	// Per-stride telemetry tallies, reset at the top of Advance and read by
 	// observeStride; plain int fields so maintaining them costs one
 	// increment on paths that already allocate Event values.
-	strideEvents [numEventTypes]int
-	strideMerges int64
+	strideEvents         [numEventTypes]int
+	strideMerges         int64
+	strideClusterWorkers int
+	strideConnChecks     int
 
-	// Scratch reused across strides.
+	// Scratch reused across strides. None of this is observable state and
+	// none of it is persisted (persist.go serializes an explicit field
+	// list); it exists purely to keep the steady state allocation-free.
 	affected  []int64
 	inDeltas  []collectDelta
 	outDeltas []collectDelta
+
+	// CLUSTER pipeline scratch (cluster_parallel.go, msbfs.go).
+	exCaps      []exCapture
+	neoCaps     []neoCapture
+	exComps     []exComponent
+	connWork    []int32
+	connResults []connResult
+	walkQ       []int32
+	cidScratch  []int
+	scratches   []*msScratch
+	connRes     connResult
 }
 
 // New returns a DISC engine for the given configuration. It panics on an
@@ -153,12 +187,22 @@ func (e *Engine) Advance(in, out []model.Point) {
 	e.affected = e.affected[:0]
 	e.strideEvents = [numEventTypes]int{}
 	e.strideMerges = 0
+	e.strideClusterWorkers = 0
+	e.strideConnChecks = 0
+	poolBefore := e.poolGrows()
 	treeBefore := e.tree.Stats()
 	statsBefore := e.stats
 
+	var m0, m1, m2, m3 runtime.MemStats
+	if e.trackAllocs {
+		runtime.ReadMemStats(&m0)
+	}
 	t0 := time.Now()
 	exCores, neoCores, cout := e.collect(in, out)
 	t1 := time.Now()
+	if e.trackAllocs {
+		runtime.ReadMemStats(&m1)
+	}
 	e.clusterExCores(exCores)
 	// Algorithm 2 line 8: ex-cores that exited the window stay in the R-tree
 	// through the ex-core phase (retro-reachability needs them) and are
@@ -169,8 +213,15 @@ func (e *Engine) Advance(in, out []model.Point) {
 	t2 := time.Now()
 	e.clusterNeoCores(neoCores)
 	t3 := time.Now()
+	if e.trackAllocs {
+		runtime.ReadMemStats(&m2)
+	}
 	e.finalize()
 	t4 := time.Now()
+	if e.trackAllocs {
+		runtime.ReadMemStats(&m3)
+		e.allocs.accumulate(&m0, &m1, &m2, &m3)
+	}
 	e.timings.Collect += t1.Sub(t0)
 	e.timings.ExCores += t2.Sub(t1)
 	e.timings.NeoCores += t3.Sub(t2)
@@ -185,7 +236,8 @@ func (e *Engine) Advance(in, out []model.Point) {
 	if e.observer != nil {
 		e.observeStride(in, out, len(exCores), len(neoCores),
 			t0, t1, t2, t3, t4, statsBefore,
-			treeAfter.EpochPruned-treeBefore.EpochPruned)
+			treeAfter.EpochPruned-treeBefore.EpochPruned,
+			e.poolGrows()-poolBefore)
 	}
 
 	if e.stride%compactInterval == 0 {
@@ -305,175 +357,6 @@ func (e *Engine) isCoreNow(st *pstate) bool {
 // (Definitions 4 and 6).
 func (e *Engine) survivingCore(st *pstate) bool {
 	return st.wasCore && e.isCoreNow(st)
-}
-
-// clusterExCores processes cluster evolution driven by ex-cores: for each
-// retro-reachable component it computes the minimal bonding cores M⁻ with
-// one range search per ex-core, then checks their density-connectedness.
-// Theorem 1 of the paper justifies retiring the entire component after a
-// single check. The same searches maintain coreDeg and border hints for all
-// neighbors of the ex-cores.
-func (e *Engine) clusterExCores(exCores []int64) {
-	for _, seed := range exCores {
-		if e.pts[seed].exStamp == e.stride {
-			continue // already covered by an earlier component (Alg. 2 line 7)
-		}
-		e.bondTick++
-		// All retro-reachable ex-cores shared one cluster in the previous
-		// window; remember it for event reporting before labels change.
-		oldCID := e.cids.Find(e.pts[seed].cid)
-		componentSize := 0
-		var bonding []int64 // M⁻ of this component, deduplicated via bondStamp
-		queue := []int64{seed}
-		e.pts[seed].exStamp = e.stride
-		for len(queue) > 0 {
-			eid := queue[0]
-			queue = queue[1:]
-			componentSize++
-			est := e.pts[eid]
-			exited := est.label == model.Deleted
-			e.tree.SearchBall(est.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-				if qid == eid {
-					return true
-				}
-				q := e.pts[qid]
-				if q.label != model.Deleted {
-					// The neighbor lost the core point eid. A point that
-					// entered this stride never counted an exited core in its
-					// coreDeg initialization, so skip that combination.
-					if !(exited && q.enterStamp == e.stride) {
-						q.coreDeg--
-					}
-					if q.hint == eid {
-						q.hint = noHint
-					}
-					e.markAffected(qid, q)
-				}
-				if e.isCoreNow(q) {
-					// Any current core serves as a border hint for the
-					// ex-core itself once it is demoted.
-					est.hint = qid
-					if q.wasCore && q.bondStamp != e.bondTick {
-						q.bondStamp = e.bondTick
-						bonding = append(bonding, qid)
-					}
-				} else if e.isExCore(q) && q.exStamp != e.stride {
-					q.exStamp = e.stride
-					queue = append(queue, qid)
-				}
-				return true
-			})
-		}
-
-		// Decide the evolution of the component's previous cluster: an empty
-		// M⁻ is a dissipation, a connected M⁻ a shrink, a disconnected M⁻ a
-		// split (Algorithm 2 lines 4-6).
-		if len(bonding) == 0 {
-			e.emit(Event{Type: Dissipation, ClusterID: oldCID, Cores: componentSize})
-			continue
-		}
-		if len(bonding) == 1 {
-			e.emit(Event{Type: Shrink, ClusterID: oldCID, Cores: componentSize})
-			continue
-		}
-		closed, ncc := e.connectivity(bonding)
-		if ncc <= 1 {
-			e.emit(Event{Type: Shrink, ClusterID: oldCID, Cores: componentSize})
-			continue
-		}
-		e.stats.Splits += int64(ncc - 1)
-		var fresh []int
-		for _, comp := range closed {
-			cid := e.nextCID
-			e.nextCID++
-			fresh = append(fresh, cid)
-			for _, id := range comp {
-				st := e.pts[id]
-				st.cid = cid
-				e.markAffected(id, st)
-			}
-		}
-		e.emit(Event{Type: Split, ClusterID: oldCID, NewClusters: fresh, Cores: componentSize})
-	}
-}
-
-// clusterNeoCores processes cluster evolution driven by neo-cores: each
-// nascent-reachable component gathers the cluster ids of its minimal bonding
-// cores M⁺; no ids means a new cluster emerges, one id means the cluster
-// expands, several mean those clusters merge (Algorithm 2 lines 9-13). The
-// same searches credit coreDeg and refresh border hints for all neighbors.
-func (e *Engine) clusterNeoCores(neoCores []int64) {
-	for _, seed := range neoCores {
-		if e.pts[seed].neoStamp == e.stride {
-			continue // covered by an earlier component
-		}
-		var comp []int64
-		cidSet := make(map[int]bool)
-		queue := []int64{seed}
-		e.pts[seed].neoStamp = e.stride
-		for len(queue) > 0 {
-			nid := queue[0]
-			queue = queue[1:]
-			comp = append(comp, nid)
-			nst := e.pts[nid]
-			e.markAffected(nid, nst)
-			e.tree.SearchBall(nst.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-				if qid == nid {
-					return true
-				}
-				q := e.pts[qid]
-				if q.label == model.Deleted {
-					return true
-				}
-				// The neighbor gained the core point nid.
-				q.coreDeg++
-				q.hint = nid
-				e.markAffected(qid, q)
-				if !e.isCoreNow(q) {
-					return true
-				}
-				if q.wasCore {
-					cidSet[e.cids.Find(q.cid)] = true
-				} else if q.neoStamp != e.stride {
-					q.neoStamp = e.stride
-					queue = append(queue, qid)
-				}
-				return true
-			})
-		}
-
-		var cid int
-		switch len(cidSet) {
-		case 0: // emergence
-			cid = e.nextCID
-			e.nextCID++
-			e.emit(Event{Type: Emergence, ClusterID: cid, Cores: len(comp)})
-		case 1: // expansion
-			for c := range cidSet {
-				cid = c
-			}
-			e.emit(Event{Type: Expansion, ClusterID: cid, Cores: len(comp)})
-		default: // merger
-			cid = -1
-			for c := range cidSet {
-				if cid == -1 || c < cid {
-					cid = c
-				}
-			}
-			var absorbed []int
-			for c := range cidSet {
-				if c != cid {
-					e.cids.UnionInto(cid, c)
-					e.stats.Merges++
-					absorbed = append(absorbed, c)
-				}
-			}
-			e.emit(Event{Type: Merger, ClusterID: cid, Absorbed: absorbed, Cores: len(comp)})
-		}
-		for _, id := range comp {
-			e.pts[id].cid = cid
-		}
-	}
 }
 
 // finalize recomputes the label of every affected point from its maintained
@@ -622,10 +505,12 @@ func (e *Engine) ConcurrentReadable() {}
 // Stats implements model.Engine.
 func (e *Engine) Stats() model.Stats { return e.stats }
 
-// ResetStats implements model.Engine. It also zeroes the phase timings.
+// ResetStats implements model.Engine. It also zeroes the phase timings and
+// allocation counters.
 func (e *Engine) ResetStats() {
 	e.stats = model.Stats{}
 	e.timings = PhaseTimings{}
+	e.allocs = PhaseAllocs{}
 }
 
 // WindowSize returns the number of points currently tracked.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"disc/internal/geom"
 	"disc/internal/model"
 	"disc/internal/window"
 )
@@ -86,6 +87,99 @@ func benchAdvanceStride(b *testing.B, stride int, opts ...Option) {
 		st := steps[idx]
 		eng.Advance(st.In, st.Out)
 		idx++
+	}
+}
+
+// bridged2D generates a CLUSTER-heavy stream: dense blobs joined by thin
+// bridges whose points churn as the window slides, so strides carry many
+// ex-/neo-core components, splits and mergers.
+func bridged2D(rng *rand.Rand, n int) []model.Point {
+	pts := make([]model.Point, n)
+	for i := range pts {
+		var x, y float64
+		switch rng.Intn(5) {
+		case 0, 1: // blobs at (0,0), (20,0), (10,17)
+			c := rng.Intn(3)
+			cx := []float64{0, 20, 10}[c]
+			cy := []float64{0, 0, 17}[c]
+			x, y = cx+rng.NormFloat64()*2, cy+rng.NormFloat64()*2
+		case 2: // bridge between blob 0 and 1
+			x, y = rng.Float64()*20, rng.NormFloat64()*0.5
+		case 3: // bridge between blob 0 and 2
+			f := rng.Float64()
+			x, y = f*10+rng.NormFloat64()*0.5, f*17+rng.NormFloat64()*0.5
+		default: // background
+			x, y = rng.Float64()*40-10, rng.Float64()*40-10
+		}
+		pts[i] = model.Point{ID: int64(i), Pos: geom.NewVec(x, y)}
+	}
+	return pts
+}
+
+// BenchmarkClusterWorkers measures the parallel CLUSTER phase across worker
+// counts on a bridge-churn workload where ex-/neo-core processing dominates;
+// speedups are bounded by GOMAXPROCS.
+func BenchmarkClusterWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			const win, stride = 4000, 1000
+			data := bridged2D(rng, win+stride*16)
+			steps, err := window.Steps(data, win, stride)
+			if err != nil {
+				b.Fatal(err)
+			}
+			newEng := func() *Engine {
+				eng := New(cfg2(1.2, 4), WithWorkers(w))
+				eng.Advance(steps[0].In, steps[0].Out)
+				return eng
+			}
+			eng := newEng()
+			idx := 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if idx >= len(steps) {
+					b.StopTimer()
+					eng = newEng()
+					idx = 1
+					b.StartTimer()
+				}
+				st := steps[idx]
+				eng.Advance(st.In, st.Out)
+				idx++
+			}
+		})
+	}
+}
+
+// BenchmarkConnectivitySteady measures a warmed-up connectivity check
+// through the pooled scratch path — the allocs/op column is the
+// steady-state zero-allocation claim.
+func BenchmarkConnectivitySteady(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"msbfs", nil},
+		{"seq", []Option{WithMSBFS(false)}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+			eng := New(cfg, variant.opts...)
+			a := line(0, 0, 500, 0.9)
+			c := line(1000, 600, 100, 0.9)
+			eng.Advance(append(a, c...), nil)
+			eng.ensureScratches(1)
+			s := eng.scratches[0]
+			bonding := []int64{0, 250, 499, 1000}
+			eng.connectivityInto(bonding, s, &eng.connRes) // warm the pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.connectivityInto(bonding, s, &eng.connRes)
+			}
+		})
 	}
 }
 

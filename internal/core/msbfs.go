@@ -8,16 +8,49 @@ import (
 )
 
 // This file implements the density-connectedness check for a set of minimal
-// bonding cores: Multi-Starter BFS (Algorithm 3 of the paper) with optional
-// epoch-based R-tree probing (Algorithm 4), plus the degraded variants used
-// by the Fig. 8 ablation study (sequential BFS, external visited set).
+// bonding cores: Multi-Starter BFS (Algorithm 3 of the paper), plus the
+// degraded sequential variant used by the Fig. 8 ablation study.
 //
-// Composition of the two optimizations requires care. The paper stores
-// visited marks inside the index; for MS-BFS to still detect that two search
-// threads meet, a vertex must remain discoverable while it sits in a queue
-// and may only be hidden once it has been expanded. We therefore stamp a
-// core's leaf entry with the instance tick when the core is dequeued and its
-// own expansion search runs (the ball around a core covers the core itself),
+// # Read-only traversal and the scratch pool contract
+//
+// Since the CLUSTER phase went parallel (cluster_parallel.go), connectivity
+// checks for independent components may run concurrently, so a check must
+// not write anything another check could read: every expansion search uses
+// SearchBallRO, the visited set lives outside the index, and all side
+// effects the serial algorithm applied inline (border-hint refreshes,
+// affected-set marks, statistics, thread-merge counts) are recorded into a
+// caller-owned connResult and replayed later in a deterministic order. The
+// paper's in-tree epoch probing (Algorithm 4) is therefore retired from this
+// path — its entry stamps are writes into shared index pages — and its idea
+// survives as the instance tick below; the index implementations keep
+// SearchBallEpoch for single-threaded users (see internal/incdbscan).
+//
+// All per-instance state lives in an msScratch owned by one goroutine
+// (the engine keeps one per CLUSTER worker slot) and reused across
+// instances and strides:
+//
+//   - the visited map is epoch-stamped: each instance bumps s.tick and
+//     entries from older instances are treated as absent, so there is no
+//     per-instance clearing pass and no rebuild (the map is compacted only
+//     when it outgrows scratchVisitedCap);
+//   - group structs, their member slices, the round-robin active list, the
+//     thread union-find, and every queue node are pooled and recycled, so a
+//     steady-state connectivity check performs zero heap allocations
+//     (pinned by TestConnectivityZeroAlloc and BenchmarkConnectivitySteady);
+//   - the search callback is built once per scratch and parameterized
+//     through scratch fields, keeping closures off the per-expansion path.
+//
+// An msScratch must never be shared between concurrently running checks,
+// and a connResult must not be read before the check that fills it returns.
+// With WithEpochProbing(false) the visited map is rebuilt per instance —
+// the "no reuse" ablation — with identical traversal order and statistics.
+//
+// # Composition of MS-BFS with visit-on-expansion
+//
+// For MS-BFS to detect that two search threads meet, a vertex must remain
+// discoverable while it sits in a queue and may only be hidden once it has
+// been expanded. We therefore stamp a core when it is dequeued and its own
+// expansion search runs (the ball around a core covers the core itself),
 // and record thread ownership separately at enqueue time.
 //
 // Why no merge is ever missed: suppose threads s and t both finish without
@@ -28,11 +61,32 @@ import (
 // by s's group, the merge was detected — contradiction. Otherwise t enqueued
 // u and u would have been expanded by t's group, not s's — contradiction.
 // Non-core points never join the traversal; they are stamped on first touch
-// (after refreshing their border hint) since nothing revisits them within
-// one instance.
+// (after recording their border-hint refresh) since nothing revisits them
+// within one instance.
+
+// scratchVisitedCap bounds the visited map's retained size: after an
+// instance that left more entries than this, the map is compacted (capacity
+// is kept, so the steady state stays allocation-free; only the key set is
+// dropped to stop unbounded growth as window ids churn across strides).
+const scratchVisitedCap = 1 << 16
+
+// visitEntry flags.
+const (
+	visitOwned   uint8 = 1 << iota // a thread owns this core (owner valid)
+	visitStamped                   // hidden from later expansion searches
+)
+
+// visitEntry is one epoch-stamped visited-map slot; it is current only when
+// its tick matches the scratch's instance tick.
+type visitEntry struct {
+	tick  uint64
+	owner int32
+	flags uint8
+}
 
 // group is one MS-BFS search thread: its frontier queue and the cores it has
-// expanded so far. Merged groups concatenate both.
+// expanded so far. Merged groups concatenate both. Groups are pooled on the
+// scratch; reset reuses the member slice's capacity.
 type group struct {
 	q       queue.Q
 	members []int64
@@ -41,114 +95,275 @@ type group struct {
 	root    int  // current starter index whose slot points at this group
 }
 
-// connectivity determines how many density-connected components the given
-// bonding cores span in the current window's core graph.
+func (g *group) reset(i int) {
+	g.members = g.members[:0]
+	g.closed, g.dead = false, false
+	g.root = i
+}
+
+// msScratch is the pooled per-goroutine state of connectivity checks; see
+// the header comment for the reuse contract.
+type msScratch struct {
+	e       *Engine
+	tick    uint64
+	visited map[int64]visitEntry
+
+	groupArr []group   // backing storage for this instance's groups
+	slots    []*group  // starter index → owning group (aliased after merges)
+	active   []*group  // round-robin worklist
+	threads  dsu.Dense // starter-index union-find
+	qpool    queue.Pool
+	seqQ     queue.Q // sequentialBFS frontier
+
+	// Per-expansion parameters of the prebuilt search callback.
+	res     *connResult
+	center  int64
+	coreBuf []int64 // un-stamped core neighbors found by the last expansion
+
+	visit func(qid int64, _ geom.Vec) bool
+	grown int64 // pooled-structure growth events (with qpool: pool misses)
+}
+
+func newMSScratch(e *Engine) *msScratch {
+	s := &msScratch{e: e, visited: make(map[int64]visitEntry)}
+	// Built once: the callback reads its per-expansion parameters from the
+	// scratch so the hot path creates no closures (and so allocates nothing).
+	s.visit = func(qid int64, _ geom.Vec) bool {
+		if en, ok := s.visited[qid]; ok && en.tick == s.tick && en.flags&visitStamped != 0 {
+			return true
+		}
+		if qid == s.center {
+			s.stamp(qid) // visit-on-expansion: hide the expanded vertex itself
+			return true
+		}
+		q := e.pts[qid]
+		if q.label == model.Deleted {
+			s.stamp(qid) // exited ex-core still in the tree: hide it
+			return true
+		}
+		if !e.isCoreNow(q) {
+			// Record the border-hint refresh: center is a current core
+			// ε-adjacent to q. One touch suffices within this instance.
+			s.res.hints = append(s.res.hints, hintOp{target: qid, arg: s.center})
+			s.res.affected = append(s.res.affected, qid)
+			s.stamp(qid)
+			return true
+		}
+		// Cores stay discoverable until they are expanded.
+		s.coreBuf = append(s.coreBuf, qid)
+		return true
+	}
+	return s
+}
+
+// begin opens a new instance: bump the epoch (older entries become stale
+// in O(1)) and compact the map only when it has outgrown its cap. With
+// reuse=false (the WithEpochProbing(false) ablation) the map is rebuilt
+// from scratch instead, paying the allocation the pooled path avoids.
+func (s *msScratch) begin(reuse bool) {
+	s.tick++
+	if !reuse {
+		s.visited = make(map[int64]visitEntry)
+		return
+	}
+	if len(s.visited) > scratchVisitedCap {
+		clear(s.visited)
+	}
+}
+
+func (s *msScratch) stamp(id int64) {
+	en := s.visited[id]
+	if en.tick != s.tick {
+		en = visitEntry{tick: s.tick}
+	}
+	en.flags |= visitStamped
+	s.visited[id] = en
+}
+
+func (s *msScratch) owner(id int64) (int, bool) {
+	en, ok := s.visited[id]
+	if !ok || en.tick != s.tick || en.flags&visitOwned == 0 {
+		return 0, false
+	}
+	return int(en.owner), true
+}
+
+func (s *msScratch) setOwner(id int64, w int) {
+	en := s.visited[id]
+	if en.tick != s.tick {
+		en = visitEntry{tick: s.tick}
+	}
+	en.owner = int32(w)
+	en.flags |= visitOwned
+	s.visited[id] = en
+}
+
+// ensureGroups sizes the pooled group storage and slot table for n starters,
+// preserving the member-slice capacities accumulated by earlier instances.
+func (s *msScratch) ensureGroups(n int) {
+	if cap(s.groupArr) < n {
+		s.groupArr = append(s.groupArr[:cap(s.groupArr)], make([]group, n-cap(s.groupArr))...)
+		s.grown++
+	}
+	s.groupArr = s.groupArr[:n]
+	if cap(s.slots) < n {
+		s.slots = make([]*group, n)
+		s.grown++
+	}
+	s.slots = s.slots[:n]
+}
+
+// connResult records everything one connectivity check computed and wants
+// done to engine state — the check itself mutates nothing shared. All
+// slices are pooled by reset. Closed components are stored flattened:
+// component i is closedIDs[closedOff[i]:closedOff[i+1]].
+type connResult struct {
+	ncc      int
+	merges   int64 // MS-BFS thread merges
+	searches int64 // expansion searches run
+	nodes    int64 // index nodes those searches touched
+	hints    []hintOp
+	affected []int64
+
+	closedIDs []int64
+	closedOff []int
+}
+
+func (r *connResult) reset() {
+	r.ncc, r.merges, r.searches, r.nodes = 0, 0, 0, 0
+	r.hints = r.hints[:0]
+	r.affected = r.affected[:0]
+	r.closedIDs = r.closedIDs[:0]
+	r.closedOff = append(r.closedOff[:0], 0)
+}
+
+// components returns how many closed components were recorded. MS-BFS
+// records none when the set proves connected (early exit); the sequential
+// variant records every component it traverses.
+func (r *connResult) components() int { return len(r.closedOff) - 1 }
+
+func (r *connResult) component(i int) []int64 {
+	return r.closedIDs[r.closedOff[i]:r.closedOff[i+1]]
+}
+
+// closeComponent flattens a finished component's members into the result.
+func (r *connResult) closeComponent(members []int64) {
+	r.closedIDs = append(r.closedIDs, members...)
+	r.closedOff = append(r.closedOff, len(r.closedIDs))
+}
+
+// connectivityInto determines how many density-connected components the
+// given bonding cores span in the current window's core graph, recording
+// results and side effects into res. It reads only state that is frozen
+// during CLUSTER, so checks for disjoint components may run concurrently,
+// each with its own scratch and result.
 //
-// When the set is connected (ncc == 1), MS-BFS stops as soon as all threads
-// have merged — the early exit that makes the common shrink case cheap —
-// and closed is empty: nothing needs relabeling. When a split is detected
-// (some thread exhausts a component), the traversal runs to completion and
-// closed returns EVERY component in full. The caller then assigns a fresh
-// cluster id to each; no component may keep the previous cluster's id,
-// because one old cluster can be severed by several independent
-// retro-reachable ex-core components in a single stride, and two "survivor"
-// components each keeping the old id would silently share it (a bug found
-// by fuzzing; see TestMultiCutSplitRegression).
+// When the set is connected (res.ncc == 1 via MS-BFS), the check stops as
+// soon as all threads have merged — the early exit that makes the common
+// shrink case cheap — and no component is recorded: nothing needs
+// relabeling. When a split is detected (some thread exhausts a component),
+// the traversal runs to completion and EVERY component is recorded in full.
+// The caller then assigns a fresh cluster id to each; no component may keep
+// the previous cluster's id, because one old cluster can be severed by
+// several independent retro-reachable ex-core components in a single
+// stride, and two "survivor" components each keeping the old id would
+// silently share it (a bug found by fuzzing; see
+// TestMultiCutSplitRegression).
+func (e *Engine) connectivityInto(bonding []int64, s *msScratch, res *connResult) {
+	res.reset()
+	if len(bonding) == 0 {
+		return
+	}
+	s.begin(e.useEpoch)
+	if e.useMSBFS {
+		e.multiStarterBFS(bonding, s, res)
+	} else {
+		e.sequentialBFS(bonding, s, res)
+	}
+}
+
+// connectivity is the sequential convenience form used by tests and tools:
+// it runs one check against the engine's own scratch and applies the
+// recorded side effects immediately, returning materialized components.
+// The CLUSTER pipeline instead calls connectivityInto with per-worker
+// scratches and folds the results in component order (cluster_parallel.go).
 func (e *Engine) connectivity(bonding []int64) (closed [][]int64, ncc int) {
 	if len(bonding) == 0 {
 		return nil, 0
 	}
-	if e.useMSBFS {
-		return e.multiStarterBFS(bonding)
+	e.ensureScratches(1)
+	res := &e.connRes
+	e.connectivityInto(bonding, e.scratches[0], res)
+	e.applyConnResult(res)
+	for i := 0; i < res.components(); i++ {
+		closed = append(closed, append([]int64(nil), res.component(i)...))
 	}
-	return e.sequentialBFS(bonding)
+	return closed, res.ncc
 }
 
-// visitState tracks traversal bookkeeping for one connectivity instance.
-type visitState struct {
-	tick    uint64         // R-tree epoch tick; 0 when epoch probing is off
-	owner   map[int64]int  // core id → starter index of the owning group
-	stamped map[int64]bool // external visited set when epoch probing is off
+// applyConnResult replays a check's recorded side effects into the engine:
+// unconditional border-hint refreshes, affected-set marks, and the
+// search/node/merge statistics. Must run single-threaded.
+func (e *Engine) applyConnResult(res *connResult) {
+	e.applyHintOps(res.hints)
+	for _, qid := range res.affected {
+		e.markAffected(qid, e.pts[qid])
+	}
+	e.stats.RangeSearches += res.searches
+	e.stats.NodeAccesses += res.nodes
+	e.strideMerges += res.merges
 }
 
-func (e *Engine) newVisitState() *visitState {
-	vs := &visitState{owner: make(map[int64]int)}
-	if e.useEpoch {
-		vs.tick = e.tree.NextTick()
-	} else {
-		vs.stamped = make(map[int64]bool)
-	}
-	return vs
-}
-
-// expand runs the expansion search around core center. For every un-stamped
-// core within ε it calls onCore with the core's id; bookkeeping for non-core
-// neighbors (border hint refresh) happens inline. The center itself is
-// stamped, implementing visit-on-expansion.
-func (e *Engine) expand(center int64, vs *visitState, onCore func(id int64)) {
-	cst := e.pts[center]
-	visit := func(qid int64, _ geom.Vec) bool {
-		q := e.pts[qid]
-		if qid == center {
-			return true // stamp the expanded vertex itself
-		}
-		if q.label == model.Deleted {
-			return true // exited ex-core still in the tree: hide it
-		}
-		if !e.isCoreNow(q) {
-			// Refresh the border hint: center is a current core ε-adjacent
-			// to q. One touch suffices within this instance.
-			q.hint = center
-			e.markAffected(qid, q)
-			return true
-		}
-		onCore(qid)
-		return false // cores stay discoverable until they are expanded
-	}
-	if e.useEpoch {
-		e.tree.SearchBallEpoch(cst.pos, e.cfg.Eps, vs.tick, visit)
-		return
-	}
-	e.tree.SearchBall(cst.pos, e.cfg.Eps, func(qid int64, p geom.Vec) bool {
-		if vs.stamped[qid] {
-			return true
-		}
-		if visit(qid, p) {
-			vs.stamped[qid] = true
-		}
-		return true
-	})
+// expand runs the read-only expansion search around core center, recording
+// border-hint refreshes into s.res and collecting every un-stamped core
+// neighbor into s.coreBuf (valid until the next expand on this scratch).
+func (e *Engine) expand(center int64, s *msScratch, res *connResult) {
+	s.center = center
+	s.res = res
+	s.coreBuf = s.coreBuf[:0]
+	nodes := e.tree.SearchBallRO(e.pts[center].pos, e.cfg.Eps, s.visit)
+	res.searches++
+	res.nodes += nodes
+	s.res = nil
 }
 
 // multiStarterBFS is Algorithm 3: one BFS thread per bonding core, run
 // round-robin; threads merge when they meet, an emptied queue closes one
 // connected component, and the instance stops as soon as a single live
 // thread remains.
-func (e *Engine) multiStarterBFS(bonding []int64) (closed [][]int64, ncc int) {
-	vs := e.newVisitState()
-	groups := make([]*group, len(bonding))
-	threads := dsu.NewDense(len(bonding))
-	active := make([]*group, len(bonding))
+func (e *Engine) multiStarterBFS(bonding []int64, s *msScratch, res *connResult) {
+	n := len(bonding)
+	s.ensureGroups(n)
+	s.threads.Reset(n)
+	s.active = s.active[:0]
 	for i, m := range bonding {
-		groups[i] = &group{root: i}
-		groups[i].q.Push(m)
-		vs.owner[m] = i
-		active[i] = groups[i]
+		g := &s.groupArr[i]
+		g.reset(i)
+		g.q.PushPool(&s.qpool, m)
+		s.setOwner(m, i)
+		s.slots[i] = g
+		s.active = append(s.active, g)
 	}
-	live := len(bonding)
+	live := n
 
 	// Round-robin over the live threads only; absorbed and closed threads
 	// are compacted out of the active list so each round costs O(live), not
 	// O(|M⁻|). While no component has closed, a single surviving thread
 	// means "connected" and the instance exits early; once any component
 	// closed (a split), every thread drains fully so all components are
-	// returned complete.
+	// recorded complete.
 	for live > 0 {
-		if live == 1 && ncc == 0 {
-			return nil, 1 // connected: early exit, nothing to relabel
+		if live == 1 && res.ncc == 0 {
+			res.ncc = 1
+			// Early exit abandons non-empty frontiers; recycle their nodes
+			// so the next instance still runs allocation-free.
+			for i := range s.groupArr {
+				s.groupArr[i].q.Recycle(&s.qpool)
+			}
+			return
 		}
-		w := active[:0]
-		for _, g := range active {
+		w := s.active[:0]
+		for _, g := range s.active {
 			if g.dead || g.closed {
 				continue
 			}
@@ -157,70 +372,67 @@ func (e *Engine) multiStarterBFS(bonding []int64) (closed [][]int64, ncc int) {
 				// This thread exhausted a whole connected component.
 				g.closed = true
 				live--
-				closed = append(closed, g.members)
-				ncc++
+				res.closeComponent(g.members)
+				res.ncc++
 				continue
 			}
-			id := g.q.Pop()
+			id := g.q.PopPool(&s.qpool)
 			g.members = append(g.members, id)
-			e.expand(id, vs, func(qid int64) {
-				j, seen := vs.owner[qid]
+			e.expand(id, s, res)
+			for _, qid := range s.coreBuf {
+				j, seen := s.owner(qid)
 				if !seen {
-					vs.owner[qid] = g.root
-					g.q.Push(qid)
-					return
+					s.setOwner(qid, g.root)
+					g.q.PushPool(&s.qpool, qid)
+					continue
 				}
-				other := groups[threads.Find(j)]
+				other := s.slots[s.threads.Find(j)]
 				if other == g {
-					return // already ours
+					continue // already ours
 				}
 				// Two searches met: merge the other thread into this one
 				// (Algorithm 3 line 11). Group identity, not starter index,
 				// decides "ours": after a union the dense-DSU root may be
 				// either starter, so the winning root's slot is re-pointed
 				// at g and recorded as g's root.
-				threads.Union(g.root, j)
-				e.strideMerges++
+				s.threads.Union(g.root, j)
+				res.merges++
 				g.q.Concat(&other.q)
 				g.members = append(g.members, other.members...)
-				other.members = nil
+				other.members = other.members[:0]
 				other.dead = true
-				g.root = threads.Find(g.root)
-				groups[g.root] = g
+				g.root = s.threads.Find(g.root)
+				s.slots[g.root] = g
 				live--
-			})
+			}
 		}
-		active = w
+		s.active = w
 	}
-	return closed, ncc
 }
 
 // sequentialBFS is the ablation fallback: classic one-source BFS repeated
 // from each not-yet-covered bonding core. Every component is traversed to
-// completion and returned for relabeling (the caller relabels only when
-// more than one component exists).
-func (e *Engine) sequentialBFS(bonding []int64) (closed [][]int64, ncc int) {
-	vs := e.newVisitState()
+// completion and recorded (the caller relabels only when more than one
+// component exists).
+func (e *Engine) sequentialBFS(bonding []int64, s *msScratch, res *connResult) {
 	for idx, m := range bonding {
-		if _, seen := vs.owner[m]; seen {
+		if _, seen := s.owner(m); seen {
 			continue
 		}
-		ncc++
-		var members []int64
-		var q queue.Q
-		q.Push(m)
-		vs.owner[m] = idx
-		for !q.Empty() {
-			id := q.Pop()
-			members = append(members, id)
-			e.expand(id, vs, func(qid int64) {
-				if _, seen := vs.owner[qid]; !seen {
-					vs.owner[qid] = idx
-					q.Push(qid)
+		s.seqQ.PushPool(&s.qpool, m)
+		s.setOwner(m, idx)
+		for !s.seqQ.Empty() {
+			id := s.seqQ.PopPool(&s.qpool)
+			res.closedIDs = append(res.closedIDs, id)
+			e.expand(id, s, res)
+			for _, qid := range s.coreBuf {
+				if _, seen := s.owner(qid); !seen {
+					s.setOwner(qid, idx)
+					s.seqQ.PushPool(&s.qpool, qid)
 				}
-			})
+			}
 		}
-		closed = append(closed, members)
+		res.closedOff = append(res.closedOff, len(res.closedIDs))
+		res.ncc++
 	}
-	return closed, ncc
 }

@@ -213,8 +213,13 @@ func TestExpandRefreshesHints(t *testing.T) {
 	st.hint = noHint // sabotage
 	eng.stride++     // fresh stride scope for markAffected
 	eng.affected = eng.affected[:0]
-	vs := eng.newVisitState()
-	eng.expand(3, vs, func(int64) {})
+	eng.ensureScratches(1)
+	s := eng.scratches[0]
+	res := &eng.connRes
+	res.reset()
+	s.begin(eng.useEpoch)
+	eng.expand(3, s, res)
+	eng.applyConnResult(res)
 	if st.hint != 3 {
 		t.Fatalf("hint = %d, want 3", st.hint)
 	}

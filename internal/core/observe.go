@@ -54,7 +54,10 @@ type StrideRecord struct {
 	Shrinks      int
 	Dissipations int
 
-	Workers int // COLLECT fan-out width actually used this stride
+	Workers        int   // COLLECT fan-out width actually used this stride
+	ClusterWorkers int   // widest CLUSTER fan-out (captures or connectivity) this stride
+	ConnChecks     int   // MS-BFS connectivity checks dispatched this stride
+	PoolGrows      int64 // scratch-pool misses (new allocations) this stride
 }
 
 // Observer receives one StrideRecord per Advance, synchronously, after the
@@ -85,7 +88,8 @@ func (e *Engine) SetObserver(o Observer) { e.observer = o }
 // checked e.observer != nil; statsBefore/treeBefore are the engine and
 // index counters captured at the top of Advance.
 func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
-	t0, t1, t2, t3, t4 time.Time, statsBefore model.Stats, epochPruned int64) {
+	t0, t1, t2, t3, t4 time.Time, statsBefore model.Stats, epochPruned int64,
+	poolGrows int64) {
 	workers := e.workers
 	if total := len(in) + len(out); workers > total {
 		workers = total
@@ -93,28 +97,35 @@ func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
 	if workers < 1 {
 		workers = 1
 	}
+	clusterWorkers := e.strideClusterWorkers
+	if clusterWorkers < 1 {
+		clusterWorkers = 1 // a stride with no CLUSTER fan-out still ran serially
+	}
 	e.observer.ObserveStride(StrideRecord{
-		Stride:        e.stride,
-		DeltaIn:       len(in),
-		DeltaOut:      len(out),
-		WindowSize:    len(e.pts),
-		ExCores:       exCores,
-		NeoCores:      neoCores,
-		Collect:       t1.Sub(t0),
-		ExCorePhase:   t2.Sub(t1),
-		NeoCorePhase:  t3.Sub(t2),
-		Finalize:      t4.Sub(t3),
-		Total:         t4.Sub(t0),
-		RangeSearches: e.stats.RangeSearches - statsBefore.RangeSearches,
-		NodeAccesses:  e.stats.NodeAccesses - statsBefore.NodeAccesses,
-		EpochPruned:   epochPruned,
-		MSBFSMerges:   e.strideMerges,
-		Emergences:    e.strideEvents[Emergence],
-		Expansions:    e.strideEvents[Expansion],
-		Mergers:       e.strideEvents[Merger],
-		Splits:        e.strideEvents[Split],
-		Shrinks:       e.strideEvents[Shrink],
-		Dissipations:  e.strideEvents[Dissipation],
-		Workers:       workers,
+		Stride:         e.stride,
+		DeltaIn:        len(in),
+		DeltaOut:       len(out),
+		WindowSize:     len(e.pts),
+		ExCores:        exCores,
+		NeoCores:       neoCores,
+		Collect:        t1.Sub(t0),
+		ExCorePhase:    t2.Sub(t1),
+		NeoCorePhase:   t3.Sub(t2),
+		Finalize:       t4.Sub(t3),
+		Total:          t4.Sub(t0),
+		RangeSearches:  e.stats.RangeSearches - statsBefore.RangeSearches,
+		NodeAccesses:   e.stats.NodeAccesses - statsBefore.NodeAccesses,
+		EpochPruned:    epochPruned,
+		MSBFSMerges:    e.strideMerges,
+		Emergences:     e.strideEvents[Emergence],
+		Expansions:     e.strideEvents[Expansion],
+		Mergers:        e.strideEvents[Merger],
+		Splits:         e.strideEvents[Split],
+		Shrinks:        e.strideEvents[Shrink],
+		Dissipations:   e.strideEvents[Dissipation],
+		Workers:        workers,
+		ClusterWorkers: clusterWorkers,
+		ConnChecks:     e.strideConnChecks,
+		PoolGrows:      poolGrows,
 	})
 }

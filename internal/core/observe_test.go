@@ -50,6 +50,14 @@ func TestObserverStrideRecords(t *testing.T) {
 		if r.Workers != 1 {
 			t.Fatalf("stride %d: workers = %d, want 1", r.Stride, r.Workers)
 		}
+		if r.ClusterWorkers != 1 {
+			t.Fatalf("stride %d: cluster workers = %d, want 1 on a workers=1 engine",
+				r.Stride, r.ClusterWorkers)
+		}
+		if r.ConnChecks < 0 || r.PoolGrows < 0 {
+			t.Fatalf("stride %d: negative pool telemetry %d/%d",
+				r.Stride, r.ConnChecks, r.PoolGrows)
+		}
 		searches += r.RangeSearches
 		nodes += r.NodeAccesses
 		in += r.DeltaIn

@@ -33,6 +33,13 @@ type persistedPoint struct {
 	WasCore bool
 }
 
+// persistedEngine is the explicit wire schema. Listing fields by hand (as
+// opposed to encoding *Engine) is what keeps runtime-only state — the
+// CLUSTER capture buffers, MS-BFS scratches, queue pools, and every other
+// per-stride scratch field on Engine — structurally unable to leak into a
+// snapshot: a field absent here is never written. TestSnapshotOmitsScratch
+// pins this by checking snapshots taken before and after heavy scratch
+// growth decode to identical state.
 type persistedEngine struct {
 	Version   int
 	Cfg       model.Config

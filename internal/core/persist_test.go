@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"disc/internal/dbscan"
@@ -131,5 +134,62 @@ func TestSnapshotEmptyEngine(t *testing.T) {
 	restored.Advance(clustered2D(rand.New(rand.NewSource(81)), 100), nil)
 	if restored.WindowSize() != 100 {
 		t.Fatal("restored empty engine unusable")
+	}
+}
+
+// TestSnapshotOmitsScratch: the CLUSTER capture buffers, MS-BFS scratches
+// and queue pools are runtime-only — growing them between two saves of the
+// same engine must not change the persisted state in any field.
+func TestSnapshotOmitsScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	data := clustered2D(rng, 1200)
+	steps, err := window.Steps(data, 400, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(cfg2(2.5, 5), WithWorkers(8))
+	for _, st := range steps {
+		eng.Advance(st.In, st.Out)
+	}
+	decode := func(buf *bytes.Buffer) persistedEngine {
+		var ps persistedEngine
+		if err := gob.NewDecoder(buf).Decode(&ps); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ps.Points, func(i, j int) bool { return ps.Points[i].ID < ps.Points[j].ID })
+		return ps
+	}
+	var before bytes.Buffer
+	if err := eng.SaveSnapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow every scratch structure hard: extra worker scratches, repeated
+	// connectivity checks over all surviving cores. None of this touches
+	// logical engine state.
+	var bonding []int64
+	for id, st := range eng.pts {
+		if st.wasCore && eng.isCoreNow(st) {
+			bonding = append(bonding, id)
+		}
+	}
+	sort.Slice(bonding, func(i, j int) bool { return bonding[i] < bonding[j] })
+	if len(bonding) < 2 {
+		t.Fatal("workload produced too few surviving cores to exercise scratch")
+	}
+	eng.ensureScratches(4)
+	for i := 0; i < 3; i++ {
+		for _, s := range eng.scratches {
+			eng.connectivityInto(bonding, s, &eng.connRes)
+		}
+	}
+
+	var after bytes.Buffer
+	if err := eng.SaveSnapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	a, b := decode(&before), decode(&after)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scratch growth changed the snapshot:\nbefore: %+v\nafter:  %+v", a, b)
 	}
 }

@@ -101,11 +101,26 @@ type Dense struct {
 
 // NewDense returns a disjoint-set forest over keys 0..n-1, each a singleton.
 func NewDense(n int) *Dense {
-	d := &Dense{parent: make([]int32, n), rank: make([]int8, n)}
+	d := &Dense{}
+	d.Reset(n)
+	return d
+}
+
+// Reset reinitializes the forest over keys 0..n-1, all singletons, reusing
+// the backing storage when it is large enough. It lets one Dense value be
+// pooled across short-lived instances of varying size without allocating in
+// the steady state.
+func (d *Dense) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.rank = make([]int8, n)
+	}
+	d.parent = d.parent[:n]
+	d.rank = d.rank[:n]
 	for i := range d.parent {
 		d.parent[i] = int32(i)
+		d.rank[i] = 0
 	}
-	return d
 }
 
 // Find returns the representative of x with path halving.

@@ -24,8 +24,11 @@ import (
 //	epoch_pruned_total             counter    entries hidden by epoch probing
 //	msbfs_queue_merges_total       counter    MS-BFS thread merges
 //	cluster_events_total{type}     counter    emergence|expansion|merger|split|shrink|dissipation
+//	connectivity_checks_total      counter    MS-BFS connectivity checks dispatched
+//	scratch_pool_grows_total       counter    scratch-pool misses (new allocations)
 //	window_size                    gauge      resident points after the last stride
 //	collect_workers                gauge      COLLECT fan-out width of the last stride
+//	cluster_workers                gauge      widest CLUSTER fan-out of the last stride
 type EngineMetrics struct {
 	strideDur *Histogram
 	phaseDur  [4]*Histogram // collect, ex_cores, neo_cores, finalize
@@ -39,10 +42,13 @@ type EngineMetrics struct {
 	nodeAccesses  *Counter
 	epochPruned   *Counter
 	msbfsMerges   *Counter
+	connChecks    *Counter
+	poolGrows     *Counter
 	events        [6]*Counter // indexed by core.EventType
 
-	windowSize *Gauge
-	workers    *Gauge
+	windowSize     *Gauge
+	workers        *Gauge
+	clusterWorkers *Gauge
 }
 
 // NewEngineMetrics registers the disc_* instruments on r and returns the
@@ -69,10 +75,16 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Entries or subtrees hidden from reachability searches by epoch probing.", nil),
 		msbfsMerges: r.Counter("disc_msbfs_queue_merges_total",
 			"Multi-Starter BFS thread merges (two search frontiers met).", nil),
+		connChecks: r.Counter("disc_connectivity_checks_total",
+			"Density-connectivity checks dispatched by the ex-core phase.", nil),
+		poolGrows: r.Counter("disc_scratch_pool_grows_total",
+			"Scratch-pool misses: nodes or buffers newly allocated instead of reused.", nil),
 		windowSize: r.Gauge("disc_window_size",
 			"Points resident in the sliding window after the last stride.", nil),
 		workers: r.Gauge("disc_collect_workers",
 			"COLLECT worker fan-out width used by the last stride.", nil),
+		clusterWorkers: r.Gauge("disc_cluster_workers",
+			"Widest CLUSTER fan-out (capture or connectivity) used by the last stride.", nil),
 	}
 	phases := []string{"collect", "ex_cores", "neo_cores", "finalize"}
 	for i, ph := range phases {
@@ -103,6 +115,8 @@ func (m *EngineMetrics) ObserveStride(rec core.StrideRecord) {
 	m.nodeAccesses.Add(rec.NodeAccesses)
 	m.epochPruned.Add(rec.EpochPruned)
 	m.msbfsMerges.Add(rec.MSBFSMerges)
+	m.connChecks.Add(int64(rec.ConnChecks))
+	m.poolGrows.Add(rec.PoolGrows)
 
 	m.events[core.Emergence].Add(int64(rec.Emergences))
 	m.events[core.Expansion].Add(int64(rec.Expansions))
@@ -113,4 +127,5 @@ func (m *EngineMetrics) ObserveStride(rec core.StrideRecord) {
 
 	m.windowSize.Set(float64(rec.WindowSize))
 	m.workers.Set(float64(rec.Workers))
+	m.clusterWorkers.Set(float64(rec.ClusterWorkers))
 }

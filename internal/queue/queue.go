@@ -1,10 +1,17 @@
 // Package queue provides a FIFO queue of point ids with O(1) concatenation,
 // the operation MS-BFS performs whenever two search threads meet (Algorithm 3
 // line 11 of the DISC paper merges the two threads' queues into one).
+//
+// Queues come in two flavors sharing one representation: the plain
+// Push/Pop methods allocate one node per Push, while PushPool/PopPool route
+// nodes through a caller-owned Pool free list so a steady-state traversal
+// performs no heap allocations at all. The two flavors interoperate — a
+// Concat moves nodes wholesale regardless of where they came from — as long
+// as nodes recycled into a Pool are only reused through that Pool.
 package queue
 
 // node is a singly-linked chunk holding one id. A linked representation keeps
-// Concat O(1); enqueue/dequeue are O(1) amortized as well.
+// Concat O(1); enqueue/dequeue are O(1) as well.
 type node struct {
 	id   int64
 	next *node
@@ -23,9 +30,17 @@ func (q *Q) Len() int { return q.n }
 // Empty reports whether the queue holds no ids.
 func (q *Q) Empty() bool { return q.n == 0 }
 
-// Push appends id to the back of the queue.
-func (q *Q) Push(id int64) {
-	nd := &node{id: id}
+// Push appends id to the back of the queue, allocating its node.
+func (q *Q) Push(id int64) { q.pushNode(&node{id: id}) }
+
+// Pop removes and returns the front id. It panics on an empty queue; callers
+// must check Empty first.
+func (q *Q) Pop() int64 {
+	id, _ := q.popNode()
+	return id
+}
+
+func (q *Q) pushNode(nd *node) {
 	if q.tail == nil {
 		q.head, q.tail = nd, nd
 	} else {
@@ -35,9 +50,7 @@ func (q *Q) Push(id int64) {
 	q.n++
 }
 
-// Pop removes and returns the front id. It panics on an empty queue; callers
-// must check Empty first.
-func (q *Q) Pop() int64 {
+func (q *Q) popNode() (int64, *node) {
 	if q.head == nil {
 		panic("queue: Pop on empty queue")
 	}
@@ -47,7 +60,8 @@ func (q *Q) Pop() int64 {
 		q.tail = nil
 	}
 	q.n--
-	return nd.id
+	nd.next = nil
+	return nd.id, nd
 }
 
 // Concat moves all ids of other onto the back of q in O(1), leaving other
@@ -71,4 +85,65 @@ func (q *Q) Drain(fn func(int64)) {
 	for !q.Empty() {
 		fn(q.Pop())
 	}
+}
+
+// Pool is a free list of queue nodes. Pushing through a pool reuses nodes
+// popped (or recycled) through the same pool, so once the pool has grown to
+// the high-water node count of a workload, further queue traffic allocates
+// nothing. Pools are not safe for concurrent use; keep one per worker.
+type Pool struct {
+	free  *node
+	grown int64
+}
+
+// Grown returns how many nodes the pool has ever allocated — its miss
+// counter. A steady-state workload shows no further growth, which is how the
+// engine's telemetry observes the allocation-free MS-BFS claim.
+func (p *Pool) Grown() int64 { return p.grown }
+
+func (p *Pool) get(id int64) *node {
+	if nd := p.free; nd != nil {
+		p.free = nd.next
+		nd.id, nd.next = id, nil
+		return nd
+	}
+	p.grown++
+	return &node{id: id}
+}
+
+// PushPool appends id to the back of q, drawing the node from pool. A nil
+// pool degrades to an allocating Push.
+func (q *Q) PushPool(pool *Pool, id int64) {
+	if pool == nil {
+		q.Push(id)
+		return
+	}
+	q.pushNode(pool.get(id))
+}
+
+// PopPool removes and returns the front id, recycling its node into pool.
+// It panics on an empty queue. A nil pool degrades to Pop.
+func (q *Q) PopPool(pool *Pool) int64 {
+	id, nd := q.popNode()
+	if pool != nil {
+		nd.next = pool.free
+		pool.free = nd
+	}
+	return id
+}
+
+// Recycle empties the queue, returning every node to pool in O(Len). Used
+// when a traversal exits early and abandons non-empty frontiers.
+func (q *Q) Recycle(pool *Pool) {
+	if pool == nil {
+		q.head, q.tail, q.n = nil, nil, 0
+		return
+	}
+	for nd := q.head; nd != nil; {
+		next := nd.next
+		nd.next = pool.free
+		pool.free = nd
+		nd = next
+	}
+	q.head, q.tail, q.n = nil, nil, 0
 }
