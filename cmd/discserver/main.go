@@ -1,10 +1,13 @@
 // Command discserver runs the DISC stream-clustering HTTP service: ingest
 // points, query clusters and their evolution over a sliding window, and
-// scrape live telemetry.
+// scrape live telemetry. With -checkpoint-dir it also checkpoints itself
+// durably every -checkpoint-every strides and auto-recovers from the newest
+// valid checkpoint on startup.
 //
 // Usage:
 //
-//	discserver -addr :8080 -dims 2 -eps 0.5 -minpts 5 -window 10000 -stride 500
+//	discserver -addr :8080 -dims 2 -eps 0.5 -minpts 5 -window 10000 -stride 500 \
+//	    -checkpoint-dir /var/lib/discserver -checkpoint-every 20
 //
 // Endpoints:
 //
@@ -22,10 +25,13 @@
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // (including a final checkpoint download or metrics scrape) get up to
-// -drain to complete before the listener closes.
+// -drain to complete before the listener closes, and — when durable
+// checkpointing is on — a final checkpoint generation is written so no
+// completed stride is lost.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -36,7 +42,9 @@ import (
 	"syscall"
 	"time"
 
+	"disc/internal/ckpt"
 	"disc/internal/model"
+	"disc/internal/obs"
 	"disc/internal/server"
 )
 
@@ -49,30 +57,79 @@ func main() {
 	stride := flag.Int("stride", 500, "stride size in points")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable checkpoints (empty = durability off)")
+	ckptEvery := flag.Uint64("checkpoint-every", 20, "checkpoint every N strides")
+	ckptMax := flag.Int64("checkpoint-max-bytes", server.DefaultMaxCheckpointBytes,
+		"largest checkpoint accepted on restore (POST /checkpoint and recovery)")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Cluster:     model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
-		Window:      *win,
-		Stride:      *stride,
-		EnablePprof: *pprofOn,
+		Cluster:            model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
+		Window:             *win,
+		Stride:             *stride,
+		EnablePprof:        *pprofOn,
+		MaxCheckpointBytes: *ckptMax,
 	})
 	if err != nil {
 		log.Fatalf("discserver: %v", err)
 	}
+
+	// Durable checkpointing: recover before serving, then checkpoint in the
+	// background every -checkpoint-every strides.
+	var runner *ckpt.Runner
+	runnerDone := make(chan struct{})
+	if *ckptDir != "" {
+		store, err := ckpt.Open(*ckptDir,
+			ckpt.WithMaxPayload(*ckptMax), ckpt.WithStoreLogf(log.Printf))
+		if err != nil {
+			log.Fatalf("discserver: %v", err)
+		}
+		payload, gen, err := store.Recover()
+		switch {
+		case err == nil:
+			restored, err := srv.ReadCheckpoint(bytes.NewReader(payload))
+			if err != nil {
+				// A checkpoint that validates at the frame layer but does not
+				// restore (wrong config, wrong schema) is an operator error;
+				// starting fresh would silently discard the window they meant
+				// to keep.
+				log.Fatalf("discserver: checkpoint generation %d does not restore: %v", gen, err)
+			}
+			log.Printf("discserver: recovered generation %d (%d bytes, window of %d points)",
+				gen, len(payload), restored)
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			log.Printf("discserver: no checkpoint in %s, starting fresh", *ckptDir)
+		case errors.Is(err, ckpt.ErrNoValidCheckpoint):
+			log.Printf("discserver: WARNING: checkpoints exist in %s but none is valid, starting fresh: %v", *ckptDir, err)
+		default:
+			log.Fatalf("discserver: checkpoint recovery: %v", err)
+		}
+		cm := obs.NewCheckpointMetrics(srv.Registry())
+		runner = ckpt.NewRunner(store, srv, *ckptEvery,
+			ckpt.WithObserver(cm), ckpt.WithRunnerLogf(log.Printf))
+	} else {
+		close(runnerDone)
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d pprof=%v)\n",
-		*addr, *eps, *minPts, *win, *stride, *pprofOn)
+	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d pprof=%v checkpoints=%s)\n",
+		*addr, *eps, *minPts, *win, *stride, *pprofOn, describeCkpt(*ckptDir, *ckptEvery))
 
 	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
 	// and waits for in-flight handlers (a checkpoint save mid-write, a
 	// scrape) up to the deadline instead of cutting them off.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if runner != nil {
+		go func() {
+			defer close(runnerDone)
+			runner.Run(ctx)
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
 	select {
@@ -89,6 +146,16 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("discserver: %v", err)
 		}
+		// Wait for the runner's final shutdown checkpoint: the listener is
+		// closed, so no new strides can arrive while it writes.
+		<-runnerDone
 		fmt.Println("discserver: shut down cleanly")
 	}
+}
+
+func describeCkpt(dir string, every uint64) string {
+	if dir == "" {
+		return "off"
+	}
+	return fmt.Sprintf("%s every %d strides", dir, every)
 }

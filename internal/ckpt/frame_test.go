@@ -1,0 +1,138 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// testPayload is deterministic so every corruption assertion is exact.
+func testPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*131 + 17)
+	}
+	return p
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 20, 257, 4096} {
+		payload := testPayload(n)
+		var buf bytes.Buffer
+		wrote, err := WriteFrame(&buf, payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if wrote != HeaderSize+n || buf.Len() != wrote {
+			t.Fatalf("n=%d: wrote %d bytes, want %d", n, wrote, HeaderSize+n)
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: payload mangled", n)
+		}
+	}
+}
+
+// TestFrameTruncationEverywhere: a frame cut short at ANY byte offset —
+// every header boundary and every payload position — must be rejected,
+// never decoded as a shorter valid frame.
+func TestFrameTruncationEverywhere(t *testing.T) {
+	payload := testPayload(64)
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for cut := 0; cut < len(frame); cut++ {
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]), 0)
+		if err == nil {
+			t.Fatalf("frame truncated to %d of %d bytes accepted", cut, len(frame))
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: error %v does not wrap io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestFrameBitFlips: flipping any single bit anywhere in the frame —
+// magic, version, length, checksum, or payload — must be detected.
+func TestFrameBitFlips(t *testing.T) {
+	payload := testPayload(256)
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for pos := 0; pos < len(frame); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= 1 << bit
+			if _, err := ReadFrame(bytes.NewReader(mut), 1<<20); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", pos, bit)
+			}
+		}
+	}
+}
+
+func TestFrameErrorKinds(t *testing.T) {
+	payload := testPayload(32)
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	corrupt := func(pos int, x byte) []byte {
+		mut := append([]byte(nil), frame...)
+		mut[pos] ^= x
+		return mut
+	}
+	if _, err := ReadFrame(bytes.NewReader(corrupt(0, 0xff)), 0); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic corruption: %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(corrupt(5, 0x01)), 0); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version corruption: %v, want ErrBadVersion", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(corrupt(19, 0x01)), 0); !errors.Is(err, ErrChecksum) {
+		t.Errorf("crc corruption: %v, want ErrChecksum", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(corrupt(HeaderSize+3, 0x10)), 0); !errors.Is(err, ErrChecksum) {
+		t.Errorf("payload corruption: %v, want ErrChecksum", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame), int64(len(payload)-1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize payload: %v, want ErrTooLarge", err)
+	}
+}
+
+// failingWriter fails (or short-writes) once limit bytes have been
+// accepted, simulating a disk filling up or a crash mid-write.
+type failingWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) <= w.limit {
+		w.n += len(p)
+		return len(p), nil
+	}
+	take := w.limit - w.n
+	w.n = w.limit
+	return take, fmt.Errorf("injected write failure after %d bytes", w.limit)
+}
+
+// TestFrameFailingWriter: a write failing at any byte must surface as an
+// error from WriteFrame — no silent short frames.
+func TestFrameFailingWriter(t *testing.T) {
+	payload := testPayload(48)
+	total := HeaderSize + len(payload)
+	for limit := 0; limit < total; limit++ {
+		if _, err := WriteFrame(&failingWriter{limit: limit}, payload); err == nil {
+			t.Fatalf("write failing at byte %d reported success", limit)
+		}
+	}
+}

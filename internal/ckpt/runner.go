@@ -1,0 +1,197 @@
+package ckpt
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"time"
+)
+
+// Source is what the Runner checkpoints: the running service. Both methods
+// must be safe for concurrent use (the server guards them with its mutex).
+type Source interface {
+	// Strides returns the number of window advances processed so far; the
+	// Runner checkpoints every N of them.
+	Strides() uint64
+	// WriteCheckpoint writes a restorable snapshot of the service to w.
+	WriteCheckpoint(w io.Writer) error
+}
+
+// Record describes one checkpoint attempt, delivered to the Observer.
+type Record struct {
+	Gen      uint64 // generation written; 0 on failure
+	Strides  uint64 // source stride count captured for this attempt
+	Bytes    int    // payload size; 0 on failure
+	Duration time.Duration
+	Err      error // nil on success
+}
+
+// Observer receives one Record per checkpoint attempt. The obs package's
+// CheckpointMetrics implements it to feed the disc_checkpoint_* family.
+type Observer interface {
+	ObserveCheckpoint(Record)
+}
+
+// Runner defaults.
+const (
+	DefaultPoll       = time.Second
+	DefaultBackoff    = time.Second
+	DefaultMaxBackoff = time.Minute
+)
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithPoll sets how often the runner samples the source's stride count.
+func WithPoll(d time.Duration) RunnerOption {
+	return func(r *Runner) {
+		if d > 0 {
+			r.poll = d
+		}
+	}
+}
+
+// WithBackoff sets the initial and maximum retry delay after a failed
+// checkpoint; the delay doubles per consecutive failure up to max.
+func WithBackoff(initial, max time.Duration) RunnerOption {
+	return func(r *Runner) {
+		if initial > 0 {
+			r.backoff = initial
+		}
+		if max >= initial {
+			r.maxBackoff = max
+		}
+	}
+}
+
+// WithObserver attaches a per-attempt metrics hook.
+func WithObserver(o Observer) RunnerOption {
+	return func(r *Runner) { r.obs = o }
+}
+
+// WithRunnerLogf sets the destination for the runner's log lines
+// (default: discard).
+func WithRunnerLogf(logf func(format string, args ...any)) RunnerOption {
+	return func(r *Runner) {
+		if logf != nil {
+			r.logf = logf
+		}
+	}
+}
+
+// Runner periodically persists a Source through a Store: every `every`
+// strides it writes a new generation; a failed write is retried with
+// exponential backoff without blocking the service (the snapshot is taken
+// under the server's lock, the disk I/O outside any lock).
+type Runner struct {
+	store *Store
+	src   Source
+	every uint64
+
+	poll       time.Duration
+	backoff    time.Duration
+	maxBackoff time.Duration
+	obs        Observer
+	logf       func(format string, args ...any)
+
+	lastSaved uint64 // stride count at the last successful checkpoint
+}
+
+// NewRunner returns a runner checkpointing src into store every `every`
+// strides (minimum 1).
+func NewRunner(store *Store, src Source, every uint64, opts ...RunnerOption) *Runner {
+	if every == 0 {
+		every = 1
+	}
+	r := &Runner{
+		store: store, src: src, every: every,
+		poll:       DefaultPoll,
+		backoff:    DefaultBackoff,
+		maxBackoff: DefaultMaxBackoff,
+		logf:       func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	// Strides already processed when the runner is created (e.g. restored
+	// from a checkpoint at startup) are durable or intentionally fresh;
+	// the first automatic checkpoint comes after `every` further strides.
+	r.lastSaved = src.Strides()
+	return r
+}
+
+// CheckpointNow takes one snapshot and persists it, regardless of stride
+// progress, reporting the attempt to the observer. It returns the
+// generation written.
+func (r *Runner) CheckpointNow() (uint64, error) {
+	start := time.Now()
+	strides := r.src.Strides()
+	var buf bytes.Buffer
+	gen, err := uint64(0), r.src.WriteCheckpoint(&buf)
+	if err == nil {
+		gen, err = r.store.Save(buf.Bytes())
+	}
+	rec := Record{Gen: gen, Strides: strides, Duration: time.Since(start), Err: err}
+	if err == nil {
+		rec.Bytes = buf.Len()
+		r.lastSaved = strides
+	}
+	if r.obs != nil {
+		r.obs.ObserveCheckpoint(rec)
+	}
+	return gen, err
+}
+
+// Run checkpoints src until ctx is canceled, then — if strides advanced
+// since the last successful checkpoint — writes one final generation so a
+// graceful shutdown never loses completed strides. It is meant to be run
+// in its own goroutine.
+func (r *Runner) Run(ctx context.Context) {
+	backoff := time.Duration(0) // active retry delay; 0 = healthy
+	var notBefore time.Time     // earliest next attempt while backing off
+
+	ticker := time.NewTicker(r.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			r.final()
+			return
+		case <-ticker.C:
+		}
+		if backoff > 0 && time.Now().Before(notBefore) {
+			continue
+		}
+		strides := r.src.Strides()
+		if strides < r.lastSaved+r.every {
+			continue
+		}
+		gen, err := r.CheckpointNow()
+		if err != nil {
+			if backoff == 0 {
+				backoff = r.backoff
+			} else if backoff < r.maxBackoff {
+				backoff = min(2*backoff, r.maxBackoff)
+			}
+			notBefore = time.Now().Add(backoff)
+			r.logf("ckpt: checkpoint at stride %d failed (retry in %v): %v", strides, backoff, err)
+			continue
+		}
+		backoff = 0
+		r.logf("ckpt: wrote generation %d at stride %d", gen, strides)
+	}
+}
+
+// final writes a last checkpoint on shutdown when there is unsaved stride
+// progress; failures only log — shutdown must not hang on a broken disk.
+func (r *Runner) final() {
+	if r.src.Strides() == r.lastSaved {
+		return
+	}
+	gen, err := r.CheckpointNow()
+	if err != nil {
+		r.logf("ckpt: final checkpoint on shutdown failed: %v", err)
+		return
+	}
+	r.logf("ckpt: wrote final generation %d on shutdown", gen)
+}

@@ -1,0 +1,283 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNoCheckpoint is returned by Recover when the directory holds no
+// checkpoint generation at all — the caller should start fresh.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// ErrNoValidCheckpoint is returned by Recover when generations exist but
+// every one of them failed frame validation — the caller must decide
+// whether starting fresh (losing the window) is acceptable.
+var ErrNoValidCheckpoint = errors.New("ckpt: no valid checkpoint generation")
+
+// DefaultKeep is how many generations a Store retains: the newest plus one
+// fallback, which is the minimum for crash safety (a crash mid-write can
+// tear at most the newest).
+const DefaultKeep = 2
+
+const (
+	genPrefix = "ckpt-"
+	genSuffix = ".disc"
+	tmpSuffix = ".tmp"
+)
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithKeep sets how many checkpoint generations to retain (minimum 2, the
+// newest plus one fallback).
+func WithKeep(n int) StoreOption {
+	return func(s *Store) {
+		if n >= 2 {
+			s.keep = n
+		}
+	}
+}
+
+// WithMaxPayload caps the payload size Recover will allocate for one
+// generation; <= 0 means unlimited.
+func WithMaxPayload(n int64) StoreOption {
+	return func(s *Store) { s.maxPayload = n }
+}
+
+// WithStoreLogf sets the destination for the store's recovery/pruning log
+// lines (default: discard).
+func WithStoreLogf(logf func(format string, args ...any)) StoreOption {
+	return func(s *Store) {
+		if logf != nil {
+			s.logf = logf
+		}
+	}
+}
+
+// Store persists framed checkpoint payloads in a directory as numbered
+// generations (ckpt-<seq>.disc). Writes are atomic: the frame goes to a
+// temp file which is fsynced and renamed into place, then the directory is
+// fsynced, so a crash at any instant leaves either the previous generation
+// set intact or the new generation fully visible — never a half-written
+// file under a final name. Methods are not safe for concurrent use; the
+// single Runner (or the single recovery path at startup) is the intended
+// caller.
+type Store struct {
+	dir        string
+	keep       int
+	maxPayload int64
+	seq        uint64 // highest generation present (0 = none)
+	logf       func(format string, args ...any)
+
+	// wrapWriter, when set, wraps the temp-file writer during Save. Test
+	// hook: fault-injection tests use it to fail or truncate the write
+	// mid-frame, simulating a crash between the first byte and the rename.
+	wrapWriter func(io.Writer) io.Writer
+}
+
+// Open prepares dir (creating it if needed), removes stale temp files left
+// by a crash mid-write, and scans existing generations.
+func Open(dir string, opts ...StoreOption) (*Store, error) {
+	s := &Store{dir: dir, keep: DefaultKeep, logf: func(string, ...any) {}}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: scanning checkpoint dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A temp file can only be a write that never completed; it was
+			// never visible as a generation, so removing it is always safe.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("ckpt: removing stale temp %s: %w", name, err)
+			}
+			s.logf("ckpt: removed stale temp file %s (crash mid-write)", name)
+			continue
+		}
+		if gen, ok := parseGen(name); ok && gen > s.seq {
+			s.seq = gen
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// parseGen extracts the generation number from a ckpt-<seq>.disc filename.
+func parseGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+		return 0, false
+	}
+	mid := name[len(genPrefix) : len(name)-len(genSuffix)]
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil || gen == 0 {
+		return 0, false
+	}
+	return gen, true
+}
+
+func (s *Store) genPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016d%s", genPrefix, gen, genSuffix))
+}
+
+// Generations returns the generation numbers present on disk, ascending.
+func (s *Store) Generations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: scanning checkpoint dir: %w", err)
+	}
+	var gens []uint64
+	for _, ent := range entries {
+		if gen, ok := parseGen(ent.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save durably writes payload as the next generation and prunes old
+// generations beyond the retention count. On any error the directory is
+// left exactly as it was: the temp file is removed and no generation
+// becomes visible.
+func (s *Store) Save(payload []byte) (gen uint64, err error) {
+	gen = s.seq + 1
+	tmp := s.genPath(gen) + tmpSuffix
+	if err := s.writeTemp(tmp, payload); err != nil {
+		os.Remove(tmp) // best effort; Open also sweeps stale temps
+		return 0, err
+	}
+	final := s.genPath(gen)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("ckpt: publishing generation %d: %w", gen, err)
+	}
+	// The rename is only durable once the directory entry is flushed:
+	// without this fsync a power cut could roll back to a state where
+	// neither the temp nor the final name exists.
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	s.seq = gen
+	s.prune()
+	return gen, nil
+}
+
+// writeTemp writes the framed payload to path and flushes it to stable
+// storage before returning.
+func (s *Store) writeTemp(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: creating temp checkpoint: %w", err)
+	}
+	var w io.Writer = f
+	if s.wrapWriter != nil {
+		w = s.wrapWriter(f)
+	}
+	if _, err := WriteFrame(w, payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: fsync temp checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: closing temp checkpoint: %w", err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ckpt: fsync checkpoint dir: %w", err)
+	}
+	return nil
+}
+
+// prune removes generations beyond the newest s.keep. Failures only log:
+// a leftover old generation is harmless, and the checkpoint that was just
+// written must not be reported failed because of it.
+func (s *Store) prune() {
+	gens, err := s.Generations()
+	if err != nil {
+		s.logf("ckpt: prune scan failed: %v", err)
+		return
+	}
+	if len(gens) <= s.keep {
+		return
+	}
+	for _, gen := range gens[:len(gens)-s.keep] {
+		if err := os.Remove(s.genPath(gen)); err != nil {
+			s.logf("ckpt: pruning generation %d failed: %v", gen, err)
+		}
+	}
+}
+
+// Load reads and verifies one specific generation.
+func (s *Store) Load(gen uint64) ([]byte, error) {
+	f, err := os.Open(s.genPath(gen))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: opening generation %d: %w", gen, err)
+	}
+	defer f.Close()
+	payload, err := ReadFrame(f, s.maxPayload)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: generation %d: %w", gen, err)
+	}
+	// A frame followed by trailing garbage means the file was appended to
+	// or mixed up; treat it as corrupt rather than silently ignoring it.
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("ckpt: generation %d: %w", gen, errors.New("trailing bytes after frame"))
+	}
+	return payload, nil
+}
+
+// Recover returns the payload of the newest generation that passes frame
+// validation, trying older generations when newer ones are torn or
+// corrupt and logging every generation it skips. It returns
+// ErrNoCheckpoint when the directory holds no generations, and an error
+// wrapping ErrNoValidCheckpoint (with every per-generation failure
+// attached) when generations exist but none validates.
+func (s *Store) Recover() (payload []byte, gen uint64, err error) {
+	gens, err := s.Generations()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(gens) == 0 {
+		return nil, 0, ErrNoCheckpoint
+	}
+	var failures []error
+	for i := len(gens) - 1; i >= 0; i-- {
+		payload, err := s.Load(gens[i])
+		if err != nil {
+			s.logf("ckpt: skipping generation %d: %v", gens[i], err)
+			failures = append(failures, err)
+			continue
+		}
+		if i != len(gens)-1 {
+			s.logf("ckpt: recovered from fallback generation %d (newest is %d)", gens[i], gens[len(gens)-1])
+		}
+		return payload, gens[i], nil
+	}
+	return nil, 0, fmt.Errorf("%w: %w", ErrNoValidCheckpoint, errors.Join(failures...))
+}

@@ -1,0 +1,235 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustSave(t *testing.T, s *Store, payload []byte) uint64 {
+	t.Helper()
+	gen, err := s.Save(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func mustOpen(t *testing.T, dir string, opts ...StoreOption) *Store {
+	t.Helper()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreSaveRecover(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	if _, _, err := s.Recover(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store: %v, want ErrNoCheckpoint", err)
+	}
+	p1, p2 := testPayload(100), testPayload(200)
+	g1 := mustSave(t, s, p1)
+	g2 := mustSave(t, s, p2)
+	if g1 != 1 || g2 != 2 {
+		t.Fatalf("generations %d,%d want 1,2", g1, g2)
+	}
+	got, gen, err := s.Recover()
+	if err != nil || gen != g2 || !bytes.Equal(got, p2) {
+		t.Fatalf("recover = gen %d err %v", gen, err)
+	}
+	// Reopening the directory (a process restart) sees the same state and
+	// continues the generation sequence.
+	s2 := mustOpen(t, s.Dir())
+	got, gen, err = s2.Recover()
+	if err != nil || gen != g2 || !bytes.Equal(got, p2) {
+		t.Fatalf("recover after reopen = gen %d err %v", gen, err)
+	}
+	if g3 := mustSave(t, s2, p1); g3 != 3 {
+		t.Fatalf("generation after reopen = %d, want 3", g3)
+	}
+}
+
+func TestStorePrunesOldGenerations(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), WithKeep(2))
+	for i := 0; i < 5; i++ {
+		mustSave(t, s, testPayload(10+i))
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("generations after prune: %v, want [4 5]", gens)
+	}
+}
+
+// TestStoreCorruptNewestFallsBack: a flipped payload bit in the newest
+// generation is caught by the CRC and recovery falls back to the previous
+// generation.
+func TestStoreCorruptNewestFallsBack(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	p1, p2 := testPayload(100), testPayload(150)
+	g1 := mustSave(t, s, p1)
+	g2 := mustSave(t, s, p2)
+
+	path := s.genPath(g2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[HeaderSize+17] ^= 0x04 // one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err := s.Recover()
+	if err != nil || gen != g1 || !bytes.Equal(got, p1) {
+		t.Fatalf("recover after corruption = gen %d err %v, want fallback to %d", gen, err, g1)
+	}
+}
+
+// TestStoreTruncatedNewestFallsBack: the newest generation truncated at
+// every byte offset (all frame boundaries included) is rejected and the
+// previous generation is served instead.
+func TestStoreTruncatedNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p1, p2 := testPayload(80), testPayload(90)
+	g1 := mustSave(t, s, p1)
+	g2 := mustSave(t, s, p2)
+	raw, err := os.ReadFile(s.genPath(g2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(s.genPath(g2), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, gen, err := s.Recover()
+		if err != nil || gen != g1 || !bytes.Equal(got, p1) {
+			t.Fatalf("cut=%d: recover = gen %d err %v, want fallback to %d", cut, gen, err, g1)
+		}
+	}
+}
+
+func TestStoreTrailingGarbageRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	g1 := mustSave(t, s, testPayload(40))
+	g2 := mustSave(t, s, testPayload(50))
+	f, err := os.OpenFile(s.genPath(g2), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, gen, err := s.Recover()
+	if err != nil || gen != g1 {
+		t.Fatalf("recover = gen %d err %v, want fallback to %d", gen, err, g1)
+	}
+}
+
+func TestStoreAllGenerationsCorrupt(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	mustSave(t, s, testPayload(30))
+	mustSave(t, s, testPayload(35))
+	gens, _ := s.Generations()
+	for _, g := range gens {
+		if err := os.WriteFile(s.genPath(g), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := s.Recover()
+	if !errors.Is(err, ErrNoValidCheckpoint) {
+		t.Fatalf("recover = %v, want ErrNoValidCheckpoint", err)
+	}
+}
+
+// TestStoreCrashMidWrite: a write failing partway through the frame (disk
+// full, power cut) must not publish a new generation, must clean up its
+// temp file, and must leave the previous generation recoverable.
+func TestStoreCrashMidWrite(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	p1 := testPayload(120)
+	g1 := mustSave(t, s, p1)
+
+	for _, limit := range []int{0, 3, HeaderSize, HeaderSize + 1, HeaderSize + 60} {
+		s.wrapWriter = func(w io.Writer) io.Writer { return &teeLimit{w: w, limit: limit} }
+		if _, err := s.Save(testPayload(130)); err == nil {
+			t.Fatalf("limit=%d: save with failing writer succeeded", limit)
+		}
+		s.wrapWriter = nil
+
+		gens, err := s.Generations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gens) != 1 || gens[0] != g1 {
+			t.Fatalf("limit=%d: generations %v after failed save, want [%d]", limit, gens, g1)
+		}
+		entries, _ := os.ReadDir(s.Dir())
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) == tmpSuffix {
+				t.Fatalf("limit=%d: stale temp %s left behind", limit, e.Name())
+			}
+		}
+		got, gen, err := s.Recover()
+		if err != nil || gen != g1 || !bytes.Equal(got, p1) {
+			t.Fatalf("limit=%d: recover = gen %d err %v", limit, gen, err)
+		}
+	}
+	// The store still works once the fault clears.
+	p2 := testPayload(140)
+	g2 := mustSave(t, s, p2)
+	got, gen, err := s.Recover()
+	if err != nil || gen != g2 || !bytes.Equal(got, p2) {
+		t.Fatalf("recover after fault cleared = gen %d err %v", gen, err)
+	}
+}
+
+// teeLimit forwards writes to w until limit bytes, then fails — the
+// on-disk temp file ends up torn exactly as a crash would leave it.
+type teeLimit struct {
+	w     io.Writer
+	limit int
+	n     int
+}
+
+func (t *teeLimit) Write(p []byte) (int, error) {
+	if t.n+len(p) <= t.limit {
+		t.n += len(p)
+		return t.w.Write(p)
+	}
+	take := t.limit - t.n
+	t.n = t.limit
+	if take > 0 {
+		t.w.Write(p[:take])
+	}
+	return take, errors.New("injected crash mid-write")
+}
+
+// TestStoreOpenSweepsStaleTemp: a temp file left by a crash between write
+// and rename is removed on the next Open, and never mistaken for a
+// generation.
+func TestStoreOpenSweepsStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	g1 := mustSave(t, s, testPayload(25))
+	stale := s.genPath(g1+1) + tmpSuffix
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp survived reopen")
+	}
+	_, gen, err := s2.Recover()
+	if err != nil || gen != g1 {
+		t.Fatalf("recover = gen %d err %v, want %d", gen, err, g1)
+	}
+}

@@ -495,12 +495,18 @@ func (e *Engine) borderCID(id int64, st *pstate) (int, bool) {
 }
 
 // ConcurrentReadable marks the engine's query methods (Assignment, Snapshot,
-// Stats, Name) as safe for any number of concurrent callers while no
-// Advance, ResetStats, SaveSnapshot, or other mutation is in flight: they
-// perform no writes, not even hidden ones (no union-find path compression,
-// no index statistics). disc.Synchronized detects this marker and serves
-// such engines' queries under a shared read lock.
+// Stats, Name — and SaveSnapshot, which compacts cluster ids into the wire
+// form without touching engine state) as safe for any number of concurrent
+// callers while no Advance, ResetStats, or other mutation is in flight:
+// they perform no writes, not even hidden ones (no union-find path
+// compression, no index statistics). disc.Synchronized detects this marker
+// and serves such engines' queries under a shared read lock.
 func (e *Engine) ConcurrentReadable() {}
+
+// Config returns the engine's clustering configuration. Restore paths use
+// it to reject checkpoints taken under different thresholds or
+// dimensionality than the target deployment.
+func (e *Engine) Config() model.Config { return e.cfg }
 
 // Stats implements model.Engine.
 func (e *Engine) Stats() model.Stats { return e.stats }

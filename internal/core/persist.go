@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"disc/internal/geom"
 	"disc/internal/model"
@@ -55,10 +56,17 @@ type persistedEngine struct {
 }
 
 // SaveSnapshot writes the engine's full state to w. It must not be called
-// concurrently with Advance. Cluster ids are compacted first, so the
-// union-find forest need not be serialized.
+// concurrently with Advance, but it performs no writes of its own — not
+// even hidden ones: cluster ids are compacted into the wire form through
+// the non-compressing FindRO, leaving the in-memory union-find forest and
+// every pstate untouched (TestSaveSnapshotLeavesEngineUntouched pins
+// this), so saving composes with the ConcurrentReadable contract and may
+// run concurrently with queries. The union-find forest need not be
+// serialized because the persisted ids are already representatives.
+// Points are written in ascending id order, making the bytes a pure
+// function of engine state (equal states ⇒ equal snapshots ⇒ equal
+// checkpoint CRCs).
 func (e *Engine) SaveSnapshot(w io.Writer) error {
-	e.compactCIDs()
 	ps := persistedEngine{
 		Version:   snapshotVersion,
 		Cfg:       e.cfg,
@@ -73,11 +81,16 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		Points:    make([]persistedPoint, 0, len(e.pts)),
 	}
 	for id, st := range e.pts {
+		cid := st.cid
+		if cid != 0 {
+			cid = e.cids.FindRO(cid)
+		}
 		ps.Points = append(ps.Points, persistedPoint{
 			ID: id, Pos: st.pos, N: st.n, CoreDeg: st.coreDeg,
-			CID: st.cid, Hint: st.hint, Label: st.label, WasCore: st.wasCore,
+			CID: cid, Hint: st.hint, Label: st.label, WasCore: st.wasCore,
 		})
 	}
+	sort.Slice(ps.Points, func(i, j int) bool { return ps.Points[i].ID < ps.Points[j].ID })
 	if err := gob.NewEncoder(w).Encode(&ps); err != nil {
 		return fmt.Errorf("disc: encoding snapshot: %w", err)
 	}

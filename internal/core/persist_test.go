@@ -137,6 +137,83 @@ func TestSnapshotEmptyEngine(t *testing.T) {
 	}
 }
 
+// TestSaveSnapshotLeavesEngineUntouched: SaveSnapshot is a read path. The
+// original implementation called compactCIDs, rewriting every stored
+// cluster id and resetting the union-find forest — a hidden write that
+// contradicted the ConcurrentReadable contract. The save must now leave
+// every observable piece of engine state identical: per-point bookkeeping,
+// union-find resolution of every id, id allocator, stride counter, stats.
+func TestSaveSnapshotLeavesEngineUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	data := clustered2D(rng, 1200)
+	steps, err := window.Steps(data, 400, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(cfg2(2.5, 5))
+	for _, st := range steps {
+		eng.Advance(st.In, st.Out)
+	}
+
+	type state struct {
+		pts     map[int64]pstate
+		roots   map[int]int // FindRO of every cid in use
+		forest  int         // union-find keys seen
+		nextCID int
+		stride  uint64
+		stats   interface{}
+	}
+	capture := func() state {
+		s := state{
+			pts:     make(map[int64]pstate, len(eng.pts)),
+			roots:   make(map[int]int),
+			forest:  eng.cids.Len(),
+			nextCID: eng.nextCID,
+			stride:  eng.stride,
+			stats:   eng.stats,
+		}
+		for id, st := range eng.pts {
+			s.pts[id] = *st
+			if st.cid != 0 {
+				s.roots[st.cid] = eng.cids.FindRO(st.cid)
+			}
+		}
+		return s
+	}
+
+	before := capture()
+	if len(before.roots) == 0 {
+		t.Fatal("workload produced no clustered cores; test would be vacuous")
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := capture()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("SaveSnapshot mutated the engine:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+
+	// Determinism bonus of the side-effect-free path: saving twice from
+	// the same state yields byte-identical snapshots.
+	var buf2 bytes.Buffer
+	if err := eng.SaveSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two saves of the same state differ byte-wise")
+	}
+
+	// And the saved snapshot still restores to an equivalent engine.
+	restored, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), eng.Snapshot()) {
+		t.Fatal("snapshot saved without compaction restores differently")
+	}
+}
+
 // TestSnapshotOmitsScratch: the CLUSTER capture buffers, MS-BFS scratches
 // and queue pools are runtime-only — growing them between two saves of the
 // same engine must not change the persisted state in any field.

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"disc/internal/ckpt"
+)
+
+// CheckpointMetrics is a ckpt.Observer feeding a Registry: one instance
+// registers the disc_checkpoint_* family and translates each checkpoint
+// attempt into instrument updates. Attach it with
+// ckpt.WithObserver(m) on the auto-checkpoint runner.
+//
+// Metric inventory (all prefixed disc_checkpoint_):
+//
+//	attempts_total    counter    checkpoint attempts (success + failure)
+//	failures_total    counter    attempts that failed (snapshot or I/O)
+//	bytes_total       counter    payload bytes durably written
+//	duration_seconds  histogram  wall-clock time per attempt
+//	generation        gauge      newest generation number written
+//	last_strides      gauge      stride count the newest checkpoint captured
+type CheckpointMetrics struct {
+	attempts *Counter
+	failures *Counter
+	bytes    *Counter
+	dur      *Histogram
+	gen      *Gauge
+	strides  *Gauge
+}
+
+// NewCheckpointMetrics registers the disc_checkpoint_* instruments on r
+// and returns the observer. Register at most once per registry (duplicate
+// names panic).
+func NewCheckpointMetrics(r *Registry) *CheckpointMetrics {
+	return &CheckpointMetrics{
+		attempts: r.Counter("disc_checkpoint_attempts_total",
+			"Durable checkpoint attempts, successful or not.", nil),
+		failures: r.Counter("disc_checkpoint_failures_total",
+			"Durable checkpoint attempts that failed (snapshot encoding or disk I/O).", nil),
+		bytes: r.Counter("disc_checkpoint_bytes_total",
+			"Checkpoint payload bytes durably written (framing overhead excluded).", nil),
+		dur: r.Histogram("disc_checkpoint_duration_seconds",
+			"Wall-clock duration of one checkpoint attempt (snapshot + frame + fsync + rename).", nil, nil),
+		gen: r.Gauge("disc_checkpoint_generation",
+			"Newest checkpoint generation number written by this process.", nil),
+		strides: r.Gauge("disc_checkpoint_last_strides",
+			"Stride count captured by the newest successful checkpoint.", nil),
+	}
+}
+
+// ObserveCheckpoint implements ckpt.Observer.
+func (m *CheckpointMetrics) ObserveCheckpoint(rec ckpt.Record) {
+	m.attempts.Inc()
+	m.dur.Observe(rec.Duration.Seconds())
+	if rec.Err != nil {
+		m.failures.Inc()
+		return
+	}
+	m.bytes.Add(int64(rec.Bytes))
+	m.gen.Set(float64(rec.Gen))
+	m.strides.Set(float64(rec.Strides))
+}

@@ -57,6 +57,13 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Set forces the counter to v. This exists for exactly one situation:
+// restoring a persisted total after a checkpoint load, where the counter
+// must agree with the restored service state. A decrease is legal for
+// Prometheus consumers — scrapers treat it as the counter reset that a
+// restore semantically is.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
 // Gauge is a metric that can go up and down, stored as a float64.
 type Gauge struct {
 	bits atomic.Uint64

@@ -10,8 +10,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -26,6 +28,14 @@ import (
 	"disc/internal/window"
 )
 
+// Default request-body bounds. Both paths decode untrusted input into
+// memory, so they must be capped; the checkpoint default is generous
+// because a checkpoint carries the full window.
+const (
+	DefaultMaxIngestBytes     = 8 << 20   // 8 MiB of JSON points per POST /ingest
+	DefaultMaxCheckpointBytes = 256 << 20 // 256 MiB per POST /checkpoint
+)
+
 // Config configures the service.
 type Config struct {
 	Cluster model.Config
@@ -38,6 +48,12 @@ type Config struct {
 	// default: profiling endpoints expose heap contents and should only be
 	// reachable on trusted networks.
 	EnablePprof bool
+	// MaxIngestBytes caps the request body of POST /ingest; 0 selects
+	// DefaultMaxIngestBytes. Oversized requests get 413.
+	MaxIngestBytes int64
+	// MaxCheckpointBytes caps the request body of POST /checkpoint; 0
+	// selects DefaultMaxCheckpointBytes. Oversized requests get 413.
+	MaxCheckpointBytes int64
 }
 
 // Server is the HTTP handler set. Create with New, mount via Handler.
@@ -80,6 +96,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.EventLog <= 0 {
 		cfg.EventLog = 1024
+	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = DefaultMaxIngestBytes
+	}
+	if cfg.MaxCheckpointBytes <= 0 {
+		cfg.MaxCheckpointBytes = DefaultMaxCheckpointBytes
 	}
 	s := &Server{cfg: cfg, slider: slider, reg: obs.NewRegistry()}
 	s.metrics = obs.NewEngineMetrics(s.reg)
@@ -155,8 +177,30 @@ type checkpointEnvelope struct {
 	EventSeq uint64
 }
 
-// handleCheckpointSave streams a binary service checkpoint.
-func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
+// ErrCheckpointMismatch reports a checkpoint whose clustering
+// configuration (dims, eps, minPts) differs from the serving
+// configuration. Accepting one would leave ingest validating coordinates
+// against the wrong dimensionality and clustering under the wrong
+// thresholds, so restore paths reject it (HTTP 409).
+var ErrCheckpointMismatch = errors.New("checkpoint/config mismatch")
+
+// errBadCheckpoint marks checkpoints that fail to decode or validate
+// structurally (HTTP 400).
+var errBadCheckpoint = errors.New("bad checkpoint")
+
+// Strides returns the number of window advances processed. Together with
+// WriteCheckpoint this makes the server a ckpt.Source for the durable
+// auto-checkpointer.
+func (s *Server) Strides() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.eng.Stats().Strides)
+}
+
+// WriteCheckpoint writes a restorable snapshot of the service — engine
+// state plus stream position — to w. The snapshot is taken under the
+// server mutex; encoding to w happens outside it.
+func (s *Server) WriteCheckpoint(w io.Writer) error {
 	s.mu.Lock()
 	var engBuf bytes.Buffer
 	err := s.eng.SaveSnapshot(&engBuf)
@@ -168,38 +212,36 @@ func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return err
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := gob.NewEncoder(w).Encode(&env); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	return gob.NewEncoder(w).Encode(&env)
 }
 
-// handleCheckpointLoad replaces the engine and stream position with the
-// posted checkpoint; ingestion then resumes exactly where the checkpoint
-// was taken.
-func (s *Server) handleCheckpointLoad(w http.ResponseWriter, r *http.Request) {
+// ReadCheckpoint replaces the engine and stream position with the
+// checkpoint read from r; ingestion then resumes exactly where the
+// checkpoint was taken. It returns the restored window size. Errors wrap
+// errBadCheckpoint for undecodable input and ErrCheckpointMismatch for a
+// checkpoint taken under a different clustering configuration.
+func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	var env checkpointEnvelope
-	if err := gob.NewDecoder(r.Body).Decode(&env); err != nil {
-		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
-		return
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return 0, fmt.Errorf("%w: %w", errBadCheckpoint, err)
 	}
 	eng, err := core.LoadEngine(bytes.NewReader(env.Engine),
 		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
 	if err != nil {
-		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
-		return
+		return 0, fmt.Errorf("%w: %w", errBadCheckpoint, err)
+	}
+	if got, want := eng.Config(), s.cfg.Cluster; got != want {
+		return 0, fmt.Errorf("%w: checkpoint built with dims=%d eps=%g minPts=%d, server runs dims=%d eps=%g minPts=%d",
+			ErrCheckpointMismatch, got.Dims, got.Eps, got.MinPts, want.Dims, want.Eps, want.MinPts)
 	}
 	slider, err := window.NewCountSlider(s.cfg.Window, s.cfg.Stride)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return 0, err
 	}
 	if err := slider.RestoreWindow(env.Window); err != nil {
-		http.Error(w, "bad checkpoint: "+err.Error(), http.StatusBadRequest)
-		return
+		return 0, fmt.Errorf("%w: %w", errBadCheckpoint, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -208,7 +250,50 @@ func (s *Server) handleCheckpointLoad(w http.ResponseWriter, r *http.Request) {
 	s.ingested = env.Ingested
 	s.eventSeq = env.EventSeq
 	s.events = nil
-	writeJSON(w, map[string]any{"restored": eng.WindowSize()})
+	// The telemetry counter must agree with the restored stream position,
+	// or /stats and /metrics disagree forever after a restore.
+	s.ingestMx.Set(int64(env.Ingested))
+	return eng.WindowSize(), nil
+}
+
+// handleCheckpointSave streams a binary service checkpoint.
+func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
+	// Encode to a buffer first: an encoding failure after the first body
+	// byte could not change the status code anymore.
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes())
+}
+
+// handleCheckpointLoad restores the service from a posted checkpoint:
+// 400 for undecodable input, 409 for a configuration mismatch, 413 for a
+// body over the configured limit.
+func (s *Server) handleCheckpointLoad(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxCheckpointBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("checkpoint exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading checkpoint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	restored, err := s.ReadCheckpoint(bytes.NewReader(body))
+	switch {
+	case errors.Is(err, ErrCheckpointMismatch):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, errBadCheckpoint):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, map[string]any{"restored": restored})
+	}
 }
 
 // ingestPoint is the wire form of one point.
@@ -224,31 +309,59 @@ type ingestResponse struct {
 	Window   int    `json:"window"`
 }
 
-// handleIngest accepts a JSON array of points (or a single object) and
-// pushes them through the sliding window, advancing the engine whenever a
-// stride completes.
+// ingestError is the body of a failed ingest: Applied says how many points
+// of the batch made it into the stream before the failure, so the client
+// knows exactly where to resume (or what it must not re-send).
+type ingestError struct {
+	Error   string `json:"error"`
+	Applied int    `json:"applied"`
+}
+
+// handleIngest accepts a JSON array of points and pushes them through the
+// sliding window, advancing the engine whenever a stride completes. The
+// batch is atomic with respect to validation: every point is checked
+// before any is pushed, so a malformed point rejects the whole batch with
+// 400 and zero side effects. If the engine itself rejects an advance
+// mid-batch (e.g. a duplicate id), the 409 body reports how many points
+// were applied.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("ingest body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	var batch []ingestPoint
-	// Accept either a JSON array or a single object.
-	if err := dec.Decode(&batch); err != nil {
+	if err := json.Unmarshal(body, &batch); err != nil {
 		http.Error(w, "body must be a JSON array of {id,time,coords}: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Validate the whole batch before pushing anything: a bad point
+	// mid-batch must not leave a half-ingested prefix behind a 400.
 	for i, ip := range batch {
 		if len(ip.Coords) != s.cfg.Cluster.Dims {
-			http.Error(w, fmt.Sprintf("point %d: got %d coords, want %d", i, len(ip.Coords), s.cfg.Cluster.Dims), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("point %d: got %d coords, want %d (no points applied)", i, len(ip.Coords), s.cfg.Cluster.Dims), http.StatusBadRequest)
 			return
 		}
+	}
+	applied := 0
+	for _, ip := range batch {
 		p := model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
 		if step := s.slider.Push(p); step != nil {
 			if err := s.safeAdvance(step); err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusConflict)
+				json.NewEncoder(w).Encode(ingestError{Error: err.Error(), Applied: applied})
 				return
 			}
 		}
+		applied++
 		s.ingested++
 		s.ingestMx.Inc()
 	}
@@ -355,7 +468,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		since = n
 	}
 	s.mu.Lock()
-	var out []eventRecord
+	// Non-nil so an empty result renders as the JSON [] clients expect,
+	// never null.
+	out := []eventRecord{}
 	for _, ev := range s.events {
 		if ev.Seq > since {
 			out = append(out, ev)

@@ -276,6 +276,227 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIngestBatchAtomicValidation: a bad point mid-batch must reject the
+// whole batch with zero side effects. The original handler validated and
+// pushed per point, so points before the bad one were silently ingested
+// (and strides advanced) behind the 400.
+func TestIngestBatchAtomicValidation(t *testing.T) {
+	ts, s := newTestServer(t)
+	batch := []ingestPoint{
+		{ID: 1, Coords: []float64{0, 0}},
+		{ID: 2, Coords: []float64{1, 1}},
+		{ID: 3, Coords: []float64{1, 2, 3}}, // wrong dims
+		{ID: 4, Coords: []float64{2, 2}},
+	}
+	resp := postPoints(t, ts, batch)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch status %d, want 400", resp.StatusCode)
+	}
+	var sr statsResponse
+	getJSON(t, ts.URL+"/stats", &sr)
+	if sr.Ingested != 0 {
+		t.Fatalf("bad batch left %d points ingested, want 0", sr.Ingested)
+	}
+	if got := s.ingestMx.Value(); got != 0 {
+		t.Fatalf("bad batch left ingest counter at %d, want 0", got)
+	}
+	// The same points without the bad one are still ingestible (nothing
+	// was pushed into the slider on the failed attempt).
+	resp = postPoints(t, ts, append(batch[:2:2], batch[3]))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean retry status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestIngestConflictReportsApplied: when the engine rejects an advance
+// mid-batch (duplicate ids), the 409 body must say how many points of the
+// batch were applied, so the client knows where it stands.
+func TestIngestConflictReportsApplied(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(9))
+	postPoints(t, ts, clusteredBatch(rng, 0, 200)).Body.Close()
+
+	// 30 fresh points, then re-sends of ids still in the window: the
+	// stride fires on the 50th push of this batch and the engine rejects
+	// the duplicate, with 49 points already applied.
+	batch := clusteredBatch(rng, 200, 30)
+	batch = append(batch, clusteredBatch(rng, 100, 30)...)
+	resp := postPoints(t, ts, batch)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ingest status %d, want 409", resp.StatusCode)
+	}
+	var ie ingestError
+	if err := json.NewDecoder(resp.Body).Decode(&ie); err != nil {
+		t.Fatalf("409 body is not the ingest error JSON: %v", err)
+	}
+	if ie.Error == "" {
+		t.Fatal("409 body carries no error message")
+	}
+	if ie.Applied != 49 {
+		t.Fatalf("applied = %d, want 49 (one full stride minus the rejected trigger)", ie.Applied)
+	}
+	var sr statsResponse
+	getJSON(t, ts.URL+"/stats", &sr)
+	if sr.Ingested != 249 {
+		t.Fatalf("ingested = %d, want 200 + 49 applied", sr.Ingested)
+	}
+}
+
+// TestCheckpointConfigMismatchRejected: a checkpoint taken under different
+// clustering thresholds must be refused with 409, not silently adopted.
+func TestCheckpointConfigMismatchRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(10))
+	postPoints(t, ts, clusteredBatch(rng, 0, 250)).Body.Close()
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	for _, other := range []model.Config{
+		{Dims: 3, Eps: 2, MinPts: 4},   // different dims
+		{Dims: 2, Eps: 2.5, MinPts: 4}, // different eps
+		{Dims: 2, Eps: 2, MinPts: 7},   // different minPts
+	} {
+		s2, err := New(Config{Cluster: other, Window: 200, Stride: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts2 := httptest.NewServer(s2.Handler())
+		r2, err := http.Post(ts2.URL+"/checkpoint", "application/octet-stream", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		ts2.Close()
+		if r2.StatusCode != http.StatusConflict {
+			t.Fatalf("config %+v: mismatched checkpoint status %d, want 409 (%s)", other, r2.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "mismatch") {
+			t.Fatalf("config %+v: undescriptive mismatch error: %s", other, body)
+		}
+	}
+}
+
+// TestCheckpointRestoreSyncsIngestCounter: after a restore, /metrics'
+// disc_ingested_points_total must equal /stats' ingested — the original
+// code left the counter at its pre-restore value forever.
+func TestCheckpointRestoreSyncsIngestCounter(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(11))
+	postPoints(t, ts, clusteredBatch(rng, 0, 300)).Body.Close()
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	ts2, s2 := newTestServer(t)
+	// Give the fresh server some pre-restore traffic so a stale counter
+	// cannot accidentally look right.
+	postPoints(t, ts2, clusteredBatch(rng, 10_000, 250)).Body.Close()
+	r2, err := http.Post(ts2.URL+"/checkpoint", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("restore status %d", r2.StatusCode)
+	}
+	var sr statsResponse
+	getJSON(t, ts2.URL+"/stats", &sr)
+	if sr.Ingested != 300 {
+		t.Fatalf("stats ingested = %d, want 300", sr.Ingested)
+	}
+	if got := s2.ingestMx.Value(); got != 300 {
+		t.Fatalf("metrics counter = %d after restore, want 300", got)
+	}
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "disc_ingested_points_total 300") {
+		t.Fatal("/metrics does not report the restored ingest total")
+	}
+}
+
+// TestEventsEmptyIsArray: no matching events must render as JSON [], not
+// null — clients iterate the result.
+func TestEventsEmptyIsArray(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("empty events rendered %q, want []", got)
+	}
+	// Same once events exist but the cursor excludes them all.
+	rng := rand.New(rand.NewSource(12))
+	postPoints(t, ts, clusteredBatch(rng, 0, 300)).Body.Close()
+	resp, err = http.Get(ts.URL + "/events?since=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("filtered-out events rendered %q, want []", got)
+	}
+}
+
+// TestRequestBodyLimits: oversized ingest and checkpoint bodies get 413,
+// and the configured checkpoint limit is honored.
+func TestRequestBodyLimits(t *testing.T) {
+	s, err := New(Config{
+		Cluster:            model.Config{Dims: 2, Eps: 2, MinPts: 4},
+		Window:             200,
+		Stride:             50,
+		MaxIngestBytes:     512,
+		MaxCheckpointBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	big := bytes.Repeat([]byte("x"), 2048)
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest status %d, want 413", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/checkpoint", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized checkpoint status %d, want 413", resp.StatusCode)
+	}
+	// Small bodies still work under the tightened limits.
+	r2 := postPoints(t, ts, []ingestPoint{{ID: 1, Coords: []float64{0, 0}}})
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest under limit: status %d", r2.StatusCode)
+	}
+}
+
 func TestCheckpointLoadRejectsGarbage(t *testing.T) {
 	ts, _ := newTestServer(t)
 	r, err := http.Post(ts.URL+"/checkpoint", "application/octet-stream", strings.NewReader("junk"))
