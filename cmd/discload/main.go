@@ -1,0 +1,348 @@
+// Command discload is a read/write load generator for the DISC serving
+// read path. One writer streams synthetic points into POST /ingest while
+// -readers goroutines hammer the four GET endpoints (/clusters,
+// /points/{id}, /events, /stats); at the end it reports read throughput,
+// latency quantiles, and served-stride lag, and verifies that every single
+// response was internally consistent — the X-Disc-Stride header matching
+// the stride counters in the body. Any consistency violation makes the
+// run exit nonzero, so the tool doubles as an end-to-end check that
+// queries never observe a torn view while the stream advances.
+//
+// With no -addr, discload starts an in-process server on a loopback port
+// and drives that — the zero-setup mode CI uses:
+//
+//	discload -duration 5s -readers 8 -window 5000 -stride 250 -batch 100
+//
+// Point it at a running discserver with -addr (the server must be fresh or
+// its resident ids must not collide with the generator's, which are
+// monotonically increasing from 0):
+//
+//	discload -addr http://localhost:8080 -duration 30s -readers 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"disc/internal/model"
+	"disc/internal/server"
+)
+
+type config struct {
+	addr     string
+	dims     int
+	eps      float64
+	minPts   int
+	window   int
+	stride   int
+	readers  int
+	duration time.Duration
+	batch    int
+}
+
+// results aggregates one run. Violations counts responses whose stride
+// header disagreed with the body's counters — it must be zero.
+type results struct {
+	reads      uint64
+	readErrors uint64
+	violations uint64
+	writes     uint64
+	strides    uint64
+	maxLag     uint64
+	latencies  []time.Duration // merged, sorted ascending
+	elapsed    time.Duration
+}
+
+func main() {
+	cfg := config{}
+	fs := flag.NewFlagSet("discload", flag.ExitOnError)
+	bindFlags(fs, &cfg)
+	fs.Parse(os.Args[1:])
+
+	res, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "discload: %v\n", err)
+		os.Exit(1)
+	}
+	report(os.Stdout, cfg, res)
+	if res.violations > 0 || res.readErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+func bindFlags(fs *flag.FlagSet, cfg *config) {
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running discserver (empty = start one in-process)")
+	fs.IntVar(&cfg.dims, "dims", 2, "coordinates per point (in-process server only)")
+	fs.Float64Var(&cfg.eps, "eps", 2.0, "distance threshold ε (in-process server only)")
+	fs.IntVar(&cfg.minPts, "minpts", 4, "density threshold τ (in-process server only)")
+	fs.IntVar(&cfg.window, "window", 5000, "sliding window size in points (in-process server only)")
+	fs.IntVar(&cfg.stride, "stride", 250, "stride size in points (in-process server only)")
+	fs.IntVar(&cfg.readers, "readers", 8, "concurrent query goroutines")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
+	fs.IntVar(&cfg.batch, "batch", 100, "points per ingest POST")
+}
+
+// run executes one load-generation session and returns the aggregated
+// results. Factored out of main so tests can drive it directly.
+func run(cfg config) (*results, error) {
+	base := cfg.addr
+	if base == "" {
+		srv, err := server.New(server.Config{
+			Cluster: model.Config{Dims: cfg.dims, Eps: cfg.eps, MinPts: cfg.minPts},
+			Window:  cfg.window,
+			Stride:  cfg.stride,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.readers + 4,
+			MaxIdleConnsPerHost: cfg.readers + 4,
+		},
+	}
+
+	var (
+		res       results
+		latestID  atomic.Int64  // upper bound of ingested ids, for /points probes
+		strides   atomic.Uint64 // newest stride the writer has observed
+		maxLag    atomic.Uint64
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latMerged []time.Duration
+	)
+
+	// Writer: monotonic ids, two Gaussian blobs — the same synthetic shape
+	// the server tests cluster on, so the census stays non-trivial.
+	wg.Add(1)
+	writerErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		id := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]ingestPoint, cfg.batch)
+			for i := range batch {
+				c := float64(rng.Intn(2)) * 20
+				batch[i] = ingestPoint{
+					ID:     id,
+					Time:   id,
+					Coords: []float64{c + rng.NormFloat64(), c + rng.NormFloat64()},
+				}
+				id++
+			}
+			body, _ := json.Marshal(batch)
+			resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				select {
+				case writerErr <- fmt.Errorf("ingest: %w", err):
+				default:
+				}
+				return
+			}
+			var ir struct {
+				Strides uint64 `json:"strides"`
+			}
+			json.NewDecoder(resp.Body).Decode(&ir)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				select {
+				case writerErr <- fmt.Errorf("ingest status %d", resp.StatusCode):
+				default:
+				}
+				return
+			}
+			strides.Store(ir.Strides)
+			latestID.Store(id)
+			atomic.AddUint64(&res.writes, uint64(cfg.batch))
+		}
+	}()
+
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lat := make([]time.Duration, 0, 4096)
+			for {
+				select {
+				case <-stop:
+					latMu.Lock()
+					latMerged = append(latMerged, lat...)
+					latMu.Unlock()
+					return
+				default:
+				}
+				start := time.Now()
+				ok, served := doRead(client, base, rng, latestID.Load(), &res)
+				lat = append(lat, time.Since(start))
+				if ok {
+					if newest := strides.Load(); newest > served {
+						lag := newest - served
+						for {
+							cur := maxLag.Load()
+							if lag <= cur || maxLag.CompareAndSwap(cur, lag) {
+								break
+							}
+						}
+					}
+				}
+			}
+		}(int64(r) + 1)
+	}
+
+	startAll := time.Now()
+	var werr error
+	select {
+	case <-time.After(cfg.duration):
+	case werr = <-writerErr:
+	}
+	close(stop)
+	wg.Wait()
+	res.elapsed = time.Since(startAll)
+	if werr != nil {
+		return nil, werr
+	}
+	res.strides = strides.Load()
+	res.maxLag = maxLag.Load()
+	sort.Slice(latMerged, func(i, j int) bool { return latMerged[i] < latMerged[j] })
+	res.latencies = latMerged
+	return &res, nil
+}
+
+// doRead issues one randomly chosen GET and checks its internal
+// consistency. It returns whether the read succeeded and the stride the
+// response was served at (0 when the endpoint carries no stride header).
+func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *results) (bool, uint64) {
+	var url string
+	kind := rng.Intn(4)
+	switch kind {
+	case 0:
+		url = base + "/clusters"
+	case 1:
+		if maxID == 0 {
+			url = base + "/points/0"
+		} else {
+			url = base + "/points/" + strconv.FormatInt(rng.Int63n(maxID), 10)
+		}
+	case 2:
+		url = base + "/events"
+	case 3:
+		url = base + "/stats"
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		atomic.AddUint64(&res.readErrors, 1)
+		return false, 0
+	}
+	defer resp.Body.Close()
+	atomic.AddUint64(&res.reads, 1)
+	served, _ := strconv.ParseUint(resp.Header.Get("X-Disc-Stride"), 10, 64)
+
+	switch kind {
+	case 0:
+		var cr struct {
+			Strides  uint64 `json:"strides"`
+			Window   int    `json:"window"`
+			Noise    int    `json:"noise"`
+			Clusters []struct {
+				Size int `json:"size"`
+			} `json:"clusters"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil || resp.StatusCode != http.StatusOK {
+			atomic.AddUint64(&res.readErrors, 1)
+			return false, served
+		}
+		total := cr.Noise
+		for _, c := range cr.Clusters {
+			total += c.Size
+		}
+		if cr.Strides != served || total != cr.Window {
+			atomic.AddUint64(&res.violations, 1)
+		}
+	case 3:
+		var sr struct {
+			Stats struct {
+				Strides uint64 `json:"strides"`
+			} `json:"stats"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != http.StatusOK {
+			atomic.AddUint64(&res.readErrors, 1)
+			return false, served
+		}
+		if sr.Stats.Strides != served {
+			atomic.AddUint64(&res.violations, 1)
+		}
+	default:
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK && !(kind == 1 && resp.StatusCode == http.StatusNotFound) {
+			atomic.AddUint64(&res.readErrors, 1)
+			return false, served
+		}
+	}
+	return true, served
+}
+
+// ingestPoint mirrors the server's wire form.
+type ingestPoint struct {
+	ID     int64     `json:"id"`
+	Time   int64     `json:"time"`
+	Coords []float64 `json:"coords"`
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(w io.Writer, cfg config, res *results) {
+	secs := res.elapsed.Seconds()
+	fmt.Fprintf(w, "discload: %d reads (%.0f/s), %d writes (%.0f/s), %d strides over %v\n",
+		res.reads, float64(res.reads)/secs, res.writes, float64(res.writes)/secs, res.strides, res.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "discload: read latency p50=%v p95=%v p99=%v max=%v\n",
+		quantile(res.latencies, 0.50).Round(time.Microsecond),
+		quantile(res.latencies, 0.95).Round(time.Microsecond),
+		quantile(res.latencies, 0.99).Round(time.Microsecond),
+		quantile(res.latencies, 1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "discload: max served-stride lag %d, consistency violations %d, read errors %d\n",
+		res.maxLag, res.violations, res.readErrors)
+	if res.violations > 0 {
+		fmt.Fprintln(w, "discload: FAIL — responses disagreed with their stride header")
+	} else if res.readErrors > 0 {
+		fmt.Fprintln(w, "discload: FAIL — read errors")
+	} else {
+		fmt.Fprintln(w, "discload: OK")
+	}
+}

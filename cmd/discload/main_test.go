@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives a short in-process session: reads must flow, strides
+// must advance, and no response may contradict its stride header.
+func TestRunSmoke(t *testing.T) {
+	res, err := run(config{
+		dims: 2, eps: 2, minPts: 4,
+		window: 1000, stride: 100,
+		readers: 4, duration: 1500 * time.Millisecond, batch: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.reads == 0 {
+		t.Fatal("no reads completed")
+	}
+	if res.writes == 0 || res.strides == 0 {
+		t.Fatalf("writer made no progress: writes=%d strides=%d", res.writes, res.strides)
+	}
+	if res.violations != 0 {
+		t.Fatalf("%d consistency violations", res.violations)
+	}
+	if res.readErrors != 0 {
+		t.Fatalf("%d read errors", res.readErrors)
+	}
+	var b strings.Builder
+	report(&b, config{}, res)
+	if !strings.Contains(b.String(), "discload: OK") {
+		t.Fatalf("report did not conclude OK:\n%s", b.String())
+	}
+}

@@ -16,6 +16,12 @@
 //	GET  /points/{id}   assignment of one point
 //	GET  /events        cluster-evolution log (?since=<seq>)
 //	GET  /stats         engine work counters and configuration
+//
+// The four query endpoints are lock-free: they serve an immutable
+// per-stride view (reads never block ingestion) and stamp each response
+// with the stride it reflects via X-Disc-Stride and a strong ETag
+// (If-None-Match returns 304 until the next stride).
+//
 //	GET  /metrics       Prometheus text exposition (per-stride histograms)
 //	GET  /debug/vars    expvar JSON (registry published as "disc")
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)

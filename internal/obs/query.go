@@ -1,0 +1,58 @@
+package obs
+
+// QueryEndpoints are the label values of the disc_query_* family — one per
+// lock-free GET endpoint of the serving read path.
+var QueryEndpoints = []string{"clusters", "point", "events", "stats"}
+
+// DefQueryBuckets are the default latency bounds in seconds for read-path
+// queries: 10µs to 1s in a 1-2.5-5 progression. Queries serve a
+// pre-materialized view, so they sit orders of magnitude below stride
+// latencies; DefDurationBuckets would lump them all into its first bucket.
+func DefQueryBuckets() []float64 {
+	return []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+	}
+}
+
+// QueryMetrics instruments the server's read path: per-endpoint latency
+// histograms plus a served-stride-lag histogram that measures how many
+// strides were published between the view a query served and the newest
+// view at the moment the response was written. Lag 0 means the query
+// served the freshest state; sustained nonzero lag means reads overlap
+// stride publication — the expected (and harmless) signature of queries
+// proceeding while ingest advances the window.
+//
+// Metric inventory (all prefixed disc_):
+//
+//	query_duration_seconds{endpoint}  histogram  clusters|point|events|stats
+//	query_stride_lag                  histogram  strides behind at response time
+type QueryMetrics struct {
+	dur map[string]*Histogram
+	lag *Histogram
+}
+
+// NewQueryMetrics registers the disc_query_* instruments on r and returns
+// the recorder. Register at most once per registry (duplicate names panic).
+func NewQueryMetrics(r *Registry) *QueryMetrics {
+	m := &QueryMetrics{dur: make(map[string]*Histogram, len(QueryEndpoints))}
+	for _, ep := range QueryEndpoints {
+		m.dur[ep] = r.Histogram("disc_query_duration_seconds",
+			"Wall-clock latency of one read-path query, by endpoint.",
+			DefQueryBuckets(), Labels{"endpoint": ep})
+	}
+	m.lag = r.Histogram("disc_query_stride_lag",
+		"Strides published between the view a query served and the newest view at response time.",
+		[]float64{0, 1, 2, 4, 8, 16, 32}, nil)
+	return m
+}
+
+// ObserveQuery records one served read: endpoint, wall-clock seconds, and
+// the stride lag of the served view at response time. Unknown endpoints
+// record only the lag, so a future route cannot panic the read path.
+func (m *QueryMetrics) ObserveQuery(endpoint string, seconds, strideLag float64) {
+	if h, ok := m.dur[endpoint]; ok {
+		h.Observe(seconds)
+	}
+	m.lag.Observe(strideLag)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryMetricsRegistersAndRenders(t *testing.T) {
+	r := NewRegistry()
+	m := NewQueryMetrics(r)
+
+	m.ObserveQuery("clusters", 0.0002, 0)
+	m.ObserveQuery("clusters", 0.004, 1)
+	m.ObserveQuery("stats", 0.00002, 0)
+	m.ObserveQuery("point", 0.00007, 0)
+	m.ObserveQuery("events", 0.3, 5)
+	// An endpoint the family does not know must not panic and still
+	// contributes its lag observation.
+	m.ObserveQuery("mystery", 1.0, 2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE disc_query_duration_seconds histogram",
+		`disc_query_duration_seconds_count{endpoint="clusters"} 2`,
+		`disc_query_duration_seconds_count{endpoint="stats"} 1`,
+		`disc_query_duration_seconds_count{endpoint="point"} 1`,
+		`disc_query_duration_seconds_count{endpoint="events"} 1`,
+		"# TYPE disc_query_stride_lag histogram",
+		"disc_query_stride_lag_count 6",
+		`disc_query_stride_lag_bucket{le="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Per-endpoint histograms really separate observations: the clusters
+	// histogram saw both samples, the stats one only the fast sample.
+	if got := m.dur["clusters"].Count(); got != 2 {
+		t.Fatalf("clusters count %d, want 2", got)
+	}
+	if got := m.dur["stats"].Sum(); got >= 0.001 {
+		t.Fatalf("stats sum %g leaked a foreign observation", got)
+	}
+	if got := m.lag.Count(); got != 6 {
+		t.Fatalf("lag count %d, want 6 (unknown endpoint still counted)", got)
+	}
+}

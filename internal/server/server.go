@@ -2,8 +2,14 @@
 // stream-clustering service that ingests points, advances a count-based
 // sliding window, and answers cluster queries — the shape in which a
 // monitoring deployment (the paper's traffic scenario) would consume the
-// library. Everything is stdlib net/http; state is guarded by one mutex,
-// matching the single-writer nature of the engine.
+// library. Everything is stdlib net/http.
+//
+// Concurrency model: the write path (ingest, checkpoint restore) is
+// guarded by one mutex, matching the single-writer nature of the engine.
+// The read path never takes that mutex — after every successful stride the
+// ingest path publishes an immutable view behind an atomic pointer and the
+// GET handlers serve from it (see view.go), so any number of queries
+// proceed concurrently with each other and with ingestion.
 package server
 
 import (
@@ -14,12 +20,14 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"disc/internal/core"
 	"disc/internal/geom"
@@ -66,6 +74,12 @@ type Server struct {
 	reg      *obs.Registry
 	metrics  *obs.EngineMetrics
 	ingestMx *obs.Counter // disc_ingested_points_total
+	qm       *obs.QueryMetrics
+
+	// view is the immutable read-path snapshot, replaced wholesale after
+	// every successful stride and every restore (view.go). GET handlers
+	// only ever Load it; they never acquire mu.
+	view atomic.Pointer[publishedView]
 
 	mu       sync.Mutex
 	eng      *core.Engine
@@ -73,6 +87,16 @@ type Server struct {
 	events   []eventRecord
 	eventSeq uint64
 	ingested uint64
+	// viewEpoch distinguishes pre- and post-restore views in the ETag: a
+	// restore can rewind the stride counter to a value whose content
+	// differs from what a client cached under the same stride number.
+	viewEpoch uint64
+
+	// testAdvanceErr, when non-nil, replaces the engine advance inside
+	// handleIngest. Test seam for the 409 rollback path: up-front batch
+	// validation leaves it with no organic trigger, but it must stay
+	// correct against engine-internal failures.
+	testAdvanceErr func(*window.Step) error
 }
 
 type eventRecord struct {
@@ -107,8 +131,12 @@ func New(cfg Config) (*Server, error) {
 	s.metrics = obs.NewEngineMetrics(s.reg)
 	s.ingestMx = s.reg.Counter("disc_ingested_points_total",
 		"Points accepted by POST /ingest (including those still buffered below a stride boundary).", nil)
+	s.qm = obs.NewQueryMetrics(s.reg)
 	s.eng = core.New(cfg.Cluster,
 		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
+	// Publish the empty stride-0 view so the read path serves (vacuously
+	// consistent) answers before the first stride completes.
+	s.publish()
 	return s, nil
 }
 
@@ -141,10 +169,10 @@ func (s *Server) recordEvent(ev core.Event) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /clusters", s.handleClusters)
-	mux.HandleFunc("GET /points/{id}", s.handlePoint)
-	mux.HandleFunc("GET /events", s.handleEvents)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /clusters", s.serveView("clusters", s.handleClusters))
+	mux.HandleFunc("GET /points/{id}", s.serveView("point", s.handlePoint))
+	mux.HandleFunc("GET /events", s.serveView("events", s.handleEvents))
+	mux.HandleFunc("GET /stats", s.serveView("stats", s.handleStats))
 	mux.HandleFunc("GET /checkpoint", s.handleCheckpointSave)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpointLoad)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -190,12 +218,9 @@ var errBadCheckpoint = errors.New("bad checkpoint")
 
 // Strides returns the number of window advances processed. Together with
 // WriteCheckpoint this makes the server a ckpt.Source for the durable
-// auto-checkpointer.
-func (s *Server) Strides() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return uint64(s.eng.Stats().Strides)
-}
+// auto-checkpointer. It reads the published view, so polling it (the
+// checkpoint Runner does, often) never contends with ingest.
+func (s *Server) Strides() uint64 { return s.view.Load().strides }
 
 // WriteCheckpoint writes a restorable snapshot of the service — engine
 // state plus stream position — to w. The snapshot is taken under the
@@ -236,6 +261,23 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("%w: checkpoint built with dims=%d eps=%g minPts=%d, server runs dims=%d eps=%g minPts=%d",
 			ErrCheckpointMismatch, got.Dims, got.Eps, got.MinPts, want.Dims, want.Eps, want.MinPts)
 	}
+	// The engine snapshot has its own integrity checks; the window payload
+	// needs the same ingest-grade validation — a NaN coordinate restored
+	// here would poison R-tree MBRs and distance comparisons for the life
+	// of the window, and a duplicated id would abort a later stride.
+	seen := make(map[int64]struct{}, len(env.Window))
+	for i, p := range env.Window {
+		for d := 0; d < s.cfg.Cluster.Dims; d++ {
+			if math.IsNaN(p.Pos[d]) || math.IsInf(p.Pos[d], 0) {
+				return 0, fmt.Errorf("%w: window point %d (id %d) has non-finite coordinate %v",
+					errBadCheckpoint, i, p.ID, p.Pos[d])
+			}
+		}
+		if _, dup := seen[p.ID]; dup {
+			return 0, fmt.Errorf("%w: window point %d duplicates id %d", errBadCheckpoint, i, p.ID)
+		}
+		seen[p.ID] = struct{}{}
+	}
 	slider, err := window.NewCountSlider(s.cfg.Window, s.cfg.Stride)
 	if err != nil {
 		return 0, err
@@ -253,6 +295,11 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	// The telemetry counter must agree with the restored stream position,
 	// or /stats and /metrics disagree forever after a restore.
 	s.ingestMx.Set(int64(env.Ingested))
+	// Readers must see the restored world immediately — and must be able
+	// to tell it apart from the pre-restore world even when the stride
+	// counter rewound to a number they already cached, hence the epoch.
+	s.viewEpoch++
+	s.publish()
 	return eng.WindowSize(), nil
 }
 
@@ -318,12 +365,15 @@ type ingestError struct {
 }
 
 // handleIngest accepts a JSON array of points and pushes them through the
-// sliding window, advancing the engine whenever a stride completes. The
-// batch is atomic with respect to validation: every point is checked
-// before any is pushed, so a malformed point rejects the whole batch with
-// 400 and zero side effects. If the engine itself rejects an advance
-// mid-batch (e.g. a duplicate id), the 409 body reports how many points
-// were applied.
+// sliding window, advancing the engine whenever a stride completes and
+// publishing a fresh read view after each successful advance. The batch is
+// atomic with respect to validation: every point is checked before any is
+// pushed — wrong dimensionality, non-finite coordinates, ids duplicated
+// within the batch or against the resident window all reject the whole
+// batch with 400 and zero side effects. If the engine itself rejects an
+// advance mid-batch, the triggering point is rolled out of the slider
+// (keeping slider and engine in lockstep) and the 409 body reports how
+// many points were applied so the client knows where to resume.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
 	if err != nil {
@@ -342,24 +392,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Validate the whole batch before pushing anything: a bad point
-	// mid-batch must not leave a half-ingested prefix behind a 400.
-	for i, ip := range batch {
-		if len(ip.Coords) != s.cfg.Cluster.Dims {
-			http.Error(w, fmt.Sprintf("point %d: got %d coords, want %d (no points applied)", i, len(ip.Coords), s.cfg.Cluster.Dims), http.StatusBadRequest)
-			return
-		}
+	if msg := s.validateBatch(batch); msg != "" {
+		http.Error(w, msg+" (no points applied)", http.StatusBadRequest)
+		return
 	}
 	applied := 0
 	for _, ip := range batch {
 		p := model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
 		if step := s.slider.Push(p); step != nil {
 			if err := s.safeAdvance(step); err != nil {
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(http.StatusConflict)
-				json.NewEncoder(w).Encode(ingestError{Error: err.Error(), Applied: applied})
+				// The engine refused the stride, so the slider must not keep
+				// it either: roll the triggering point back out, leaving both
+				// exactly at the pre-push stream position. Without this the
+				// slider runs one stride ahead of the engine forever.
+				s.slider.Rewind(step)
+				writeJSONStatus(w, http.StatusConflict, ingestError{Error: err.Error(), Applied: applied})
 				return
 			}
+			// The stride landed: this view is the one the paper's exactness
+			// guarantee is about, so publish it before touching more input.
+			applied++
+			s.ingested++
+			s.ingestMx.Inc()
+			s.publish()
+			continue
 		}
 		applied++
 		s.ingested++
@@ -372,9 +428,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// validateBatch checks a decoded ingest batch against everything that can
+// be known before any point is pushed: coordinate dimensionality, finite
+// values (NaN/Inf corrupt distance comparisons and R-tree bounds), and id
+// uniqueness both within the batch and against points still resident in
+// the window or pending buffer. It returns "" when the batch is clean, or
+// a client-facing description of the first violation. Caller holds s.mu.
+func (s *Server) validateBatch(batch []ingestPoint) string {
+	seen := make(map[int64]int, len(batch))
+	for i, ip := range batch {
+		if len(ip.Coords) != s.cfg.Cluster.Dims {
+			return fmt.Sprintf("point %d: got %d coords, want %d", i, len(ip.Coords), s.cfg.Cluster.Dims)
+		}
+		for d, c := range ip.Coords {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Sprintf("point %d (id %d): coordinate %d is non-finite (%v)", i, ip.ID, d, c)
+			}
+		}
+		if j, dup := seen[ip.ID]; dup {
+			return fmt.Sprintf("point %d duplicates id %d of point %d in the same batch", i, ip.ID, j)
+		}
+		seen[ip.ID] = i
+		if s.slider.Contains(ip.ID) {
+			return fmt.Sprintf("point %d: id %d is still resident in the window", i, ip.ID)
+		}
+	}
+	return ""
+}
+
 // safeAdvance converts engine protocol panics (duplicate ids and the like)
 // into HTTP-reportable errors rather than crashing the service.
 func (s *Server) safeAdvance(step *window.Step) (err error) {
+	if s.testAdvanceErr != nil {
+		return s.testAdvanceErr(step)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rejected: %v", r)
@@ -398,41 +485,11 @@ type clustersResponse struct {
 	Clusters []clusterSummary `json:"clusters"`
 }
 
-func (s *Server) handleClusters(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	strides := uint64(s.eng.Stats().Strides)
-	s.mu.Unlock()
-	byID := map[int]*clusterSummary{}
-	noise := 0
-	for _, a := range snap {
-		if a.ClusterID == model.NoCluster {
-			noise++
-			continue
-		}
-		cs := byID[a.ClusterID]
-		if cs == nil {
-			cs = &clusterSummary{ID: a.ClusterID}
-			byID[a.ClusterID] = cs
-		}
-		cs.Size++
-		if a.Label == model.Core {
-			cs.Cores++
-		} else {
-			cs.Borders++
-		}
-	}
-	resp := clustersResponse{Strides: strides, Window: len(snap), Noise: noise}
-	for _, cs := range byID {
-		resp.Clusters = append(resp.Clusters, *cs)
-	}
-	sort.Slice(resp.Clusters, func(i, j int) bool {
-		if resp.Clusters[i].Size != resp.Clusters[j].Size {
-			return resp.Clusters[i].Size > resp.Clusters[j].Size
-		}
-		return resp.Clusters[i].ID < resp.Clusters[j].ID
-	})
-	writeJSON(w, resp)
+// handleClusters serves the precomputed census of the pinned view: the
+// whole body was aggregated and sorted at publication, so this is one
+// JSON encode with no locking.
+func (s *Server) handleClusters(v *publishedView, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, v.clusters)
 }
 
 type pointResponse struct {
@@ -441,15 +498,15 @@ type pointResponse struct {
 	Cluster int    `json:"cluster"`
 }
 
-func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+// handlePoint answers from the pinned view's assignment map — the exact
+// per-point labels of the view's stride.
+func (s *Server) handlePoint(v *publishedView, w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(strings.TrimSpace(r.PathValue("id")), 10, 64)
 	if err != nil {
 		http.Error(w, "bad point id", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	a, ok := s.eng.Assignment(id)
-	s.mu.Unlock()
+	a, ok := v.assign[id]
 	if !ok {
 		http.Error(w, "point not in the current window", http.StatusNotFound)
 		return
@@ -457,26 +514,26 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, pointResponse{ID: id, Label: a.Label.String(), Cluster: a.ClusterID})
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+// handleEvents filters the pinned view's event tail by the optional
+// ?since= sequence cursor.
+func (s *Server) handleEvents(v *publishedView, w http.ResponseWriter, r *http.Request) {
 	since := uint64(0)
-	if v := r.URL.Query().Get("since"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
 			http.Error(w, "bad since", http.StatusBadRequest)
 			return
 		}
 		since = n
 	}
-	s.mu.Lock()
 	// Non-nil so an empty result renders as the JSON [] clients expect,
 	// never null.
 	out := []eventRecord{}
-	for _, ev := range s.events {
+	for _, ev := range v.events {
 		if ev.Seq > since {
 			out = append(out, ev)
 		}
 	}
-	s.mu.Unlock()
 	writeJSON(w, out)
 }
 
@@ -491,25 +548,33 @@ type statsResponse struct {
 	EventKept int          `json:"eventKept"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	resp := statsResponse{
-		Config:    s.cfg.Cluster,
-		Window:    s.cfg.Window,
-		Stride:    s.cfg.Stride,
-		Ingested:  s.ingested,
-		Resident:  s.eng.WindowSize(),
-		Stats:     s.eng.Stats(),
-		EventSeq:  s.eventSeq,
-		EventKept: len(s.events),
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+// handleStats serves the pinned view's precomputed stats body. All
+// counters (ingested, resident, event sequence) are the values as of the
+// view's stride — the body can never mix stride N counters with stride
+// N+1 state, and it always matches the X-Disc-Stride header.
+func (s *Server) handleStats(v *publishedView, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, v.stats)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus encodes v to a buffer first, then writes the status and
+// body. Encoding straight into the ResponseWriter would commit an implicit
+// 200 on the first byte; an error after that could only bolt a second
+// status (and an error string) onto a half-written JSON body. With the
+// buffer, an encode failure becomes a clean 500 and a write failure — the
+// client hung up — is logged and dropped, never a second WriteHeader.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("server: writing response: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"disc/internal/model"
+	"disc/internal/window"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
@@ -195,13 +197,19 @@ func TestDuplicateIDRejectedNotFatal(t *testing.T) {
 	ts, _ := newTestServer(t)
 	rng := rand.New(rand.NewSource(5))
 	postPoints(t, ts, clusteredBatch(rng, 0, 200)).Body.Close()
-	// Re-sending ids still in the window triggers the engine's duplicate
-	// protection; the server must answer 409, not crash.
+	// Re-sending ids still in the window is caught by up-front batch
+	// validation: 400 with zero side effects, never a crash. (It used to
+	// surface as a mid-batch engine 409 that left the slider desynced.)
 	resp := postPoints(t, ts, clusteredBatch(rng, 100, 200))
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("duplicate ingest status %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate ingest status %d, want 400", resp.StatusCode)
 	}
 	resp.Body.Close()
+	var sr statsResponse
+	getJSON(t, ts.URL+"/stats", &sr)
+	if sr.Ingested != 200 {
+		t.Fatalf("rejected batch moved ingested to %d, want 200", sr.Ingested)
+	}
 	// And the service must still be healthy.
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil || hz.StatusCode != http.StatusOK {
@@ -311,22 +319,25 @@ func TestIngestBatchAtomicValidation(t *testing.T) {
 }
 
 // TestIngestConflictReportsApplied: when the engine rejects an advance
-// mid-batch (duplicate ids), the 409 body must say how many points of the
-// batch were applied, so the client knows where it stands.
+// mid-batch, the 409 body must say how many points of the batch were
+// applied, so the client knows where it stands. Up-front validation now
+// catches duplicates before they can trip the engine, so the failure is
+// injected through the advance seam.
 func TestIngestConflictReportsApplied(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, s := newTestServer(t)
 	rng := rand.New(rand.NewSource(9))
 	postPoints(t, ts, clusteredBatch(rng, 0, 200)).Body.Close()
 
-	// 30 fresh points, then re-sends of ids still in the window: the
-	// stride fires on the 50th push of this batch and the engine rejects
-	// the duplicate, with 49 points already applied.
-	batch := clusteredBatch(rng, 200, 30)
-	batch = append(batch, clusteredBatch(rng, 100, 30)...)
-	resp := postPoints(t, ts, batch)
+	s.testAdvanceErr = func(*window.Step) error {
+		return errors.New("injected advance failure")
+	}
+	// 100 fresh points: the stride fires on the 50th push of this batch
+	// and the injected failure rejects it, with 49 points already applied
+	// (the triggering 50th is rolled back out of the slider).
+	resp := postPoints(t, ts, clusteredBatch(rng, 200, 100))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("duplicate ingest status %d, want 409", resp.StatusCode)
+		t.Fatalf("rejected ingest status %d, want 409", resp.StatusCode)
 	}
 	var ie ingestError
 	if err := json.NewDecoder(resp.Body).Decode(&ie); err != nil {
@@ -338,10 +349,16 @@ func TestIngestConflictReportsApplied(t *testing.T) {
 	if ie.Applied != 49 {
 		t.Fatalf("applied = %d, want 49 (one full stride minus the rejected trigger)", ie.Applied)
 	}
+	// /stats serves the published view, which still reflects the last
+	// successful stride: the 49 buffered survivors are not visible until
+	// the next stride lands.
 	var sr statsResponse
 	getJSON(t, ts.URL+"/stats", &sr)
-	if sr.Ingested != 249 {
-		t.Fatalf("ingested = %d, want 200 + 49 applied", sr.Ingested)
+	if sr.Ingested != 200 {
+		t.Fatalf("view ingested = %d, want 200 (last published stride)", sr.Ingested)
+	}
+	if got := s.ingested; got != 249 {
+		t.Fatalf("live ingested = %d, want 200 + 49 applied", got)
 	}
 }
 

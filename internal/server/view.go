@@ -1,0 +1,130 @@
+// Read path: after every successful stride (and every checkpoint restore)
+// the ingest path materializes ONE immutable view of everything the GET
+// endpoints serve — cluster census, per-point assignments, stats, event
+// tail, stride/window counters — and installs it with a single atomic
+// pointer store. Queries load the pointer and read; they never touch the
+// server mutex, so reads cannot block the stream and the stream cannot
+// block reads (RCU-style snapshot publication). Every response from one
+// view is exactly consistent with every other response from that view:
+// DISC's per-stride exactness (the paper's core claim) extends to the
+// serving surface, stride by stride.
+//
+// Memory bound: at most one view is reachable from the server plus one per
+// in-flight reader (a reader pins the view it loaded only for the duration
+// of its handler), so retained view memory is O((1 + concurrent readers) ×
+// window) in the worst instant and ~2× window state in practice — the old
+// view becomes garbage the moment the last overlapping reader returns.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"disc/internal/model"
+)
+
+// publishedView is one immutable per-stride snapshot of the serving state.
+// Nothing in it is ever mutated after publication; handlers may read any
+// field concurrently without synchronization.
+type publishedView struct {
+	strides uint64 // engine strides completed when this view was built
+	etag    string // `"disc-e<epoch>-s<strides>"`; epoch bumps on restore
+	// assign maps every resident point id to its exact assignment as of
+	// this stride (the engine Snapshot taken at publication).
+	assign map[int64]model.Assignment
+	// clusters is the fully aggregated and sorted census — precomputed so
+	// /clusters is a pointer load plus one JSON encode.
+	clusters clustersResponse
+	// stats is the complete /stats body: counters are the values as of
+	// this view's stride, so header and body can never disagree.
+	stats statsResponse
+	// events is the retained event tail at publication (oldest first).
+	events []eventRecord
+}
+
+// buildView materializes the current service state. Callers must hold s.mu
+// (or have exclusive access, as in New).
+func (s *Server) buildView() *publishedView {
+	snap := s.eng.Snapshot()
+	stats := s.eng.Stats()
+	strides := uint64(stats.Strides)
+	v := &publishedView{
+		strides: strides,
+		etag:    fmt.Sprintf("\"disc-e%d-s%d\"", s.viewEpoch, strides),
+		assign:  snap,
+		events:  append([]eventRecord(nil), s.events...),
+	}
+	byID := map[int]*clusterSummary{}
+	noise := 0
+	for _, a := range snap {
+		if a.ClusterID == model.NoCluster {
+			noise++
+			continue
+		}
+		cs := byID[a.ClusterID]
+		if cs == nil {
+			cs = &clusterSummary{ID: a.ClusterID}
+			byID[a.ClusterID] = cs
+		}
+		cs.Size++
+		if a.Label == model.Core {
+			cs.Cores++
+		} else {
+			cs.Borders++
+		}
+	}
+	v.clusters = clustersResponse{Strides: strides, Window: len(snap), Noise: noise}
+	for _, cs := range byID {
+		v.clusters.Clusters = append(v.clusters.Clusters, *cs)
+	}
+	sort.Slice(v.clusters.Clusters, func(i, j int) bool {
+		if v.clusters.Clusters[i].Size != v.clusters.Clusters[j].Size {
+			return v.clusters.Clusters[i].Size > v.clusters.Clusters[j].Size
+		}
+		return v.clusters.Clusters[i].ID < v.clusters.Clusters[j].ID
+	})
+	v.stats = statsResponse{
+		Config:    s.cfg.Cluster,
+		Window:    s.cfg.Window,
+		Stride:    s.cfg.Stride,
+		Ingested:  s.ingested,
+		Resident:  len(snap),
+		Stats:     stats,
+		EventSeq:  s.eventSeq,
+		EventKept: len(v.events),
+	}
+	return v
+}
+
+// publish builds and atomically installs a fresh view. Callers must hold
+// s.mu (or have exclusive access).
+func (s *Server) publish() { s.view.Store(s.buildView()) }
+
+// serveView adapts a view-reading handler into an instrumented, lock-free
+// http.HandlerFunc: it pins the current view, exposes the view's stride as
+// X-Disc-Stride and a strong ETag (If-None-Match short-circuits to 304 —
+// every GET body is a pure function of (view, URL), which is what makes
+// the ETag sound), and records latency plus served-stride lag.
+func (s *Server) serveView(endpoint string, h func(v *publishedView, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		v := s.view.Load()
+		w.Header().Set("X-Disc-Stride", strconv.FormatUint(v.strides, 10))
+		w.Header().Set("ETag", v.etag)
+		if r.Header.Get("If-None-Match") == v.etag {
+			w.WriteHeader(http.StatusNotModified)
+		} else {
+			h(v, w, r)
+		}
+		// Lag = strides published while this request was being served. A
+		// restore can rewind the stride counter, so clamp at zero.
+		lag := float64(0)
+		if now := s.view.Load().strides; now > v.strides {
+			lag = float64(now - v.strides)
+		}
+		s.qm.ObserveQuery(endpoint, time.Since(start).Seconds(), lag)
+	}
+}

@@ -31,6 +31,14 @@ type CountSlider struct {
 	buf            []model.Point // current window contents, arrival order
 	pending        []model.Point
 	warm           bool
+	// present counts, per id, how many resident copies (window + pending)
+	// the slider holds; Contains answers duplicate checks in O(1). A count
+	// map rather than a set so the slider itself stays agnostic to
+	// duplicates — rejecting them is the consumer's policy.
+	present map[int64]int
+	// lastStep is the step returned by the most recent Push, cleared by
+	// any other mutation; Rewind is only meaningful against it.
+	lastStep *Step
 }
 
 // NewCountSlider returns a slider for a count-based window. stride must not
@@ -42,13 +50,15 @@ func NewCountSlider(window, stride int) (*CountSlider, error) {
 	if stride > window {
 		return nil, fmt.Errorf("window: stride %d exceeds window %d", stride, window)
 	}
-	return &CountSlider{window: window, stride: stride}, nil
+	return &CountSlider{window: window, stride: stride, present: make(map[int64]int)}, nil
 }
 
 // Push adds one point to the stream. It returns a non-nil Step when the
 // arrival completes a stride (or the initial window fill), nil otherwise.
 func (s *CountSlider) Push(p model.Point) *Step {
+	s.lastStep = nil
 	s.pending = append(s.pending, p)
+	s.present[p.ID]++
 	if !s.warm {
 		if len(s.pending) < s.window {
 			return nil
@@ -58,23 +68,83 @@ func (s *CountSlider) Push(p model.Point) *Step {
 		s.warm = true
 		in := make([]model.Point, len(s.buf))
 		copy(in, s.buf)
-		return &Step{In: in, Window: s.buf}
+		s.lastStep = &Step{In: in, Window: s.buf}
+		return s.lastStep
 	}
 	if len(s.pending) < s.stride {
 		return nil
 	}
 	out := make([]model.Point, s.stride)
 	copy(out, s.buf[:s.stride])
+	for _, q := range out {
+		s.forget(q.ID)
+	}
 	s.buf = append(s.buf[:0], s.buf[s.stride:]...)
 	in := make([]model.Point, len(s.pending))
 	copy(in, s.pending)
 	s.buf = append(s.buf, in...)
 	s.pending = s.pending[:0]
-	return &Step{In: in, Out: out, Window: s.buf}
+	s.lastStep = &Step{In: in, Out: out, Window: s.buf}
+	return s.lastStep
+}
+
+// Rewind undoes the most recent Push — legal only when that Push returned
+// a step which the consumer then failed to apply (e.g. the engine rejected
+// the advance). The departed points of step.Out re-enter the window, the
+// stride's arrivals return to the pending buffer, and the triggering point
+// itself — the one passed to the rewound Push — is discarded entirely, as
+// if it had never arrived. Afterwards the slider is exactly in its
+// pre-Push state, so the stream can resume with corrected input. The step
+// (including its aliased Window slice) must not be used again. Rewind
+// panics if the preceding Push did not return a step or the slider mutated
+// since: silently accepting a stale rewind would corrupt the window.
+func (s *CountSlider) Rewind(step *Step) {
+	if step == nil || step != s.lastStep {
+		panic("window: Rewind without an immediately preceding Push that returned this step")
+	}
+	s.lastStep = nil
+	trigger := step.In[len(step.In)-1]
+	if len(step.Out) == 0 {
+		// Undo the initial window fill: back to cold, everything but the
+		// triggering point pending again.
+		s.pending = append(s.pending[:0], step.In[:len(step.In)-1]...)
+		s.buf = s.buf[:0]
+		s.warm = false
+	} else {
+		// Undo a steady-state stride: shift the survivors right (copy is
+		// memmove-safe for the overlap), restore the departed prefix, and
+		// return Δin minus the trigger to pending.
+		copy(s.buf[s.stride:], s.buf[:len(s.buf)-s.stride])
+		copy(s.buf, step.Out)
+		s.pending = append(s.pending[:0], step.In[:len(step.In)-1]...)
+		for _, q := range step.Out {
+			s.present[q.ID]++
+		}
+	}
+	s.forget(trigger.ID)
+}
+
+// Contains reports whether a point with the given id is currently resident
+// in the slider — in the window proper or buffered in the pending partial
+// stride. Consumers that feed an engine which rejects duplicate ids (DISC
+// panics on them) should check this before Push.
+func (s *CountSlider) Contains(id int64) bool { return s.present[id] > 0 }
+
+// forget decrements id's residency count, dropping the entry at zero.
+func (s *CountSlider) forget(id int64) {
+	if n := s.present[id] - 1; n <= 0 {
+		delete(s.present, id)
+	} else {
+		s.present[id] = n
+	}
 }
 
 // Window returns the current window contents in arrival order (aliased).
 func (s *CountSlider) Window() []model.Point { return s.buf }
+
+// Pending returns the points buffered below the next stride boundary, in
+// arrival order (aliased): accepted by Push but not yet part of any step.
+func (s *CountSlider) Pending() []model.Point { return s.pending }
 
 // RestoreWindow primes the slider with an already-full window in arrival
 // order (resuming from a checkpoint). Any pending partial stride is
@@ -87,6 +157,11 @@ func (s *CountSlider) RestoreWindow(pts []model.Point) error {
 	s.buf = append(s.buf[:0], pts...)
 	s.pending = s.pending[:0]
 	s.warm = len(pts) == s.window
+	s.lastStep = nil
+	s.present = make(map[int64]int, len(pts))
+	for _, p := range pts {
+		s.present[p.ID]++
+	}
 	return nil
 }
 
