@@ -1,12 +1,22 @@
 // Command benchdiff compares two `go test -bench` output files and fails
-// when a gated benchmark's median ns/op regresses beyond a threshold. It is
-// the CI regression gate behind the benchstat report: benchstat renders the
+// when a gated benchmark regresses beyond a threshold. It is the CI
+// regression gate behind the benchstat report: benchstat renders the
 // human-readable comparison, benchdiff turns "median Advance latency got
-// >10% slower" into a non-zero exit code.
+// >10% slower" — or "the zero-alloc steady state started allocating" —
+// into a non-zero exit code.
 //
 // Usage:
 //
-//	benchdiff -old baseline.txt -new current.txt [-gate regexp] [-threshold pct]
+//	benchdiff -old baseline.txt -new current.txt [-gate regexp]
+//	          [-threshold pct] [-allocthreshold pct]
+//
+// Three metrics are tracked per benchmark: ns/op always, plus B/op and
+// allocs/op when the files were produced with -benchmem. ns/op gates at
+// -threshold; the allocation metrics gate at -allocthreshold. A gated
+// benchmark whose baseline allocation metric is exactly zero fails on ANY
+// increase: percentages are meaningless against a zero base, and the whole
+// point of pinning 0 allocs/op is that the first new allocation is the
+// regression.
 //
 // Both files hold raw `go test -bench` output, ideally with -count>1 so the
 // median is taken over several samples. Benchmark names are compared with
@@ -27,48 +37,76 @@ import (
 // benchLine matches one result line, e.g.
 //
 //	BenchmarkAdvance-4   100   11761106 ns/op   123 B/op   4 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
 
-// parseBench collects ns/op samples per benchmark name from a -bench output
-// file.
-func parseBench(path string) (map[string][]float64, error) {
+// metricPair matches one "value unit" measurement within a result line.
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?) (ns/op|B/op|allocs/op)`)
+
+// metricOrder fixes the reporting order; gated alloc metrics follow time.
+var metricOrder = []string{"ns/op", "B/op", "allocs/op"}
+
+// samples holds, per benchmark name, per metric, the observed values.
+type samples map[string]map[string][]float64
+
+// parseBench collects per-metric samples per benchmark name from a -bench
+// output file. B/op and allocs/op appear only under -benchmem; their absence
+// simply leaves those metrics empty.
+func parseBench(path string) (samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(samples)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
+		name := m[1]
+		for _, pair := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if out[name] == nil {
+				out[name] = make(map[string][]float64)
+			}
+			out[name][pair[2]] = append(out[name][pair[2]], v)
 		}
-		out[m[1]] = append(out[m[1]], v)
 	}
 	return out, sc.Err()
 }
 
 // median returns the middle sample (mean of the middle two for even counts).
-func median(samples []float64) float64 {
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
-	n := len(s)
+func median(s []float64) float64 {
+	c := append([]float64(nil), s...)
+	sort.Float64s(c)
+	n := len(c)
 	if n%2 == 1 {
-		return s[n/2]
+		return c[n/2]
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// gateVerdict decides one gated comparison: the allowed regression is
+// threshold percent, except that a zero baseline admits no increase at all.
+func gateVerdict(base, nv, threshold float64) (fail bool, deltaPct float64) {
+	if base == 0 {
+		return nv > 0, 0
+	}
+	deltaPct = (nv - base) / base * 100
+	return deltaPct > threshold, deltaPct
 }
 
 func main() {
 	oldPath := flag.String("old", "", "baseline go test -bench output")
 	newPath := flag.String("new", "", "current go test -bench output")
-	gate := flag.String("gate", "^BenchmarkAdvance$", "regexp of benchmarks that fail the run on regression")
-	threshold := flag.Float64("threshold", 10, "allowed median regression for gated benchmarks, percent")
+	gate := flag.String("gate", "^BenchmarkAdvance$", "regexp of benchmarks whose ns/op regression fails the run")
+	allocGate := flag.String("allocgate", "", "regexp of benchmarks whose B/op and allocs/op regression fails the run (defaults to -gate); may include benchmarks too timing-noisy for the ns/op gate")
+	threshold := flag.Float64("threshold", 10, "allowed median ns/op regression for gated benchmarks, percent")
+	allocThreshold := flag.Float64("allocthreshold", 10, "allowed median B/op and allocs/op regression for gated benchmarks, percent (zero baselines admit no increase)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
@@ -77,6 +115,14 @@ func main() {
 	gateRE, err := regexp.Compile(*gate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	if *allocGate == "" {
+		*allocGate = *gate
+	}
+	allocGateRE, err := regexp.Compile(*allocGate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -allocgate: %v\n", err)
 		os.Exit(2)
 	}
 	oldRes, err := parseBench(*oldPath)
@@ -98,26 +144,37 @@ func main() {
 
 	failed := false
 	for _, name := range names {
-		nv := median(newRes[name])
 		ov, ok := oldRes[name]
 		if !ok {
 			fmt.Printf("%-60s new benchmark, no baseline\n", name)
 			continue
 		}
-		base := median(ov)
-		deltaPct := 0.0
-		if base > 0 {
-			deltaPct = (nv - base) / base * 100
+		for _, metric := range metricOrder {
+			newSamp, hasNew := newRes[name][metric]
+			oldSamp, hasOld := ov[metric]
+			if !hasNew || !hasOld {
+				continue
+			}
+			nv, base := median(newSamp), median(oldSamp)
+			th, gated := *threshold, gateRE.MatchString(name)
+			if metric != "ns/op" {
+				th, gated = *allocThreshold, allocGateRE.MatchString(name)
+			}
+			fail, deltaPct := gateVerdict(base, nv, th)
+			status := "ok"
+			switch {
+			case !gated:
+				status = "info"
+			case fail && base == 0:
+				status = "FAIL (baseline 0)"
+				failed = true
+			case fail:
+				status = fmt.Sprintf("FAIL (> %.0f%%)", th)
+				failed = true
+			}
+			fmt.Printf("%-60s %14.0f -> %14.0f %-9s  %+6.1f%%  %s\n",
+				name, base, nv, metric, deltaPct, status)
 		}
-		gated := gateRE.MatchString(name)
-		status := "ok"
-		if gated && deltaPct > *threshold {
-			status = fmt.Sprintf("FAIL (> %.0f%%)", *threshold)
-			failed = true
-		} else if !gated {
-			status = "info"
-		}
-		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, base, nv, deltaPct, status)
 	}
 	for name := range oldRes {
 		if _, ok := newRes[name]; !ok {

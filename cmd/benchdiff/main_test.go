@@ -21,7 +21,7 @@ goarch: amd64
 pkg: disc/internal/core
 BenchmarkAdvance-4   	     100	  11000000 ns/op	  123 B/op	       4 allocs/op
 BenchmarkAdvance-4   	     100	  13000000 ns/op
-BenchmarkAdvance-4   	     100	  12000000 ns/op
+BenchmarkAdvance-4   	     100	  12000000 ns/op	  125 B/op	       6 allocs/op
 BenchmarkClusterWorkers/workers=4-4  	      20	 135814949 ns/op
 PASS
 `)
@@ -29,19 +29,67 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(res["BenchmarkAdvance"]); got != 3 {
-		t.Fatalf("BenchmarkAdvance samples = %d, want 3", got)
+	if got := len(res["BenchmarkAdvance"]["ns/op"]); got != 3 {
+		t.Fatalf("BenchmarkAdvance ns/op samples = %d, want 3", got)
 	}
-	if m := median(res["BenchmarkAdvance"]); m != 12000000 {
+	if m := median(res["BenchmarkAdvance"]["ns/op"]); m != 12000000 {
 		t.Fatalf("median = %v, want 12000000", m)
 	}
-	if got := len(res["BenchmarkClusterWorkers/workers=4"]); got != 1 {
+	// -benchmem columns parse when present and stay absent otherwise.
+	if got := len(res["BenchmarkAdvance"]["allocs/op"]); got != 2 {
+		t.Fatalf("allocs/op samples = %d, want 2", got)
+	}
+	if m := median(res["BenchmarkAdvance"]["B/op"]); m != 124 {
+		t.Fatalf("B/op median = %v, want 124", m)
+	}
+	if got := len(res["BenchmarkClusterWorkers/workers=4"]["ns/op"]); got != 1 {
 		t.Fatalf("subbenchmark not parsed: %+v", res)
+	}
+	if _, ok := res["BenchmarkClusterWorkers/workers=4"]["allocs/op"]; ok {
+		t.Fatal("phantom allocs/op samples for a line without -benchmem columns")
+	}
+}
+
+func TestParseBenchScientificNotation(t *testing.T) {
+	// go test prints large values in scientific notation under some flags.
+	p := writeTemp(t, "sci.txt", "BenchmarkBig-8   10   1.5e+07 ns/op   2e+06 B/op   100 allocs/op\n")
+	res, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := median(res["BenchmarkBig"]["ns/op"]); m != 1.5e7 {
+		t.Fatalf("ns/op = %v, want 1.5e7", m)
+	}
+	if m := median(res["BenchmarkBig"]["B/op"]); m != 2e6 {
+		t.Fatalf("B/op = %v, want 2e6", m)
 	}
 }
 
 func TestMedianEven(t *testing.T) {
 	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
 		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func TestGateVerdict(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, nv  float64
+		threshold float64
+		wantFail  bool
+	}{
+		{"within threshold", 100, 105, 10, false},
+		{"at threshold", 100, 110, 10, false},
+		{"beyond threshold", 100, 111, 10, true},
+		{"improvement", 100, 50, 10, false},
+		{"zero baseline stays zero", 0, 0, 10, false},
+		{"zero baseline any increase", 0, 1, 10, true},
+		{"zero baseline big increase", 0, 5000, 10, true},
+	}
+	for _, tc := range cases {
+		if fail, _ := gateVerdict(tc.base, tc.nv, tc.threshold); fail != tc.wantFail {
+			t.Errorf("%s: gateVerdict(%g, %g, %g) fail = %v, want %v",
+				tc.name, tc.base, tc.nv, tc.threshold, fail, tc.wantFail)
+		}
 	}
 }

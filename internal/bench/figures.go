@@ -626,13 +626,14 @@ func FigExt3(o Options) ([]Row, error) {
 		return nil, err
 	}
 	var rows []Row
+	gmp := runtime.GOMAXPROCS(0)
 	fmt.Fprintf(o.Out, "\n[Fig ext3] %s: parallel COLLECT scaling (stride=25%%, GOMAXPROCS=%d)\n",
-		dc.Label, runtime.GOMAXPROCS(0))
+		dc.Label, gmp)
 	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workers\tCOLLECT ms\tstride ms\tCOLLECT speedup\tpoints/s")
+	fmt.Fprintln(tw, "workers\tCOLLECT ms\tstride ms\tCOLLECT speedup\tpoints/s\tCOLLECT allocs/stride")
 	var baseCollect float64
 	for _, w := range []int{1, 2, 4, 8} {
-		eng := core.New(dc.Cfg, core.WithWorkers(w))
+		eng := core.New(dc.Cfg, core.WithWorkers(w), core.WithAllocTracking(true))
 		res := Run(eng, steps, o.observed(fmt.Sprintf("disc-w%d", w), RunOpts{Timeout: o.Timeout}))
 		n := float64(res.Strides)
 		if n == 0 {
@@ -650,21 +651,64 @@ func FigExt3(o Options) ([]Row, error) {
 		if res.PerPoint > 0 {
 			pps = float64(time.Second) / float64(res.PerPoint)
 		}
+		al := eng.PhaseAllocs()
 		rows = append(rows, Row{
 			Figure: "ext3", Dataset: dc.Label,
 			Param: fmt.Sprintf("workers=%d", w), Engine: "DISC",
 			Value: collectMS, Unit: "ms",
 			Extra: map[string]float64{
-				"speedup":        speedup,
-				"points_per_sec": pps,
-				"stride_ms":      msOf(res.PerStride),
+				"speedup":           speedup,
+				"points_per_sec":    pps,
+				"stride_ms":         msOf(res.PerStride),
+				"gomaxprocs":        float64(gmp),
+				"effective_workers": float64(minInt(w, gmp)),
+				"collect_allocs_op": float64(al.CollectObjs) / n,
+				"collect_bytes_op":  float64(al.CollectBytes) / n,
 			},
-			DNF: res.DNF, Note: res.DNFReason,
+			DNF: res.DNF, Note: parallelismNote(res.DNFReason, w, gmp),
 		})
-		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t%.0f\n",
-			w, collectMS, msOf(res.PerStride), speedup, pps)
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t%.0f\t%.0f\n",
+			w, collectMS, msOf(res.PerStride), speedup, pps, float64(al.CollectObjs)/n)
 	}
+	warnOversubscribed(o, tw, gmp)
 	return rows, tw.Flush()
+}
+
+// minInt is the two-arg integer min (the builtin needs Go 1.21 but reads
+// poorly next to float conversions).
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parallelismNote annotates a worker-scaling row whose configured fan-out
+// exceeds the host's scheduler parallelism: its "speedup" measures goroutine
+// oversubscription, not parallel capacity, and must not be read as the
+// algorithm failing (or succeeding) to scale. The summary header records
+// gomaxprocs once per file, but rows are routinely copied out of context
+// into plots and diffs — each oversubscribed row carries the caveat itself.
+func parallelismNote(base string, workers, gmp int) string {
+	if workers <= gmp {
+		return base
+	}
+	note := fmt.Sprintf("oversubscribed: workers=%d > GOMAXPROCS=%d", workers, gmp)
+	if base == "" {
+		return note
+	}
+	return base + "; " + note
+}
+
+// warnOversubscribed prints the oversubscription caveat under a scaling
+// table when any of the standard worker counts exceeds the host's
+// parallelism.
+func warnOversubscribed(o Options, tw *tabwriter.Writer, gmp int) {
+	if gmp >= 8 { // largest standard worker count
+		return
+	}
+	tw.Flush()
+	fmt.Fprintf(o.Out, "warning: worker counts above GOMAXPROCS=%d are oversubscribed; their speedups reflect scheduling, not parallel capacity\n", gmp)
 }
 
 // FigExt4 is an extension experiment (not in the paper): scaling of the
@@ -689,8 +733,9 @@ func FigExt4(o Options) ([]Row, error) {
 		return nil, err
 	}
 	var rows []Row
+	gmp := runtime.GOMAXPROCS(0)
 	fmt.Fprintf(o.Out, "\n[Fig ext4] %s: parallel CLUSTER scaling (stride=25%%, GOMAXPROCS=%d)\n",
-		dc.Label, runtime.GOMAXPROCS(0))
+		dc.Label, gmp)
 	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "workers\tCLUSTER ms\tstride ms\tCLUSTER speedup\tCLUSTER allocs/stride\tCLUSTER KB/stride")
 	var baseCluster float64
@@ -719,6 +764,8 @@ func FigExt4(o Options) ([]Row, error) {
 				"speedup":            speedup,
 				"stride_ms":          msOf(res.PerStride),
 				"collect_ms":         msOf(pt.Collect) / n,
+				"gomaxprocs":         float64(gmp),
+				"effective_workers":  float64(minInt(w, gmp)),
 				"advance_allocs_op":  float64(al.TotalObjs()) / n,
 				"advance_bytes_op":   float64(al.TotalBytes()) / n,
 				"collect_allocs_op":  float64(al.CollectObjs) / n,
@@ -728,12 +775,13 @@ func FigExt4(o Options) ([]Row, error) {
 				"finalize_allocs_op": float64(al.FinalizeObjs) / n,
 				"finalize_bytes_op":  float64(al.FinalizeBytes) / n,
 			},
-			DNF: res.DNF, Note: res.DNFReason,
+			DNF: res.DNF, Note: parallelismNote(res.DNFReason, w, gmp),
 		})
 		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t%.0f\t%.1f\n",
 			w, clusterMS, msOf(res.PerStride), speedup,
 			float64(al.ClusterObjs)/n, float64(al.ClusterBytes)/n/1024)
 	}
+	warnOversubscribed(o, tw, gmp)
 	return rows, tw.Flush()
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"disc/internal/window"
+)
+
+// TestCollectZeroAlloc pins the Advance-path pooling contract: once the
+// stride buffers, R-tree node free list, search contexts, and pstate free
+// list have warmed past their high-water marks, sliding the window one
+// stride performs (almost) no heap allocations. Before the pooled R-tree
+// hot path and the bound-once search callbacks, the same workload cost
+// ~7,700 allocs per Advance; the budget below is ~1% of that, far inside
+// the "≥ 80% drop" bar, while leaving room for the irreducible jitter of a
+// live workload — occasional split/merger event slices, a leaf slab or
+// queue-pool node growing past its previous high-water mark, map-bucket
+// churn in the window id set.
+func TestCollectZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const win, stride = 4000, 200
+	const warm, runs = 200, 80
+	data := clustered2D(rng, win+stride*(warm+runs+10))
+	steps, err := window.Steps(data, win, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(cfg2(2.5, 5))
+	for _, st := range steps[:warm] {
+		eng.Advance(st.In, st.Out)
+	}
+	idx := warm
+	avg := testing.AllocsPerRun(runs, func() {
+		st := steps[idx]
+		eng.Advance(st.In, st.Out)
+		idx++
+	})
+	t.Logf("steady-state allocs per Advance: %.1f", avg)
+	const budget = 64
+	if avg > budget {
+		t.Errorf("steady-state Advance allocates %.1f objects/op, budget %d", avg, budget)
+	}
+}

@@ -18,29 +18,41 @@ func (c ClusterInfo) Size() int { return c.Cores + c.Borders }
 
 // Clusters returns a census of the current window's clusters, sorted by
 // descending size (ties by ascending id), plus the number of noise points.
-// Border points count toward the cluster their hint resolves to.
+// Border points count toward the cluster their hint resolves to. The
+// returned slice is freshly allocated; use ClustersInto to reuse a buffer.
 func (e *Engine) Clusters() (clusters []ClusterInfo, noise int) {
-	byID := make(map[int]*ClusterInfo)
+	return e.ClustersInto(nil)
+}
+
+// ClustersInto is Clusters writing into buf (grown as needed, contents
+// replaced). The cluster-id lookup table is pooled on the engine, so a
+// caller that recycles buf performs a census with zero steady-state
+// allocations. Unlike Clusters it is not safe for concurrent callers: the
+// pooled lookup table is engine state.
+func (e *Engine) ClustersInto(buf []ClusterInfo) (clusters []ClusterInfo, noise int) {
+	if e.censusIdx == nil {
+		e.censusIdx = make(map[int]int32)
+	} else {
+		clear(e.censusIdx)
+	}
+	clusters = buf[:0]
 	for id, st := range e.pts {
 		a := e.assignmentOf(id, st)
 		if a.ClusterID == model.NoCluster {
 			noise++
 			continue
 		}
-		ci := byID[a.ClusterID]
-		if ci == nil {
-			ci = &ClusterInfo{ID: a.ClusterID}
-			byID[a.ClusterID] = ci
+		idx, ok := e.censusIdx[a.ClusterID]
+		if !ok {
+			idx = int32(len(clusters))
+			e.censusIdx[a.ClusterID] = idx
+			clusters = append(clusters, ClusterInfo{ID: a.ClusterID})
 		}
 		if a.Label == model.Core {
-			ci.Cores++
+			clusters[idx].Cores++
 		} else {
-			ci.Borders++
+			clusters[idx].Borders++
 		}
-	}
-	clusters = make([]ClusterInfo, 0, len(byID))
-	for _, ci := range byID {
-		clusters = append(clusters, *ci)
 	}
 	sort.Slice(clusters, func(i, j int) bool {
 		if clusters[i].Size() != clusters[j].Size() {

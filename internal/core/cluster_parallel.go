@@ -222,36 +222,58 @@ func (e *Engine) noteClusterWorkers(w int) {
 
 // captureExCore runs the phase-A search for one ex-core, recording the
 // effects the serial walk would have applied while scanning its ε-ball.
-func (e *Engine) captureExCore(eid int64, cp *exCapture) {
+func (c *searchCtx) captureExCore(eid int64, cp *exCapture) {
+	e := c.e
 	est := e.pts[eid]
-	exited := est.label == model.Deleted
-	cp.nodes = e.tree.SearchBallRO(est.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-		if qid == eid {
-			return true
-		}
-		q := e.pts[qid]
-		if q.label != model.Deleted {
-			// The neighbor lost the core point eid. A point that entered
-			// this stride never counted an exited core in its coreDeg
-			// initialization, so skip that combination.
-			if !(exited && q.enterStamp == e.stride) {
-				cp.degDec = append(cp.degDec, qid)
-			}
-			cp.hints = append(cp.hints, hintOp{target: qid, arg: eid, clear: true})
-			cp.affected = append(cp.affected, qid)
-		}
-		if e.isCoreNow(q) {
-			// Any current core serves as a border hint for the ex-core
-			// itself once it is demoted.
-			cp.hints = append(cp.hints, hintOp{target: eid, arg: qid})
-			if q.wasCore {
-				cp.bonding = append(cp.bonding, qid)
-			}
-		} else if e.isExCore(q) {
-			cp.frontier = append(cp.frontier, qid)
-		}
+	c.selfID, c.exited, c.xcp = eid, est.label == model.Deleted, cp
+	cp.nodes = e.tree.SearchBallRO(est.pos, e.cfg.Eps, c.exFn)
+	c.xcp = nil
+}
+
+func (c *searchCtx) onExCore(qid int64, _ geom.Vec) bool {
+	e, cp, eid := c.e, c.xcp, c.selfID
+	if qid == eid {
 		return true
-	})
+	}
+	q := e.pts[qid]
+	if q.label != model.Deleted {
+		// The neighbor lost the core point eid. A point that entered
+		// this stride never counted an exited core in its coreDeg
+		// initialization, so skip that combination.
+		if !(c.exited && q.enterStamp == e.stride) {
+			cp.degDec = append(cp.degDec, qid)
+		}
+		cp.hints = append(cp.hints, hintOp{target: qid, arg: eid, clear: true})
+		cp.affected = append(cp.affected, qid)
+	}
+	if e.isCoreNow(q) {
+		// Any current core serves as a border hint for the ex-core
+		// itself once it is demoted.
+		cp.hints = append(cp.hints, hintOp{target: eid, arg: qid})
+		if q.wasCore {
+			cp.bonding = append(cp.bonding, qid)
+		}
+	} else if e.isExCore(q) {
+		cp.frontier = append(cp.frontier, qid)
+	}
+	return true
+}
+
+// exCapSearch is the bound-once phase-A dispatcher for ex-core captures.
+func (e *Engine) exCapSearch(w, k int) {
+	e.searchCtxs[w].captureExCore(e.fanExCores[k], &e.exCaps[k])
+}
+
+// neoCapSearch is its neo-core counterpart.
+func (e *Engine) neoCapSearch(w, k int) {
+	e.searchCtxs[w].captureNeoCore(e.fanNeoCores[k], &e.neoCaps[k])
+}
+
+// connCheck is the bound-once phase-C dispatcher: one connectivity check per
+// component queued in connWork, each against its worker's private scratch.
+func (e *Engine) connCheck(w, k int) {
+	ci := e.connWork[k]
+	e.connectivityInto(e.exComps[ci].bonding, e.scratches[w], &e.connResults[ci])
 }
 
 // clusterExCores processes cluster evolution driven by ex-cores: for each
@@ -272,9 +294,10 @@ func (e *Engine) clusterExCores(exCores []int64) {
 		st.capStamp = e.stride
 		st.capIdx = int32(i)
 	}
-	e.noteClusterWorkers(e.fanOut(len(exCores), func(_, k int) {
-		e.captureExCore(exCores[k], &e.exCaps[k])
-	}))
+	e.ensureSearchCtxs(min(e.workers, len(exCores)))
+	e.fanExCores = exCores
+	e.noteClusterWorkers(e.fanOut(len(exCores), e.exCapFanFn))
+	e.fanExCores = nil
 
 	// Phase B — assemble retro-reachable components from the captured
 	// frontier lists, replaying the serial BFS discovery order.
@@ -330,10 +353,7 @@ func (e *Engine) clusterExCores(exCores []int64) {
 			cw = 1
 		}
 		e.ensureScratches(cw)
-		e.noteClusterWorkers(e.fanOut(len(e.connWork), func(w, k int) {
-			ci := e.connWork[k]
-			e.connectivityInto(e.exComps[ci].bonding, e.scratches[w], &e.connResults[ci])
-		}))
+		e.noteClusterWorkers(e.fanOut(len(e.connWork), e.connFanFn))
 	}
 
 	// Phase D — fold, in component order.
@@ -386,31 +406,37 @@ func (e *Engine) clusterExCores(exCores []int64) {
 }
 
 // captureNeoCore runs the capture search for one neo-core.
-func (e *Engine) captureNeoCore(nid int64, cp *neoCapture) {
+func (c *searchCtx) captureNeoCore(nid int64, cp *neoCapture) {
+	e := c.e
 	nst := e.pts[nid]
-	cp.nodes = e.tree.SearchBallRO(nst.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-		if qid == nid {
-			return true
-		}
-		q := e.pts[qid]
-		if q.label == model.Deleted {
-			return true
-		}
-		// The neighbor gains the core point nid: +1 coreDeg, hint refresh,
-		// affected mark — one list drives all three at fold time.
-		cp.touched = append(cp.touched, qid)
-		if !e.isCoreNow(q) {
-			return true
-		}
-		if q.wasCore {
-			// Raw, unresolved id: the fold resolves through cids.Find so a
-			// merger folded earlier in this stride is observed.
-			cp.rawCIDs = append(cp.rawCIDs, q.cid)
-		} else {
-			cp.frontier = append(cp.frontier, qid)
-		}
+	c.selfID, c.ncp = nid, cp
+	cp.nodes = e.tree.SearchBallRO(nst.pos, e.cfg.Eps, c.neoFn)
+	c.ncp = nil
+}
+
+func (c *searchCtx) onNeoCore(qid int64, _ geom.Vec) bool {
+	e, cp := c.e, c.ncp
+	if qid == c.selfID {
 		return true
-	})
+	}
+	q := e.pts[qid]
+	if q.label == model.Deleted {
+		return true
+	}
+	// The neighbor gains the core point nid: +1 coreDeg, hint refresh,
+	// affected mark — one list drives all three at fold time.
+	cp.touched = append(cp.touched, qid)
+	if !e.isCoreNow(q) {
+		return true
+	}
+	if q.wasCore {
+		// Raw, unresolved id: the fold resolves through cids.Find so a
+		// merger folded earlier in this stride is observed.
+		cp.rawCIDs = append(cp.rawCIDs, q.cid)
+	} else {
+		cp.frontier = append(cp.frontier, qid)
+	}
+	return true
 }
 
 // clusterNeoCores processes cluster evolution driven by neo-cores: each
@@ -430,9 +456,10 @@ func (e *Engine) clusterNeoCores(neoCores []int64) {
 		st.capStamp = e.stride
 		st.capIdx = int32(i)
 	}
-	e.noteClusterWorkers(e.fanOut(len(neoCores), func(_, k int) {
-		e.captureNeoCore(neoCores[k], &e.neoCaps[k])
-	}))
+	e.ensureSearchCtxs(min(e.workers, len(neoCores)))
+	e.fanNeoCores = neoCores
+	e.noteClusterWorkers(e.fanOut(len(neoCores), e.neoCapFanFn))
+	e.fanNeoCores = nil
 
 	for _, seed := range neoCores {
 		if e.pts[seed].neoStamp == e.stride {

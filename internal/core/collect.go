@@ -72,56 +72,118 @@ func resetDeltas(buf []collectDelta, n int) []collectDelta {
 	return buf
 }
 
+// searchCtx carries the per-call parameters of the hot-path search
+// callbacks. One context lives per fan-out worker slot; each callback is a
+// func value bound exactly once at construction, capturing only the stable
+// context pointer, so issuing an ε-search creates no closure and therefore
+// allocates nothing — the same trick msScratch.visit uses. A context must
+// never be shared between concurrently running searches; the per-worker
+// ownership fanOut guarantees is exactly that.
+type searchCtx struct {
+	e      *Engine
+	selfID int64         // center point of the current search
+	exited bool          // captureExCore: the ex-core left the window
+	d      *collectDelta // COLLECT departure/arrival buffer
+	xcp    *exCapture    // CLUSTER ex-core capture buffer
+	ncp    *neoCapture   // CLUSTER neo-core capture buffer
+
+	depFn func(qid int64, p geom.Vec) bool
+	arrFn func(qid int64, p geom.Vec) bool
+	exFn  func(qid int64, p geom.Vec) bool
+	neoFn func(qid int64, p geom.Vec) bool
+}
+
+func newSearchCtx(e *Engine) *searchCtx {
+	c := &searchCtx{e: e}
+	c.depFn = c.onDeparture
+	c.arrFn = c.onArrival
+	c.exFn = c.onExCore
+	c.neoFn = c.onNeoCore
+	return c
+}
+
+// ensureSearchCtxs guarantees at least n per-worker search contexts.
+func (e *Engine) ensureSearchCtxs(n int) {
+	for len(e.searchCtxs) < n {
+		e.searchCtxs = append(e.searchCtxs, newSearchCtx(e))
+	}
+}
+
 // searchDeparture runs the phase-2 search for one Δout point: record every
 // surviving neighbor whose nε must drop. Departures (label Deleted) and
 // this stride's arrivals (which never counted the departure) are skipped.
-func (e *Engine) searchDeparture(p model.Point, d *collectDelta) {
+func (c *searchCtx) searchDeparture(p model.Point, d *collectDelta) {
+	e := c.e
 	st := e.pts[p.ID]
-	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-		if qid == p.ID {
-			return true
-		}
-		q := e.pts[qid]
-		if q.label == model.Deleted || q.enterStamp == e.stride {
-			return true
-		}
-		d.touched = append(d.touched, qid)
+	c.selfID, c.d = p.ID, d
+	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, c.depFn)
+	c.d = nil
+}
+
+func (c *searchCtx) onDeparture(qid int64, _ geom.Vec) bool {
+	e := c.e
+	if qid == c.selfID {
 		return true
-	})
+	}
+	q := e.pts[qid]
+	if q.label == model.Deleted || q.enterStamp == e.stride {
+		return true
+	}
+	c.d.touched = append(c.d.touched, qid)
+	return true
 }
 
 // searchArrival runs the phase-2 search for one Δin point: count surviving
 // neighbors (crediting their nε and, for previous-window cores, the
 // arrival's coreDeg and border hint) and record co-arriving pairs once, from
 // the smaller-id endpoint.
-func (e *Engine) searchArrival(p model.Point, d *collectDelta) {
+func (c *searchCtx) searchArrival(p model.Point, d *collectDelta) {
+	e := c.e
 	st := e.pts[p.ID]
-	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-		if qid == p.ID {
-			return true
-		}
-		q := e.pts[qid]
-		if q.label == model.Deleted {
-			return true
-		}
-		if q.enterStamp == e.stride {
-			if p.ID < qid {
-				d.pairs = append(d.pairs, qid)
-			}
-			return true
-		}
-		d.touched = append(d.touched, qid)
-		d.selfN++
-		// Initialize coreDeg against cores surviving from the previous
-		// window; transitions (ex-cores, neo-cores) correct it later.
-		if q.wasCore {
-			d.coreDeg++
-			if d.hint == noHint {
-				d.hint = qid
-			}
+	c.selfID, c.d = p.ID, d
+	d.nodes = e.tree.SearchBallRO(st.pos, e.cfg.Eps, c.arrFn)
+	c.d = nil
+}
+
+func (c *searchCtx) onArrival(qid int64, _ geom.Vec) bool {
+	e := c.e
+	if qid == c.selfID {
+		return true
+	}
+	q := e.pts[qid]
+	if q.label == model.Deleted {
+		return true
+	}
+	d := c.d
+	if q.enterStamp == e.stride {
+		if c.selfID < qid {
+			d.pairs = append(d.pairs, qid)
 		}
 		return true
-	})
+	}
+	d.touched = append(d.touched, qid)
+	d.selfN++
+	// Initialize coreDeg against cores surviving from the previous
+	// window; transitions (ex-cores, neo-cores) correct it later.
+	if q.wasCore {
+		d.coreDeg++
+		if d.hint == noHint {
+			d.hint = qid
+		}
+	}
+	return true
+}
+
+// collectSearch is the bound-once phase-2 dispatcher fanOut invokes: Δout
+// departures occupy work indices [0, len(fanOutPts)), Δin arrivals the rest.
+func (e *Engine) collectSearch(w, k int) {
+	c := e.searchCtxs[w]
+	if out := e.fanOutPts; k < len(out) {
+		c.searchDeparture(out[k], &e.outDeltas[k])
+	} else {
+		k -= len(out)
+		c.searchArrival(e.fanInPts[k], &e.inDeltas[k])
+	}
 }
 
 // fanOutSearches runs phase 2: one search per Δout and Δin point, fanned
@@ -135,13 +197,10 @@ func (e *Engine) fanOutSearches(in, out []model.Point) {
 	if total == 0 {
 		return
 	}
-	e.fanOut(total, func(_, k int) {
-		if k < len(out) {
-			e.searchDeparture(out[k], &e.outDeltas[k])
-		} else {
-			e.searchArrival(in[k-len(out)], &e.inDeltas[k-len(out)])
-		}
-	})
+	e.ensureSearchCtxs(min(e.workers, total))
+	e.fanInPts, e.fanOutPts = in, out
+	e.fanOut(total, e.collectFanFn)
+	e.fanInPts, e.fanOutPts = nil, nil
 	var nodes int64
 	for i := range e.outDeltas {
 		nodes += e.outDeltas[i].nodes

@@ -143,6 +143,22 @@ type Engine struct {
 	inDeltas  []collectDelta
 	outDeltas []collectDelta
 
+	// COLLECT stride buffers: the transition lists collect produces, the
+	// Δin batch arrays feeding one BulkInsert per stride, and a pstate free
+	// list recycling the state of departed points into arrivals. Stride
+	// stamps need no clearing on reuse: a stale stamp is always below the
+	// current stride.
+	exCoresBuf  []int64
+	neoCoresBuf []int64
+	coutBuf     []int64
+	bulkIDs     []int64
+	bulkPos     []geom.Vec
+	freePts     []*pstate
+
+	// censusIdx maps cluster id -> index into the caller's ClustersInto
+	// buffer; pooled so repeated censuses allocate nothing.
+	censusIdx map[int]int32
+
 	// CLUSTER pipeline scratch (cluster_parallel.go, msbfs.go).
 	exCaps      []exCapture
 	neoCaps     []neoCapture
@@ -153,6 +169,26 @@ type Engine struct {
 	cidScratch  []int
 	scratches   []*msScratch
 	connRes     connResult
+
+	// Bound-once fan-out dispatchers and per-worker search contexts. Building
+	// a closure per ε-search (or per fan-out) was the last steady-state
+	// allocation on the Advance path; instead each hot callback is a func
+	// value created once at construction that reads its per-call parameters
+	// from stable engine or context fields (the msScratch.visit trick). The
+	// fanInPts/fanOutPts/fanExCores/fanNeoCores fields alias the current
+	// fan-out's inputs only for the duration of that fan-out.
+	searchCtxs   []*searchCtx
+	fanInPts     []model.Point
+	fanOutPts    []model.Point
+	fanExCores   []int64
+	fanNeoCores  []int64
+	collectFanFn func(worker, k int)
+	exCapFanFn   func(worker, k int)
+	neoCapFanFn  func(worker, k int)
+	connFanFn    func(worker, k int)
+	hintFn       func(qid int64, p geom.Vec) bool
+	hintSelf     int64
+	hintFound    int64
 }
 
 // New returns a DISC engine for the given configuration. It panics on an
@@ -171,6 +207,12 @@ func New(cfg model.Config, opts ...Option) *Engine {
 		useEpoch: true,
 		workers:  1,
 	}
+	// Method values allocate; bind the hot-path dispatchers exactly once.
+	e.collectFanFn = e.collectSearch
+	e.exCapFanFn = e.exCapSearch
+	e.neoCapFanFn = e.neoCapSearch
+	e.connFanFn = e.connCheck
+	e.hintFn = e.hintVisit
 	for _, o := range opts {
 		o(e)
 	}
@@ -260,6 +302,7 @@ func (e *Engine) markAffected(id int64, st *pstate) {
 // merge. It returns the ex-cores, neo-cores, and the exited ex-cores C_out
 // (still resident in the R-tree).
 func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64) {
+	cout = e.coutBuf[:0]
 	// Phase 1 — structural mutations, applied up front so every phase-2
 	// search runs against one fixed index and immutable pstates.
 	for _, p := range out {
@@ -275,13 +318,19 @@ func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64
 		st.label = model.Deleted
 		st.n = 0
 	}
+	e.bulkIDs = e.bulkIDs[:0]
+	e.bulkPos = e.bulkPos[:0]
 	for _, p := range in {
 		if _, dup := e.pts[p.ID]; dup {
 			panic(fmt.Sprintf("disc: duplicate point id %d entered the window", p.ID))
 		}
-		e.pts[p.ID] = &pstate{pos: p.Pos, n: 1, hint: noHint, label: model.Unclassified, enterStamp: e.stride}
-		e.tree.Insert(p.ID, p.Pos)
+		st := e.newPstate()
+		*st = pstate{pos: p.Pos, n: 1, hint: noHint, label: model.Unclassified, enterStamp: e.stride}
+		e.pts[p.ID] = st
+		e.bulkIDs = append(e.bulkIDs, p.ID)
+		e.bulkPos = append(e.bulkPos, p.Pos)
 	}
+	e.tree.BulkInsert(e.bulkIDs, e.bulkPos)
 
 	// Phase 2 — the parallel search fan-out.
 	e.outDeltas = resetDeltas(e.outDeltas, len(out))
@@ -322,6 +371,8 @@ func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64
 
 	// Every point whose nε changed is in the affected set; core-status
 	// transitions can only happen there (Definitions 1 and 2).
+	exCores = e.exCoresBuf[:0]
+	neoCores = e.neoCoresBuf[:0]
 	for _, id := range e.affected {
 		st := e.pts[id]
 		if st.label == model.Deleted {
@@ -338,7 +389,21 @@ func (e *Engine) collect(in, out []model.Point) (exCores, neoCores, cout []int64
 			neoCores = append(neoCores, id)
 		}
 	}
+	// Retain whatever growth the buffers saw for the next stride.
+	e.exCoresBuf, e.neoCoresBuf, e.coutBuf = exCores, neoCores, cout
 	return exCores, neoCores, cout
+}
+
+// newPstate pops a recycled pstate from the free list or allocates one.
+// Callers overwrite every field, so no reset is needed here.
+func (e *Engine) newPstate() *pstate {
+	if k := len(e.freePts); k > 0 {
+		st := e.freePts[k-1]
+		e.freePts[k-1] = nil
+		e.freePts = e.freePts[:k-1]
+		return st
+	}
+	return &pstate{}
 }
 
 // isExCore reports whether st is an ex-core this stride: a previous-window
@@ -370,6 +435,9 @@ func (e *Engine) finalize() {
 		st := e.pts[id]
 		if st.label == model.Deleted {
 			delete(e.pts, id)
+			// The pstate is unreachable now (nothing retains pstate
+			// pointers across strides), so recycle it into a future arrival.
+			e.freePts = append(e.freePts, st)
 			continue
 		}
 		if st.n >= minPts {
@@ -404,23 +472,28 @@ func (e *Engine) hintValid(st *pstate) bool {
 }
 
 // findHint locates one core ε-neighbor of the border point id, terminating
-// the range search as soon as one is found.
+// the range search as soon as one is found. finalize runs single-threaded,
+// so one engine-level parameter slot (hintSelf/hintFound) serves the
+// bound-once callback.
 func (e *Engine) findHint(id int64, st *pstate) int64 {
-	found := noHint
-	e.tree.SearchBall(st.pos, e.cfg.Eps, func(qid int64, _ geom.Vec) bool {
-		if qid == id {
-			return true
-		}
-		if q := e.pts[qid]; e.isCoreNow(q) {
-			found = qid
-			return false
-		}
-		return true
-	})
-	if found == noHint {
+	e.hintSelf, e.hintFound = id, noHint
+	e.tree.SearchBall(st.pos, e.cfg.Eps, e.hintFn)
+	if e.hintFound == noHint {
 		panic(fmt.Sprintf("disc: point %d has coreDeg=%d but no core ε-neighbor", id, st.coreDeg))
 	}
-	return found
+	return e.hintFound
+}
+
+// hintVisit is findHint's search callback.
+func (e *Engine) hintVisit(qid int64, _ geom.Vec) bool {
+	if qid == e.hintSelf {
+		return true
+	}
+	if q := e.pts[qid]; e.isCoreNow(q) {
+		e.hintFound = qid
+		return false
+	}
+	return true
 }
 
 // compactCIDs rewrites every stored cluster id to its representative and
@@ -443,13 +516,28 @@ func (e *Engine) Assignment(id int64) (model.Assignment, bool) {
 	return e.assignmentOf(id, st), true
 }
 
-// Snapshot implements model.Engine.
+// Snapshot implements model.Engine. The returned map is freshly allocated
+// and owned by the caller; use SnapshotInto to reuse a map across strides.
 func (e *Engine) Snapshot() map[int64]model.Assignment {
-	out := make(map[int64]model.Assignment, len(e.pts))
-	for id, st := range e.pts {
-		out[id] = e.assignmentOf(id, st)
+	return e.SnapshotInto(nil)
+}
+
+// SnapshotInto fills dst with the assignment of every windowed point,
+// clearing it first, and returns it (allocating a map only when dst is nil).
+// Callers that poll a snapshot every stride — benchmarks, metrics probes —
+// reuse one map and stay allocation-free in the steady state. Unlike
+// Snapshot it mutates dst, so the caller must not share dst with concurrent
+// readers.
+func (e *Engine) SnapshotInto(dst map[int64]model.Assignment) map[int64]model.Assignment {
+	if dst == nil {
+		dst = make(map[int64]model.Assignment, len(e.pts))
+	} else {
+		clear(dst)
 	}
-	return out
+	for id, st := range e.pts {
+		dst[id] = e.assignmentOf(id, st)
+	}
+	return dst
 }
 
 // assignmentOf resolves a point's current assignment. It is genuinely

@@ -29,6 +29,11 @@ type spatialIndex interface {
 	NextTick() uint64
 	Stats() rtree.Stats
 	BulkLoad(ids []int64, pos []geom.Vec)
+	// BulkInsert adds a batch of points to the existing index contents. The
+	// result is observationally identical to inserting the batch point by
+	// point; backends may exploit the batch for better layout (the R-tree
+	// STR-packs it into full leaves grafted in one descent each).
+	BulkInsert(ids []int64, pos []geom.Vec)
 }
 
 // rtree.T implements spatialIndex directly.
@@ -123,6 +128,12 @@ func (gi *gridIndex) BulkLoad(ids []int64, pos []geom.Vec) {
 	}
 }
 
+func (gi *gridIndex) BulkInsert(ids []int64, pos []geom.Vec) {
+	for i := range ids {
+		gi.g.Insert(ids[i], pos[i])
+	}
+}
+
 // WithGridIndex replaces the R-tree with a hash grid of the given cell side
 // (≤ 0 selects ε/2, a good default balancing cell occupancy against the
 // number of cells each ball search must touch). With a grid backend the
@@ -191,6 +202,12 @@ func (ki *kdIndex) Stats() rtree.Stats {
 }
 
 func (ki *kdIndex) BulkLoad(ids []int64, pos []geom.Vec) { ki.t.BulkLoad(ids, pos) }
+
+func (ki *kdIndex) BulkInsert(ids []int64, pos []geom.Vec) {
+	for i := range ids {
+		ki.t.Insert(ids[i], pos[i])
+	}
+}
 
 // WithKDTreeIndex replaces the R-tree with a bucket k-d tree — the third
 // index-choice ablation. Epoch probing degrades to an external visited set.

@@ -52,6 +52,29 @@ func WithinEps(a, b Vec, dims int, eps float64) bool {
 	return Dist2(a, b, dims) <= eps*eps
 }
 
+// Dist2Slab returns the squared Euclidean distance between c and the point
+// stored in the first dims components of a packed coordinate slab. It is the
+// inner kernel of batched leaf scans over struct-of-arrays node layouts:
+// coords is a view into a contiguous float64 slab, so consecutive calls walk
+// memory linearly instead of chasing per-entry rectangles.
+func Dist2Slab(coords []float64, c Vec, dims int) float64 {
+	var s float64
+	for i := 0; i < dims; i++ {
+		d := coords[i] - c[i]
+		s += d * d
+	}
+	return s
+}
+
+// VecFromSlab materializes a Vec from the first len(coords) components of a
+// packed coordinate slab. len(coords) must not exceed MaxDims; the remaining
+// components stay zero, preserving the Vec comparability contract.
+func VecFromSlab(coords []float64) Vec {
+	var v Vec
+	copy(v[:], coords)
+	return v
+}
+
 // Rect is an axis-aligned rectangle (hyper-box) given by its min and max
 // corners. A Rect with Min[i] > Max[i] for the active dimensions is empty.
 type Rect struct {

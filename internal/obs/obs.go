@@ -121,9 +121,20 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
 // within the bucket that crosses the target rank — the same estimate
-// Prometheus's histogram_quantile computes. It returns 0 with no samples;
-// ranks landing in the overflow bucket return the largest finite bound.
+// Prometheus's histogram_quantile computes. It returns 0 with no samples
+// and NaN for a NaN q; q outside [0, 1] is clamped (a NaN or unclamped q
+// would otherwise poison every comparison below and silently return the
+// top bucket bound). Ranks landing in the overflow bucket return the
+// largest finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	total := h.count.Load()
 	if total == 0 {
 		return 0

@@ -51,6 +51,47 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileDegenerateInputs pins Quantile's behavior on the edges a
+// metrics endpoint can feed it: a zero-observation histogram at any q
+// (including the endpoints and out-of-range values), a NaN q, and a
+// histogram whose every sample landed in the overflow bucket.
+func TestQuantileDegenerateInputs(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("e_seconds", "help", []float64{0.1, 1}, nil)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.Inf(1), math.Inf(-1)} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if got := empty.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("empty.Quantile(NaN) = %g, want NaN", got)
+	}
+
+	h := r.Histogram("h_seconds", "help", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(50) // overflow bucket
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %g, want NaN", got)
+	}
+	// Out-of-range q clamps to the endpoints rather than walking off the
+	// bucket array.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %g, want %g", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %g, want %g", got, want)
+	}
+
+	over := r.Histogram("o_seconds", "help", []float64{0.1, 1}, nil)
+	over.Observe(2)
+	over.Observe(3)
+	// Every rank lands beyond the finite buckets: report the largest
+	// finite bound, the documented overflow clamp.
+	if got := over.Quantile(0.5); got != 1 {
+		t.Errorf("overflow-only Quantile(0.5) = %g, want 1", got)
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("disc_range_searches_total", "Range searches.", nil)

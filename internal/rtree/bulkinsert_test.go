@@ -1,0 +1,202 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"disc/internal/geom"
+)
+
+// collectBallRO gathers ids via the read-only search path.
+func collectBallRO(t *T, c geom.Vec, eps float64) []int64 {
+	var out []int64
+	t.SearchBallRO(c, eps, func(id int64, _ geom.Vec) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// collectBallEpoch gathers ids via one epoch-pruned search, stamping every
+// visited point.
+func collectBallEpoch(t *T, c geom.Vec, eps float64, tick uint64) []int64 {
+	var out []int64
+	t.SearchBallEpoch(c, eps, tick, func(id int64, _ geom.Vec) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Property: BulkInsert is observationally identical to per-point Insert.
+// Starting from a shared random prefix built incrementally in both trees,
+// one tree BulkInserts each subsequent batch while the other inserts the
+// same points one by one; after every batch — and after a wave of deletes —
+// every search flavor returns the same visit set and both trees satisfy all
+// structural invariants. Batch sizes straddle the per-point/graft threshold
+// (maxEntries) so both BulkInsert regimes are exercised.
+func TestBulkInsertEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, prefixRaw, batchesRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 2 + rng.Intn(2)
+		prefix := int(prefixRaw) % 120
+		batches := int(batchesRaw)%5 + 1
+
+		bulk, inc := New(dims), New(dims)
+		live := make(map[int64]geom.Vec)
+		var next int64
+		add := func(tr *T, id int64, p geom.Vec) {
+			tr.Insert(id, p)
+		}
+		for i := 0; i < prefix; i++ {
+			p := randVec(rng, dims, 48)
+			add(bulk, next, p)
+			add(inc, next, p)
+			live[next] = p
+			next++
+		}
+
+		check := func() bool {
+			if bulk.Len() != inc.Len() || bulk.Len() != len(live) {
+				return false
+			}
+			if err := bulk.checkInvariants(); err != nil {
+				return false
+			}
+			if err := inc.checkInvariants(); err != nil {
+				return false
+			}
+			for trial := 0; trial < 4; trial++ {
+				c := randVec(rng, dims, 48)
+				eps := rng.Float64() * 14
+				want := collectBall(inc, c, eps)
+				if !equalIDs(collectBall(bulk, c, eps), want) {
+					return false
+				}
+				if !equalIDs(collectBallRO(bulk, c, eps), want) {
+					return false
+				}
+			}
+			return true
+		}
+
+		for b := 0; b < batches; b++ {
+			// Mix sub-threshold batches (per-point path) with multi-leaf
+			// ones (STR graft path).
+			n := rng.Intn(3 * defaultMaxEntries)
+			ids := make([]int64, n)
+			pos := make([]geom.Vec, n)
+			for i := 0; i < n; i++ {
+				ids[i] = next
+				pos[i] = randVec(rng, dims, 48)
+				live[next] = pos[i]
+				next++
+			}
+			bulk.BulkInsert(ids, pos)
+			for i := range ids {
+				inc.Insert(ids[i], pos[i])
+			}
+			if !check() {
+				return false
+			}
+		}
+
+		// Deleting through bulk-built leaves must uphold the same
+		// invariants and search results as through insert-built ones.
+		for id, p := range live {
+			if rng.Float64() < 0.4 {
+				if !bulk.Delete(id, p) || !inc.Delete(id, p) {
+					return false
+				}
+				delete(live, id)
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: epoch-pruned searches agree between a bulk-built and an
+// insert-built tree. Visit sets under SearchBallEpoch depend only on the
+// point multiset and the stamp history, never on node layout: each call
+// visits exactly the in-ball points whose epoch is below the tick and stamps
+// them, so an identical call sequence yields identical sets.
+func TestBulkInsertEpochEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 700
+	ids := make([]int64, n)
+	pos := make([]geom.Vec, n)
+	inc := New(2)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		pos[i] = randVec(rng, 2, 40)
+	}
+	// Seed both trees with the first half, then BulkInsert vs insert the rest.
+	bulk := New(2)
+	for i := 0; i < n/2; i++ {
+		bulk.Insert(ids[i], pos[i])
+		inc.Insert(ids[i], pos[i])
+	}
+	bulk.BulkInsert(ids[n/2:], pos[n/2:])
+	for i := n / 2; i < n; i++ {
+		inc.Insert(ids[i], pos[i])
+	}
+
+	for round := 0; round < 20; round++ {
+		bt, it := bulk.NextTick(), inc.NextTick()
+		if bt != it {
+			t.Fatalf("tick mismatch: bulk %d inc %d", bt, it)
+		}
+		// Several overlapping searches within one tick: later searches must
+		// skip exactly the points earlier ones stamped, in both trees.
+		for s := 0; s < 4; s++ {
+			c := randVec(rng, 2, 40)
+			eps := rng.Float64() * 12
+			got, want := collectBallEpoch(bulk, c, eps, bt), collectBallEpoch(inc, c, eps, it)
+			if !equalIDs(got, want) {
+				t.Fatalf("round %d search %d: epoch visit sets differ: bulk %v inc %v", round, s, got, want)
+			}
+		}
+	}
+}
+
+// BulkInsert must reject mismatched inputs like BulkLoad does.
+func TestBulkInsertLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on id/position length mismatch")
+		}
+	}()
+	New(2).BulkInsert([]int64{1, 2}, []geom.Vec{geom.NewVec(0, 0)})
+}
+
+// A BulkInsert into an empty tree must replace the root exactly like
+// BulkLoad, including when the tree previously held points.
+func TestBulkInsertIntoEmptiedTree(t *testing.T) {
+	tr := New(2)
+	p := geom.NewVec(1, 1)
+	tr.Insert(7, p)
+	if !tr.Delete(7, p) {
+		t.Fatal("delete failed")
+	}
+	ids := make([]int64, 100)
+	pos := make([]geom.Vec, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := range ids {
+		ids[i] = int64(i)
+		pos[i] = randVec(rng, 2, 20)
+	}
+	tr.BulkInsert(ids, pos)
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,14 +43,18 @@ func (t *T) KNN(c geom.Vec, k int) []Neighbor {
 		}
 		if !it.point {
 			t.stats.NodeAccesses++
-			for i := range it.node.entries {
-				e := &it.node.entries[i]
-				if it.node.leaf {
-					d2 := geom.Dist2(e.rect.Min, c, t.dims)
+			n := it.node
+			if n.leaf {
+				d := t.dims
+				for i, base := 0, 0; i < len(n.ids); i, base = i+1, base+d {
+					d2 := geom.Dist2Slab(n.coords[base:], c, d)
 					if w := worst(); w < 0 || d2 < w {
-						heap.Push(pq, knnItem{leafID: e.id, leafPos: e.rect.Min, dist2: d2, point: true})
+						heap.Push(pq, knnItem{leafID: n.ids[i], leafPos: t.leafVec(n, i), dist2: d2, point: true})
 					}
-				} else {
+				}
+			} else {
+				for i := range n.entries {
+					e := &n.entries[i]
 					d2 := e.rect.MinDist2(c, t.dims)
 					if w := worst(); w < 0 || d2 <= w {
 						heap.Push(pq, knnItem{node: e.child, dist2: d2})
@@ -108,76 +112,202 @@ func (t *T) BulkLoad(ids []int64, positions []geom.Vec) {
 	if len(ids) != len(positions) {
 		panic("rtree: BulkLoad id/position length mismatch")
 	}
-	entries := make([]entry, len(ids))
-	for i := range ids {
-		entries[i] = entry{rect: geom.PointRect(positions[i]), id: ids[i]}
-	}
-	t.root = t.strPack(entries, true)
+	t.root = t.strPackPoints(ids, positions)
 	t.size = len(ids)
 }
 
-// strPack recursively packs entries into nodes of maxEntries each, sorting
-// by dimension 0 then tiling by the remaining dimensions.
-func (t *T) strPack(entries []entry, leaf bool) *node {
-	if len(entries) == 0 {
-		return &node{leaf: true}
+// BulkInsert adds a batch of points to the existing tree. The resulting
+// point multiset is identical to inserting the batch point by point — only
+// the node layout may differ, never the visit set of any search. Batches
+// larger than one node are STR-tiled into packed struct-of-arrays leaves
+// which are grafted at leaf level through a single chooseSubtree descent
+// each, replacing per-point descents and the split churn they cause. All
+// scratch is pooled on T, so the steady-state path allocates nothing.
+func (t *T) BulkInsert(ids []int64, positions []geom.Vec) {
+	if len(ids) != len(positions) {
+		panic("rtree: BulkInsert id/position length mismatch")
 	}
-	if len(entries) <= t.maxEntries {
-		n := &node{leaf: leaf, entries: entries}
-		n.epoch = minEpoch(n)
-		return n
+	n := len(ids)
+	if n == 0 {
+		return
 	}
-	nodes := t.strTile(entries, 0, leaf)
-	// Pack the produced nodes upward until one root remains.
-	for len(nodes) > 1 {
-		parents := make([]entry, len(nodes))
-		for i, nd := range nodes {
-			parents[i] = entry{rect: nodeRect(nd, t.dims), child: nd, epoch: nd.epoch}
+	if t.size == 0 {
+		t.freeTree(t.root)
+		t.root = t.strPackPoints(ids, positions)
+		t.size = n
+		return
+	}
+	if n <= t.maxEntries || t.root.leaf {
+		// Small batch, or a tree too shallow to graft into: per-point
+		// insertion through the pooled split path.
+		for i := range ids {
+			t.insertPoint(ids[i], positions[i], 0)
 		}
-		if len(parents) <= t.maxEntries {
-			root := &node{leaf: false, entries: parents}
+		t.size += n
+		return
+	}
+	t.perm = t.perm[:0]
+	for i := 0; i < n; i++ {
+		t.perm = append(t.perm, i)
+	}
+	t.leafBuf = t.leafBuf[:0]
+	t.buildLeaves(ids, positions, t.perm, 0)
+	for i, lf := range t.leafBuf {
+		if split := t.insertChild(t.root, lf, nodeRect(lf, t.dims)); split != nil {
+			t.growRoot(split)
+		}
+		t.leafBuf[i] = nil
+	}
+	t.leafBuf = t.leafBuf[:0]
+	t.size += n
+}
+
+// insertChild grafts sub — a packed leaf — under n at leaf-parent level,
+// mirroring insertRec's descent, rect/epoch maintenance and split
+// propagation. n must be internal.
+func (t *T) insertChild(n *node, sub *node, r geom.Rect) *node {
+	if n.entries[0].child.leaf {
+		n.entries = append(n.entries, entry{rect: r, child: sub, epoch: sub.epoch})
+		n.epoch = minEpoch(n)
+		if len(n.entries) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+		return nil
+	}
+	i := t.chooseSubtree(n, r)
+	child := n.entries[i].child
+	split := t.insertChild(child, sub, r)
+	n.entries[i].rect = n.entries[i].rect.Enlarged(r, t.dims)
+	n.entries[i].epoch = child.epoch
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch})
+	}
+	n.epoch = minEpoch(n)
+	if len(n.entries) > t.maxEntries {
+		return t.splitInternal(n)
+	}
+	return nil
+}
+
+// strPackPoints builds a full STR-packed tree over the given points (all at
+// epoch 0): tile into struct-of-arrays leaves, then pack parent levels until
+// a single root remains. Leaves come from the free list; the upward packing
+// allocates parent entry slices, which become node storage anyway.
+func (t *T) strPackPoints(ids []int64, pos []geom.Vec) *node {
+	n := len(ids)
+	if n == 0 {
+		return t.newNode(true)
+	}
+	if n <= t.maxEntries {
+		nd := t.newNode(true)
+		for i := range ids {
+			t.leafAppend(nd, ids[i], pos[i], 0)
+		}
+		return nd
+	}
+	t.perm = t.perm[:0]
+	for i := 0; i < n; i++ {
+		t.perm = append(t.perm, i)
+	}
+	t.leafBuf = t.leafBuf[:0]
+	t.buildLeaves(ids, pos, t.perm, 0)
+	root := t.packUpward(t.leafBuf)
+	for i := range t.leafBuf {
+		t.leafBuf[i] = nil
+	}
+	t.leafBuf = t.leafBuf[:0]
+	return root
+}
+
+// buildLeaves STR-tiles the points selected by perm into packed
+// struct-of-arrays leaves appended to t.leafBuf: sort the permutation along
+// dim, slice into near-even vertical runs, recurse on the next dimension,
+// and emit evenly-filled leaves on the last one. The even split arithmetic
+// guarantees every produced leaf holds at least maxEntries/2 points whenever
+// the batch exceeds one node, satisfying the minimum-fill invariant.
+func (t *T) buildLeaves(ids []int64, pos []geom.Vec, perm []int, dim int) {
+	t.psort.perm, t.psort.pos, t.psort.dim = perm, pos, dim
+	sort.Sort(&t.psort)
+	t.psort.perm, t.psort.pos = nil, nil
+	if dim == t.dims-1 {
+		num := (len(perm) + t.maxEntries - 1) / t.maxEntries
+		base, extra := len(perm)/num, len(perm)%num
+		start := 0
+		for i := 0; i < num; i++ {
+			size := base
+			if i < extra {
+				size++
+			}
+			nd := t.newNode(true)
+			for _, pi := range perm[start : start+size] {
+				t.leafAppend(nd, ids[pi], pos[pi], 0)
+			}
+			t.leafBuf = append(t.leafBuf, nd)
+			start += size
+		}
+		return
+	}
+	leafCount := (len(perm) + t.maxEntries - 1) / t.maxEntries
+	slices := intSqrtCeil(leafCount)
+	if slices < 1 {
+		slices = 1
+	}
+	perSlice := (len(perm) + slices - 1) / slices
+	for start := 0; start < len(perm); start += perSlice {
+		end := start + perSlice
+		if end > len(perm) {
+			end = len(perm)
+		}
+		t.buildLeaves(ids, pos, perm[start:end], dim+1)
+	}
+}
+
+// packUpward packs a level of nodes into parents until one root remains.
+func (t *T) packUpward(nodes []*node) *node {
+	for len(nodes) > 1 {
+		ents := make([]entry, len(nodes))
+		for i, nd := range nodes {
+			ents[i] = entry{rect: nodeRect(nd, t.dims), child: nd, epoch: nd.epoch}
+		}
+		if len(ents) <= t.maxEntries {
+			root := t.newNode(false)
+			root.entries = append(root.entries, ents...)
 			root.epoch = minEpoch(root)
 			return root
 		}
-		nodes = t.strTile(parents, 0, false)
+		nodes = t.tileEntries(ents, 0, nodes[:0])
 	}
 	return nodes[0]
 }
 
-// strTile sorts entries along dim and slices them into runs, recursively
-// tiling the next dimension, finally emitting packed nodes.
-func (t *T) strTile(entries []entry, dim int, leaf bool) []*node {
-	centerOf := func(e *entry, d int) float64 { return (e.rect.Min[d] + e.rect.Max[d]) / 2 }
-	sort.Slice(entries, func(i, j int) bool {
-		return centerOf(&entries[i], dim) < centerOf(&entries[j], dim)
+// tileEntries STR-tiles parent entries into internal nodes appended to out.
+func (t *T) tileEntries(ents []entry, dim int, out []*node) []*node {
+	sort.Slice(ents, func(i, j int) bool {
+		return ents[i].rect.Min[dim]+ents[i].rect.Max[dim] < ents[j].rect.Min[dim]+ents[j].rect.Max[dim]
 	})
 	if dim == t.dims-1 {
-		var out []*node
-		for _, chunk := range evenChunks(entries, t.maxEntries) {
-			c := make([]entry, len(chunk))
-			copy(c, chunk)
-			n := &node{leaf: leaf, entries: c}
-			n.epoch = minEpoch(n)
-			out = append(out, n)
+		for _, chunk := range evenChunks(ents, t.maxEntries) {
+			nd := t.newNode(false)
+			nd.entries = append(nd.entries, chunk...)
+			nd.epoch = minEpoch(nd)
+			out = append(out, nd)
 		}
 		return out
 	}
 	// Number of vertical slices: S = ceil((N/M)^((D-d-1)/(D-d))) per STR; a
 	// simple square-ish split works well for our low dimensionalities.
-	perSlice := t.maxEntries
-	leafCount := (len(entries) + t.maxEntries - 1) / t.maxEntries
+	leafCount := (len(ents) + t.maxEntries - 1) / t.maxEntries
 	slices := intSqrtCeil(leafCount)
 	if slices < 1 {
 		slices = 1
 	}
-	perSlice = (len(entries) + slices - 1) / slices
-	var out []*node
-	for start := 0; start < len(entries); start += perSlice {
+	perSlice := (len(ents) + slices - 1) / slices
+	for start := 0; start < len(ents); start += perSlice {
 		end := start + perSlice
-		if end > len(entries) {
-			end = len(entries)
+		if end > len(ents) {
+			end = len(ents)
 		}
-		out = append(out, t.strTile(entries[start:end], dim+1, leaf)...)
+		out = t.tileEntries(ents[start:end], dim+1, out)
 	}
 	return out
 }

@@ -11,10 +11,19 @@
 // visited inside the index itself and later searches of the same instance
 // prune whole subtrees — with no reset cost between instances, because a new
 // instance simply draws a larger tick.
+//
+// Leaves use a struct-of-arrays layout: one contiguous float64 coordinate
+// slab plus parallel id and epoch slices, so range searches run a batched
+// distance kernel over linear memory instead of chasing per-entry
+// rectangles. Structural operations (split, condense, bulk tiling) draw all
+// scratch from buffers pooled on T and recycle freed nodes through a free
+// list, making the steady-state write path allocation-free.
 package rtree
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"disc/internal/geom"
 )
@@ -22,6 +31,10 @@ import (
 const (
 	defaultMaxEntries = 32
 	defaultMinEntries = 13 // ~40% fill, Guttman's recommendation
+
+	// maxFreeNodes caps the node free list so a transient shrink cannot pin
+	// an arbitrarily large high-water mark of leaf slabs.
+	maxFreeNodes = 4096
 )
 
 // Stats counts the work performed by the tree since construction or the last
@@ -37,17 +50,33 @@ type Stats struct {
 	EpochPruned int64
 }
 
+// entry is one child slot of an internal node. Leaves do not use entries:
+// their points live in the node's coordinate slab and parallel slices.
 type entry struct {
 	rect  geom.Rect
-	child *node // nil for leaf entries
-	id    int64 // point id, valid for leaf entries
+	child *node
 	epoch uint64
 }
 
+// node is either an internal node (entries populated) or a leaf in
+// struct-of-arrays form: coords holds count×dims float64s with the i-th
+// point at coords[i*dims : (i+1)*dims], and ids/epochs run parallel to it.
 type node struct {
 	leaf    bool
-	entries []entry
-	epoch   uint64 // min over entries' epochs; 0 means "contains unvisited"
+	entries []entry   // internal nodes only
+	coords  []float64 // leaf coordinate slab
+	ids     []int64   // leaf point ids
+	epochs  []uint64  // leaf point epochs
+	epoch   uint64    // min over children/points; 0 means "contains unvisited"
+}
+
+// count returns the node's fill: children for internal nodes, points for
+// leaves.
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.ids)
+	}
+	return len(n.entries)
 }
 
 // T is an R-tree over points of a fixed dimensionality. The zero value is
@@ -61,6 +90,31 @@ type T struct {
 	tick       uint64
 
 	stats Stats
+
+	// free recycles nodes removed by condense/root-shrink back into
+	// splits and bulk tiling; slabs keep their capacity across reuse.
+	free []*node
+
+	// Split scratch: rects of the items being distributed, the undistributed
+	// index worklist, and the two output groups. Splits are not reentrant
+	// (a split never triggers another split of the same node set), so one
+	// set of buffers suffices.
+	splitRects []geom.Rect
+	splitRest  []int
+	groupA     []int
+	groupB     []int
+
+	// Condense scratch: orphaned points awaiting reinsertion. Reinsertion
+	// can split but never re-enter condense, so one set suffices.
+	orphIDs    []int64
+	orphPos    []geom.Vec
+	orphEpochs []uint64
+
+	// Bulk-load scratch: the sort permutation and produced-leaf list for
+	// STR tiling, plus the allocation-free permutation sorter.
+	perm    []int
+	leafBuf []*node
+	psort   pointPermSorter
 }
 
 // New returns an empty R-tree for points with the given number of dimensions
@@ -97,16 +151,84 @@ func (t *T) NextTick() uint64 {
 	return t.tick
 }
 
+// newNode pops a recycled node from the free list (or allocates one) and
+// resets it to an empty node of the requested kind.
+func (t *T) newNode(leaf bool) *node {
+	if k := len(t.free); k > 0 {
+		n := t.free[k-1]
+		t.free[k-1] = nil
+		t.free = t.free[:k-1]
+		n.leaf = leaf
+		return n
+	}
+	return &node{leaf: leaf}
+}
+
+// freeNode empties n and pushes it onto the free list (dropping it instead
+// once the list is full). Callers must have detached n from the tree.
+func (t *T) freeNode(n *node) {
+	for i := range n.entries {
+		n.entries[i].child = nil
+	}
+	n.entries = n.entries[:0]
+	n.coords = n.coords[:0]
+	n.ids = n.ids[:0]
+	n.epochs = n.epochs[:0]
+	n.epoch = 0
+	if len(t.free) < maxFreeNodes {
+		t.free = append(t.free, n)
+	}
+}
+
+// freeTree recycles every node of the subtree rooted at n, children first.
+func (t *T) freeTree(n *node) {
+	if !n.leaf {
+		for i := range n.entries {
+			t.freeTree(n.entries[i].child)
+		}
+	}
+	t.freeNode(n)
+}
+
+// leafAppend adds one point to a leaf's slab and parallel slices.
+func (t *T) leafAppend(n *node, id int64, p geom.Vec, epoch uint64) {
+	n.coords = append(n.coords, p[:t.dims]...)
+	n.ids = append(n.ids, id)
+	n.epochs = append(n.epochs, epoch)
+}
+
+// leafVec materializes the i-th leaf point as a zero-padded Vec.
+func (t *T) leafVec(n *node, i int) geom.Vec {
+	return geom.VecFromSlab(n.coords[i*t.dims : (i+1)*t.dims])
+}
+
+// leafRemove deletes the i-th leaf point, preserving order.
+func (t *T) leafRemove(n *node, i int) {
+	d := t.dims
+	last := len(n.ids) - 1
+	copy(n.coords[i*d:], n.coords[(i+1)*d:])
+	n.coords = n.coords[:last*d]
+	copy(n.ids[i:], n.ids[i+1:])
+	n.ids = n.ids[:last]
+	copy(n.epochs[i:], n.epochs[i+1:])
+	n.epochs = n.epochs[:last]
+}
+
 // Insert adds a point with the given id. Duplicate coordinates and duplicate
 // ids are permitted (the tree is a multiset); Delete removes one matching
 // entry.
 func (t *T) Insert(id int64, p geom.Vec) {
-	e := entry{rect: geom.PointRect(p), id: id}
-	split := t.insert(t.root, e)
-	if split != nil {
+	t.insertPoint(id, p, 0)
+	t.size++
+}
+
+// insertPoint places a point (with an explicit epoch, for orphan
+// reinsertion) into the tree, growing the root on overflow. It does not
+// touch t.size.
+func (t *T) insertPoint(id int64, p geom.Vec, epoch uint64) {
+	if split := t.insertRec(t.root, id, p, epoch); split != nil {
 		t.growRoot(split)
 	}
-	t.size++
 }
 
 func (t *T) height(n *node) int {
@@ -118,28 +240,31 @@ func (t *T) height(n *node) int {
 	return h
 }
 
-// insert places e in the subtree rooted at n and returns a new sibling node
-// if n was split, nil otherwise.
-func (t *T) insert(n *node, e entry) *node {
+// insertRec places the point in the subtree rooted at n and returns a new
+// sibling node if n was split, nil otherwise.
+func (t *T) insertRec(n *node, id int64, p geom.Vec, epoch uint64) *node {
 	if n.leaf {
-		n.entries = append(n.entries, e)
-		n.epoch = 0 // fresh entry is unvisited
-		if len(n.entries) > t.maxEntries {
-			return t.splitNode(n)
+		t.leafAppend(n, id, p, epoch)
+		if len(n.ids) == 1 || epoch < n.epoch {
+			n.epoch = epoch
+		}
+		if len(n.ids) > t.maxEntries {
+			return t.splitLeaf(n)
 		}
 		return nil
 	}
-	i := t.chooseSubtree(n, e.rect)
+	r := geom.PointRect(p)
+	i := t.chooseSubtree(n, r)
 	child := n.entries[i].child
-	split := t.insert(child, e)
-	n.entries[i].rect = n.entries[i].rect.Enlarged(e.rect, t.dims)
+	split := t.insertRec(child, id, p, epoch)
+	n.entries[i].rect = n.entries[i].rect.Enlarged(r, t.dims)
 	n.entries[i].epoch = child.epoch
 	if split != nil {
 		n.entries = append(n.entries, entry{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch})
 	}
 	n.epoch = minEpoch(n)
 	if len(n.entries) > t.maxEntries {
-		return t.splitNode(n)
+		return t.splitInternal(n)
 	}
 	return nil
 }
@@ -161,93 +286,157 @@ func (t *T) chooseSubtree(n *node, r geom.Rect) int {
 	return best
 }
 
-// splitNode performs Guttman's quadratic split on an overfull node in place
-// and returns the newly created sibling.
-func (t *T) splitNode(n *node) *node {
-	entries := n.entries
-	seedA, seedB := t.pickSeeds(entries)
-	groupA := []entry{entries[seedA]}
-	groupB := []entry{entries[seedB]}
-	rectA := entries[seedA].rect
-	rectB := entries[seedB].rect
+// rectScratch returns the pooled rect buffer resized to count.
+func (t *T) rectScratch(count int) []geom.Rect {
+	if cap(t.splitRects) < count {
+		t.splitRects = make([]geom.Rect, count)
+	}
+	t.splitRects = t.splitRects[:count]
+	return t.splitRects
+}
 
-	rest := make([]entry, 0, len(entries)-2)
-	for i, e := range entries {
+// distribute runs Guttman's quadratic split over the count items whose
+// rects occupy t.splitRects[:count], filling t.groupA and t.groupB with the
+// item indices of the two groups. All scratch is pooled on T.
+func (t *T) distribute(count int) {
+	rects := t.splitRects[:count]
+	seedA, seedB := t.pickSeeds(rects)
+	t.groupA = append(t.groupA[:0], seedA)
+	t.groupB = append(t.groupB[:0], seedB)
+	rectA := rects[seedA]
+	rectB := rects[seedB]
+
+	rest := t.splitRest[:0]
+	for i := 0; i < count; i++ {
 		if i != seedA && i != seedB {
-			rest = append(rest, e)
+			rest = append(rest, i)
 		}
 	}
+	defer func() { t.splitRest = rest[:0] }()
 
 	for len(rest) > 0 {
 		// If one group must take all remaining entries to reach minEntries, do so.
-		if len(groupA)+len(rest) == t.minEntries {
-			groupA = append(groupA, rest...)
-			for _, e := range rest {
-				rectA = rectA.Enlarged(e.rect, t.dims)
+		if len(t.groupA)+len(rest) == t.minEntries {
+			for _, i := range rest {
+				t.groupA = append(t.groupA, i)
 			}
-			rest = nil
-			break
+			return
 		}
-		if len(groupB)+len(rest) == t.minEntries {
-			groupB = append(groupB, rest...)
-			for _, e := range rest {
-				rectB = rectB.Enlarged(e.rect, t.dims)
+		if len(t.groupB)+len(rest) == t.minEntries {
+			for _, i := range rest {
+				t.groupB = append(t.groupB, i)
 			}
-			rest = nil
-			break
+			return
 		}
 		// PickNext: entry with maximum preference for one group.
 		bestIdx, bestDiff := 0, -1.0
-		for i, e := range rest {
-			dA := rectA.EnlargementArea(e.rect, t.dims)
-			dB := rectB.EnlargementArea(e.rect, t.dims)
+		for k, i := range rest {
+			dA := rectA.EnlargementArea(rects[i], t.dims)
+			dB := rectB.EnlargementArea(rects[i], t.dims)
 			diff := dA - dB
 			if diff < 0 {
 				diff = -diff
 			}
 			if diff > bestDiff {
-				bestIdx, bestDiff = i, diff
+				bestIdx, bestDiff = k, diff
 			}
 		}
-		e := rest[bestIdx]
+		i := rest[bestIdx]
 		rest[bestIdx] = rest[len(rest)-1]
 		rest = rest[:len(rest)-1]
-		dA := rectA.EnlargementArea(e.rect, t.dims)
-		dB := rectB.EnlargementArea(e.rect, t.dims)
+		dA := rectA.EnlargementArea(rects[i], t.dims)
+		dB := rectB.EnlargementArea(rects[i], t.dims)
 		switch {
 		case dA < dB:
-			groupA = append(groupA, e)
-			rectA = rectA.Enlarged(e.rect, t.dims)
+			t.groupA = append(t.groupA, i)
+			rectA = rectA.Enlarged(rects[i], t.dims)
 		case dB < dA:
-			groupB = append(groupB, e)
-			rectB = rectB.Enlarged(e.rect, t.dims)
+			t.groupB = append(t.groupB, i)
+			rectB = rectB.Enlarged(rects[i], t.dims)
 		case rectA.Area(t.dims) < rectB.Area(t.dims):
-			groupA = append(groupA, e)
-			rectA = rectA.Enlarged(e.rect, t.dims)
-		case len(groupA) <= len(groupB):
-			groupA = append(groupA, e)
-			rectA = rectA.Enlarged(e.rect, t.dims)
+			t.groupA = append(t.groupA, i)
+			rectA = rectA.Enlarged(rects[i], t.dims)
+		case len(t.groupA) <= len(t.groupB):
+			t.groupA = append(t.groupA, i)
+			rectA = rectA.Enlarged(rects[i], t.dims)
 		default:
-			groupB = append(groupB, e)
-			rectB = rectB.Enlarged(e.rect, t.dims)
+			t.groupB = append(t.groupB, i)
+			rectB = rectB.Enlarged(rects[i], t.dims)
 		}
 	}
+}
 
-	n.entries = groupA
+// splitInternal distributes an overfull internal node's children between n
+// and a recycled sibling, returning the sibling.
+func (t *T) splitInternal(n *node) *node {
+	count := len(n.entries)
+	rects := t.rectScratch(count)
+	for i := range n.entries {
+		rects[i] = n.entries[i].rect
+	}
+	t.distribute(count)
+
+	sib := t.newNode(false)
+	for _, i := range t.groupB {
+		sib.entries = append(sib.entries, n.entries[i])
+	}
+	// Compact group A in place. Ascending order guarantees every read index
+	// is at or beyond the write index, so nothing is clobbered.
+	slices.Sort(t.groupA)
+	for j, idx := range t.groupA {
+		if j != idx {
+			n.entries[j] = n.entries[idx]
+		}
+	}
+	for i := len(t.groupA); i < len(n.entries); i++ {
+		n.entries[i].child = nil
+	}
+	n.entries = n.entries[:len(t.groupA)]
 	n.epoch = minEpoch(n)
-	sib := &node{leaf: n.leaf, entries: groupB}
 	sib.epoch = minEpoch(sib)
 	return sib
 }
 
-// pickSeeds returns the two entries wasting the most area if grouped
-// together (Guttman's quadratic PickSeeds).
-func (t *T) pickSeeds(entries []entry) (int, int) {
+// splitLeaf distributes an overfull leaf's points between n and a recycled
+// sibling, returning the sibling.
+func (t *T) splitLeaf(n *node) *node {
+	count := len(n.ids)
+	d := t.dims
+	rects := t.rectScratch(count)
+	for i := 0; i < count; i++ {
+		rects[i] = geom.PointRect(t.leafVec(n, i))
+	}
+	t.distribute(count)
+
+	sib := t.newNode(true)
+	for _, i := range t.groupB {
+		t.leafAppend(sib, n.ids[i], t.leafVec(n, i), n.epochs[i])
+	}
+	slices.Sort(t.groupA)
+	for j, idx := range t.groupA {
+		if j != idx {
+			copy(n.coords[j*d:(j+1)*d], n.coords[idx*d:(idx+1)*d])
+			n.ids[j] = n.ids[idx]
+			n.epochs[j] = n.epochs[idx]
+		}
+	}
+	k := len(t.groupA)
+	n.coords = n.coords[:k*d]
+	n.ids = n.ids[:k]
+	n.epochs = n.epochs[:k]
+	n.epoch = minEpoch(n)
+	sib.epoch = minEpoch(sib)
+	return sib
+}
+
+// pickSeeds returns the two rects wasting the most area if grouped together
+// (Guttman's quadratic PickSeeds).
+func (t *T) pickSeeds(rects []geom.Rect) (int, int) {
 	a, b, worst := 0, 1, -1.0
-	for i := 0; i < len(entries); i++ {
-		for j := i + 1; j < len(entries); j++ {
-			waste := entries[i].rect.Enlarged(entries[j].rect, t.dims).Area(t.dims) -
-				entries[i].rect.Area(t.dims) - entries[j].rect.Area(t.dims)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			waste := rects[i].Enlarged(rects[j], t.dims).Area(t.dims) -
+				rects[i].Area(t.dims) - rects[j].Area(t.dims)
 			if waste > worst {
 				a, b, worst = i, j, waste
 			}
@@ -263,27 +452,40 @@ func (t *T) Delete(id int64, p geom.Vec) bool {
 	if leaf == nil {
 		return false
 	}
-	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.leafRemove(leaf, idx)
 	leaf.epoch = minEpoch(leaf)
 	t.condense(leaf, p)
 	t.size--
 	// Shrink the root while it is an internal node with a single child, and
 	// reset to an empty leaf if everything was orphaned away.
 	for !t.root.leaf && len(t.root.entries) == 1 {
-		t.root = t.root.entries[0].child
+		old := t.root
+		t.root = old.entries[0].child
+		t.freeNode(old)
 	}
 	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node{leaf: true}
+		t.root.leaf = true
 	}
 	return true
 }
 
-// findLeaf locates the leaf containing (id, p), returning the leaf and entry
+// findLeaf locates the leaf containing (id, p), returning the leaf and point
 // index, or (nil, 0) if absent.
 func (t *T) findLeaf(n *node, id int64, p geom.Vec) (*node, int) {
 	if n.leaf {
-		for i, e := range n.entries {
-			if e.id == id && e.rect.Min == p {
+		d := t.dims
+		for i, eid := range n.ids {
+			if eid != id {
+				continue
+			}
+			match := true
+			for k := 0; k < d; k++ {
+				if n.coords[i*d+k] != p[k] {
+					match = false
+					break
+				}
+			}
+			if match {
 				return n, i
 			}
 		}
@@ -302,24 +504,25 @@ func (t *T) findLeaf(n *node, id int64, p geom.Vec) (*node, int) {
 // condense walks from the root to the leaf that lost an entry, removing
 // underfull nodes and reinserting the points of their subtrees, and
 // tightening bounding rectangles along the path (Guttman's CondenseTree,
-// with orphaned subtrees reinserted as points for simplicity).
+// with orphaned subtrees reinserted as points for simplicity). Orphan
+// buffers are pooled on T: reinsertion can split but never re-enters
+// condense.
 func (t *T) condense(target *node, p geom.Vec) {
-	var orphans []entry
-	t.condenseRec(t.root, target, p, &orphans)
-	// Orphaned points were never subtracted from t.size, and t.insert does
-	// not add to it, so reinsertion keeps the count consistent.
-	for _, e := range orphans {
-		split := t.insert(t.root, e)
-		if split != nil {
-			t.growRoot(split)
-		}
+	t.orphIDs = t.orphIDs[:0]
+	t.orphPos = t.orphPos[:0]
+	t.orphEpochs = t.orphEpochs[:0]
+	t.condenseRec(t.root, target, p)
+	// Orphaned points were never subtracted from t.size, and insertPoint
+	// does not add to it, so reinsertion keeps the count consistent.
+	for i := range t.orphIDs {
+		t.insertPoint(t.orphIDs[i], t.orphPos[i], t.orphEpochs[i])
 	}
 }
 
 // condenseRec returns true if the subtree rooted at n contains target (so
 // ancestors adjust rects) and prunes underfull children, collecting their
-// point entries into orphans.
-func (t *T) condenseRec(n *node, target *node, p geom.Vec, orphans *[]entry) bool {
+// points into the pooled orphan buffers and recycling their nodes.
+func (t *T) condenseRec(n, target *node, p geom.Vec) bool {
 	if n == target {
 		return true
 	}
@@ -331,13 +534,15 @@ func (t *T) condenseRec(n *node, target *node, p geom.Vec, orphans *[]entry) boo
 		if !e.rect.Contains(p, t.dims) {
 			continue
 		}
-		if !t.condenseRec(e.child, target, p, orphans) {
+		if !t.condenseRec(e.child, target, p) {
 			continue
 		}
 		child := e.child
-		if len(child.entries) < t.minEntries {
-			collectLeafEntries(child, orphans)
+		if child.count() < t.minEntries {
+			t.collectLeafPoints(child)
+			t.freeTree(child)
 			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			n.entries[:cap(n.entries)][len(n.entries)].child = nil
 		} else {
 			e.rect = nodeRect(child, t.dims)
 			e.epoch = child.epoch
@@ -350,27 +555,52 @@ func (t *T) condenseRec(n *node, target *node, p geom.Vec, orphans *[]entry) boo
 
 func (t *T) growRoot(split *node) {
 	oldRoot := t.root
-	t.root = &node{
-		leaf: false,
-		entries: []entry{
-			{rect: nodeRect(oldRoot, t.dims), child: oldRoot, epoch: oldRoot.epoch},
-			{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch},
-		},
-	}
-	t.root.epoch = minEpoch(t.root)
+	nr := t.newNode(false)
+	nr.entries = append(nr.entries,
+		entry{rect: nodeRect(oldRoot, t.dims), child: oldRoot, epoch: oldRoot.epoch},
+		entry{rect: nodeRect(split, t.dims), child: split, epoch: split.epoch})
+	nr.epoch = minEpoch(nr)
+	t.root = nr
 }
 
-func collectLeafEntries(n *node, out *[]entry) {
+// collectLeafPoints appends every point of the subtree rooted at n to the
+// pooled orphan buffers.
+func (t *T) collectLeafPoints(n *node) {
 	if n.leaf {
-		*out = append(*out, n.entries...)
+		for i := range n.ids {
+			t.orphIDs = append(t.orphIDs, n.ids[i])
+			t.orphPos = append(t.orphPos, t.leafVec(n, i))
+			t.orphEpochs = append(t.orphEpochs, n.epochs[i])
+		}
 		return
 	}
-	for _, e := range n.entries {
-		collectLeafEntries(e.child, out)
+	for i := range n.entries {
+		t.collectLeafPoints(n.entries[i].child)
 	}
 }
 
+// nodeRect computes the tight bounding rectangle of a non-empty node.
 func nodeRect(n *node, dims int) geom.Rect {
+	if n.leaf {
+		var r geom.Rect
+		for d := 0; d < dims; d++ {
+			r.Min[d] = n.coords[d]
+			r.Max[d] = n.coords[d]
+		}
+		for i := 1; i < len(n.ids); i++ {
+			base := i * dims
+			for d := 0; d < dims; d++ {
+				c := n.coords[base+d]
+				if c < r.Min[d] {
+					r.Min[d] = c
+				}
+				if c > r.Max[d] {
+					r.Max[d] = c
+				}
+			}
+		}
+		return r
+	}
 	r := n.entries[0].rect
 	for _, e := range n.entries[1:] {
 		r = r.Enlarged(e.rect, dims)
@@ -378,7 +608,21 @@ func nodeRect(n *node, dims int) geom.Rect {
 	return r
 }
 
+// minEpoch returns the minimum epoch over a node's children or points
+// (0 for an empty node).
 func minEpoch(n *node) uint64 {
+	if n.leaf {
+		if len(n.epochs) == 0 {
+			return 0
+		}
+		m := n.epochs[0]
+		for _, e := range n.epochs[1:] {
+			if e < m {
+				m = e
+			}
+		}
+		return m
+	}
 	if len(n.entries) == 0 {
 		return 0
 	}
@@ -401,18 +645,24 @@ func (t *T) SearchBall(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bo
 
 func (t *T) searchBall(n *node, c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) bool {
 	t.stats.NodeAccesses++
+	if n.leaf {
+		d := t.dims
+		eps2 := eps * eps
+		for i, base := 0, 0; i < len(n.ids); i, base = i+1, base+d {
+			if geom.Dist2Slab(n.coords[base:], c, d) <= eps2 {
+				if !fn(n.ids[i], t.leafVec(n, i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !e.rect.IntersectsBall(c, t.dims, eps) {
 			continue
 		}
-		if n.leaf {
-			if geom.WithinEps(e.rect.Min, c, t.dims, eps) {
-				if !fn(e.id, e.rect.Min) {
-					return false
-				}
-			}
-		} else if !t.searchBall(e.child, c, eps, fn) {
+		if !t.searchBall(e.child, c, eps, fn) {
 			return false
 		}
 	}
@@ -422,9 +672,9 @@ func (t *T) searchBall(n *node, c geom.Vec, eps float64, fn func(id int64, p geo
 // SearchBallRO is SearchBall without statistics accounting: it performs no
 // writes to the tree whatsoever, so any number of SearchBallRO calls may run
 // concurrently (with each other and with SearchBall-free readers) as long as
-// no mutation — Insert, Delete, BulkLoad, SearchBallEpoch — is in flight. It
-// returns the number of nodes the traversal touched so callers can fold the
-// work into their own counters.
+// no mutation — Insert, Delete, BulkLoad, BulkInsert, SearchBallEpoch — is in
+// flight. It returns the number of nodes the traversal touched so callers can
+// fold the work into their own counters.
 func (t *T) SearchBallRO(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool) (nodes int64) {
 	t.searchBallRO(t.root, c, eps, fn, &nodes)
 	return nodes
@@ -432,18 +682,24 @@ func (t *T) SearchBallRO(c geom.Vec, eps float64, fn func(id int64, p geom.Vec) 
 
 func (t *T) searchBallRO(n *node, c geom.Vec, eps float64, fn func(id int64, p geom.Vec) bool, nodes *int64) bool {
 	*nodes++
+	if n.leaf {
+		d := t.dims
+		eps2 := eps * eps
+		for i, base := 0, 0; i < len(n.ids); i, base = i+1, base+d {
+			if geom.Dist2Slab(n.coords[base:], c, d) <= eps2 {
+				if !fn(n.ids[i], t.leafVec(n, i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !e.rect.IntersectsBall(c, t.dims, eps) {
 			continue
 		}
-		if n.leaf {
-			if geom.WithinEps(e.rect.Min, c, t.dims, eps) {
-				if !fn(e.id, e.rect.Min) {
-					return false
-				}
-			}
-		} else if !t.searchBallRO(e.child, c, eps, fn, nodes) {
+		if !t.searchBallRO(e.child, c, eps, fn, nodes) {
 			return false
 		}
 	}
@@ -458,18 +714,23 @@ func (t *T) SearchRect(r geom.Rect, fn func(id int64, p geom.Vec) bool) bool {
 
 func (t *T) searchRect(n *node, r geom.Rect, fn func(id int64, p geom.Vec) bool) bool {
 	t.stats.NodeAccesses++
+	if n.leaf {
+		for i := range n.ids {
+			p := t.leafVec(n, i)
+			if r.Contains(p, t.dims) {
+				if !fn(n.ids[i], p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for i := range n.entries {
 		e := &n.entries[i]
 		if !e.rect.Intersects(r, t.dims) {
 			continue
 		}
-		if n.leaf {
-			if r.Contains(e.rect.Min, t.dims) {
-				if !fn(e.id, e.rect.Min) {
-					return false
-				}
-			}
-		} else if !t.searchRect(e.child, r, fn) {
+		if !t.searchRect(e.child, r, fn) {
 			return false
 		}
 	}
@@ -493,6 +754,24 @@ func (t *T) SearchBallEpoch(c geom.Vec, eps float64, tick uint64, fn func(id int
 func (t *T) searchBallEpoch(n *node, c geom.Vec, eps float64, tick uint64, fn func(id int64, p geom.Vec) bool) bool {
 	t.stats.NodeAccesses++
 	changed := false
+	if n.leaf {
+		d := t.dims
+		eps2 := eps * eps
+		for i, base := 0, 0; i < len(n.ids); i, base = i+1, base+d {
+			if n.epochs[i] >= tick {
+				t.stats.EpochPruned++
+				continue
+			}
+			if geom.Dist2Slab(n.coords[base:], c, d) <= eps2 && fn(n.ids[i], t.leafVec(n, i)) {
+				n.epochs[i] = tick
+				changed = true
+			}
+		}
+		if changed {
+			n.epoch = minEpoch(n)
+		}
+		return changed
+	}
 	for i := range n.entries {
 		e := &n.entries[i]
 		if e.epoch >= tick {
@@ -502,12 +781,7 @@ func (t *T) searchBallEpoch(n *node, c geom.Vec, eps float64, tick uint64, fn fu
 		if !e.rect.IntersectsBall(c, t.dims, eps) {
 			continue
 		}
-		if n.leaf {
-			if geom.WithinEps(e.rect.Min, c, t.dims, eps) && fn(e.id, e.rect.Min) {
-				e.epoch = tick
-				changed = true
-			}
-		} else if t.searchBallEpoch(e.child, c, eps, tick, fn) {
+		if t.searchBallEpoch(e.child, c, eps, tick, fn) {
 			e.epoch = e.child.epoch
 			changed = true
 		}
@@ -534,14 +808,24 @@ func (t *T) checkInvariants() error {
 }
 
 func (t *T) check(n *node, isRoot bool) error {
-	if !isRoot && (len(n.entries) < t.minEntries || len(n.entries) > t.maxEntries) {
-		return fmt.Errorf("node fill %d outside [%d,%d]", len(n.entries), t.minEntries, t.maxEntries)
+	if !isRoot && (n.count() < t.minEntries || n.count() > t.maxEntries) {
+		return fmt.Errorf("node fill %d outside [%d,%d]", n.count(), t.minEntries, t.maxEntries)
 	}
-	if len(n.entries) > 0 && n.epoch != minEpoch(n) {
+	if n.count() > 0 && n.epoch != minEpoch(n) {
 		return fmt.Errorf("node epoch %d != min entry epoch %d", n.epoch, minEpoch(n))
 	}
 	if n.leaf {
+		if len(n.coords) != len(n.ids)*t.dims || len(n.epochs) != len(n.ids) {
+			return fmt.Errorf("leaf slab lengths inconsistent: %d coords, %d ids, %d epochs",
+				len(n.coords), len(n.ids), len(n.epochs))
+		}
+		if len(n.entries) != 0 {
+			return fmt.Errorf("leaf with %d internal entries", len(n.entries))
+		}
 		return nil
+	}
+	if len(n.ids) != 0 || len(n.coords) != 0 || len(n.epochs) != 0 {
+		return fmt.Errorf("internal node carries leaf slabs")
 	}
 	h := -1
 	for _, e := range n.entries {
@@ -566,3 +850,20 @@ func (t *T) check(n *node, isRoot bool) error {
 	}
 	return nil
 }
+
+// pointPermSorter sorts a permutation of point indices by one coordinate.
+// It lives on T and is driven through sort.Sort with a pointer receiver, so
+// repeated tiling sorts allocate nothing.
+type pointPermSorter struct {
+	perm []int
+	pos  []geom.Vec
+	dim  int
+}
+
+func (s *pointPermSorter) Len() int { return len(s.perm) }
+func (s *pointPermSorter) Less(i, j int) bool {
+	return s.pos[s.perm[i]][s.dim] < s.pos[s.perm[j]][s.dim]
+}
+func (s *pointPermSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+
+var _ sort.Interface = (*pointPermSorter)(nil)

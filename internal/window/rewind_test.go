@@ -197,6 +197,120 @@ func TestRewindMisusePanics(t *testing.T) {
 	expectPanic("nil rewind", func() { s.Rewind(nil) })
 }
 
+// TestRewindForgetsTriggerBothBranches: Rewind must release the triggering
+// point's residency count in BOTH the cold (initial-fill) and warm
+// (steady-stride) branches — a forget applied in only one branch would make
+// Contains report the rejected id resident forever, so a consumer running
+// the documented duplicate check could never re-send a corrected point
+// under the same id. The re-push must then reproduce the identical step.
+func TestRewindForgetsTriggerBothBranches(t *testing.T) {
+	// Cold branch: the rewound fill trigger must be re-sendable.
+	s, err := NewCountSlider(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 3; id++ {
+		s.Push(pt(id))
+	}
+	first := s.Push(pt(3))
+	if first == nil {
+		t.Fatal("no fill step")
+	}
+	wantIn := append([]model.Point(nil), first.In...)
+	s.Rewind(first)
+	if s.Contains(3) {
+		t.Fatal("cold branch: rewound trigger id 3 still resident")
+	}
+	second := s.Push(pt(3)) // same id re-sent
+	if second == nil {
+		t.Fatal("re-sent trigger did not complete the fill")
+	}
+	if !reflect.DeepEqual(second.In, wantIn) {
+		t.Fatalf("re-sent fill step In = %v, want %v", second.In, wantIn)
+	}
+
+	// Warm branch: same contract for a steady-state stride.
+	for id := int64(4); id < 5; id++ {
+		s.Push(pt(id))
+	}
+	step := s.Push(pt(5))
+	if step == nil {
+		t.Fatal("no stride step")
+	}
+	wantIn = append(wantIn[:0:0], step.In...)
+	wantOut := append([]model.Point(nil), step.Out...)
+	s.Rewind(step)
+	if s.Contains(5) {
+		t.Fatal("warm branch: rewound trigger id 5 still resident")
+	}
+	redo := s.Push(pt(5))
+	if redo == nil {
+		t.Fatal("re-sent stride trigger did not complete the stride")
+	}
+	if !reflect.DeepEqual(redo.In, wantIn) || !reflect.DeepEqual(redo.Out, wantOut) {
+		t.Fatalf("re-sent stride step in=%v out=%v, want in=%v out=%v",
+			redo.In, redo.Out, wantIn, wantOut)
+	}
+}
+
+// TestRewindDuplicateIDCounts: present is a count map precisely so that
+// duplicate ids survive Rewind's bookkeeping. Two scenarios where the
+// trigger's id collides with another resident copy: the trigger duplicates
+// a departing window point, and the trigger duplicates a pending arrival.
+// In both, Rewind must restore the exact pre-Push residency — decrementing
+// the trigger's copy without erasing the survivor's.
+func TestRewindDuplicateIDCounts(t *testing.T) {
+	ids := []int64{1, 2, 3, 4, 5, 9}
+
+	// Trigger id 1 duplicates window-resident (and departing) point 1.
+	s, _ := NewCountSlider(4, 2)
+	for id := int64(1); id <= 4; id++ {
+		s.Push(pt(id))
+	}
+	s.Push(pt(5))
+	preWin, prePend, prePresent := cloneState(s, ids)
+	step := s.Push(pt(1))
+	if step == nil || step.Out[0].ID != 1 {
+		t.Fatalf("expected a stride departing id 1, got %+v", step)
+	}
+	s.Rewind(step)
+	win, pend, present := cloneState(s, ids)
+	if !reflect.DeepEqual(win, preWin) || !reflect.DeepEqual(pend, prePend) {
+		t.Fatalf("state after duplicate-of-departure rewind: win=%v pend=%v, want win=%v pend=%v",
+			win, pend, preWin, prePend)
+	}
+	if !reflect.DeepEqual(present, prePresent) {
+		t.Fatalf("residency after duplicate-of-departure rewind %v, want %v", present, prePresent)
+	}
+	if !s.Contains(1) {
+		t.Fatal("surviving window copy of id 1 lost its residency")
+	}
+
+	// Trigger id 9 duplicates the pending arrival 9.
+	s2, _ := NewCountSlider(4, 2)
+	for id := int64(1); id <= 4; id++ {
+		s2.Push(pt(id))
+	}
+	s2.Push(pt(9))
+	pre2Win, pre2Pend, pre2Present := cloneState(s2, ids)
+	step2 := s2.Push(pt(9))
+	if step2 == nil {
+		t.Fatal("duplicate pending push did not trigger a stride")
+	}
+	s2.Rewind(step2)
+	win2, pend2, present2 := cloneState(s2, ids)
+	if !reflect.DeepEqual(win2, pre2Win) || !reflect.DeepEqual(pend2, pre2Pend) {
+		t.Fatalf("state after duplicate-of-pending rewind: win=%v pend=%v, want win=%v pend=%v",
+			win2, pend2, pre2Win, pre2Pend)
+	}
+	if !reflect.DeepEqual(present2, pre2Present) {
+		t.Fatalf("residency after duplicate-of-pending rewind %v, want %v", present2, pre2Present)
+	}
+	if !s2.Contains(9) {
+		t.Fatal("surviving pending copy of id 9 lost its residency")
+	}
+}
+
 // TestContainsTracksResidency: Contains covers window and pending points
 // and expires with eviction.
 func TestContainsTracksResidency(t *testing.T) {
