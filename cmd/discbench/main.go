@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"disc/internal/bench"
+	"disc/internal/trace"
 )
 
 func main() {
@@ -39,6 +40,10 @@ func main() {
 	csvPath := flag.String("csv", "", "also export every measured row to this CSV file")
 	jsonPath := flag.String("json", "BENCH_disc.json", "write the JSON throughput summary here (empty disables)")
 	strideLogPath := flag.String("stridelog", "", "write one JSON record per measured DISC stride to this JSONL file")
+	traceSlow := flag.Duration("traceslow", 0,
+		"record span trees for measured DISC strides, retaining those slower than this threshold (0 disables tracing)")
+	traceDump := flag.String("tracedump", "",
+		"write retained slow traces as JSON to this file after the run (requires -traceslow)")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -61,6 +66,15 @@ func main() {
 		defer f.Close()
 		strideLog = bench.NewStrideLogger(f)
 		opts.StrideLog = strideLog
+	}
+
+	var tracer *trace.Tracer
+	if *traceSlow > 0 {
+		tracer = trace.NewTracer(trace.Config{SlowThreshold: *traceSlow})
+		opts.Tracer = tracer
+		if strideLog != nil {
+			strideLog.SetTraceThreshold(*traceSlow)
+		}
 	}
 
 	var allRows []bench.Row
@@ -111,6 +125,20 @@ func main() {
 	}
 	if strideLog != nil {
 		fmt.Printf("\n%d stride records logged to %s\n", strideLog.Lines(), *strideLogPath)
+	}
+	if tracer != nil && *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteJSON(f, true); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nslow traces (total > %v) dumped to %s\n", *traceSlow, *traceDump)
 	}
 	if *jsonPath != "" {
 		var lat *bench.LatencySummary

@@ -38,6 +38,7 @@ import (
 
 	"disc/internal/model"
 	"disc/internal/server"
+	"disc/internal/trace"
 )
 
 type config struct {
@@ -50,6 +51,18 @@ type config struct {
 	readers  int
 	duration time.Duration
 	batch    int
+	slowest  int
+}
+
+// endpointKinds names the request kinds latencies are bucketed by: the
+// four GET endpoints plus the ingest POST.
+var endpointKinds = []string{"clusters", "points", "events", "stats", "ingest"}
+
+// slowReq remembers one slow ingest POST and the traceparent it was sent
+// with, so its recorded span tree can be looked up at GET /debug/traces.
+type slowReq struct {
+	dur     time.Duration
+	traceID string
 }
 
 // results aggregates one run. Violations counts responses whose stride
@@ -61,7 +74,9 @@ type results struct {
 	writes     uint64
 	strides    uint64
 	maxLag     uint64
-	latencies  []time.Duration // merged, sorted ascending
+	latencies  []time.Duration            // merged reads, sorted ascending
+	perKind    map[string][]time.Duration // per-endpoint, sorted ascending
+	slowest    []slowReq                  // N slowest ingest POSTs, slowest first
 	elapsed    time.Duration
 }
 
@@ -92,6 +107,7 @@ func bindFlags(fs *flag.FlagSet, cfg *config) {
 	fs.IntVar(&cfg.readers, "readers", 8, "concurrent query goroutines")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
 	fs.IntVar(&cfg.batch, "batch", 100, "points per ingest POST")
+	fs.IntVar(&cfg.slowest, "slowest", 5, "ingest requests to report trace ids for (slowest first)")
 }
 
 // run executes one load-generation session and returns the aggregated
@@ -103,6 +119,9 @@ func run(cfg config) (*results, error) {
 			Cluster: model.Config{Dims: cfg.dims, Eps: cfg.eps, MinPts: cfg.minPts},
 			Window:  cfg.window,
 			Stride:  cfg.stride,
+			// Record ingest traces so the trace ids this run reports are
+			// resolvable at /debug/traces in the zero-setup mode too.
+			Tracing: &server.TraceConfig{SlowThreshold: 250 * time.Millisecond},
 		})
 		if err != nil {
 			return nil, err
@@ -126,24 +145,36 @@ func run(cfg config) (*results, error) {
 	}
 
 	var (
-		res       results
-		latestID  atomic.Int64  // upper bound of ingested ids, for /points probes
-		strides   atomic.Uint64 // newest stride the writer has observed
-		maxLag    atomic.Uint64
-		stop      = make(chan struct{})
-		wg        sync.WaitGroup
-		latMu     sync.Mutex
-		latMerged []time.Duration
+		res        results
+		latestID   atomic.Int64  // upper bound of ingested ids, for /points probes
+		strides    atomic.Uint64 // newest stride the writer has observed
+		maxLag     atomic.Uint64
+		stop       = make(chan struct{})
+		wg         sync.WaitGroup
+		latMu      sync.Mutex
+		latMerged  []time.Duration
+		kindMerged = map[string][]time.Duration{}
 	)
 
 	// Writer: monotonic ids, two Gaussian blobs — the same synthetic shape
-	// the server tests cluster on, so the census stays non-trivial.
+	// the server tests cluster on, so the census stays non-trivial. Every
+	// POST carries a fresh W3C traceparent; the N slowest requests are
+	// reported with their trace ids so their recorded span trees can be
+	// pulled from GET /debug/traces after the run.
 	wg.Add(1)
 	writerErr := make(chan error, 1)
 	go func() {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 		id := int64(0)
+		ingestLat := make([]time.Duration, 0, 4096)
+		var slow []slowReq
+		defer func() {
+			latMu.Lock()
+			kindMerged["ingest"] = append(kindMerged["ingest"], ingestLat...)
+			res.slowest = slow
+			latMu.Unlock()
+		}()
 		for {
 			select {
 			case <-stop:
@@ -161,7 +192,22 @@ func run(cfg config) (*results, error) {
 				id++
 			}
 			body, _ := json.Marshal(batch)
-			resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+			ctx := trace.SpanContext{TraceID: trace.NewTraceID(), SpanID: 1}
+			req, err := http.NewRequest(http.MethodPost, base+"/ingest", bytes.NewReader(body))
+			if err != nil {
+				select {
+				case writerErr <- fmt.Errorf("ingest: %w", err):
+				default:
+				}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("traceparent", trace.FormatTraceparent(ctx))
+			start := time.Now()
+			resp, err := client.Do(req)
+			dur := time.Since(start)
+			ingestLat = append(ingestLat, dur)
+			slow = insertSlow(slow, slowReq{dur: dur, traceID: ctx.TraceID.String()}, cfg.slowest)
 			if err != nil {
 				select {
 				case writerErr <- fmt.Errorf("ingest: %w", err):
@@ -193,18 +239,24 @@ func run(cfg config) (*results, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			lat := make([]time.Duration, 0, 4096)
+			var kindLat [4][]time.Duration
 			for {
 				select {
 				case <-stop:
 					latMu.Lock()
 					latMerged = append(latMerged, lat...)
+					for k := range kindLat {
+						kindMerged[endpointKinds[k]] = append(kindMerged[endpointKinds[k]], kindLat[k]...)
+					}
 					latMu.Unlock()
 					return
 				default:
 				}
 				start := time.Now()
-				ok, served := doRead(client, base, rng, latestID.Load(), &res)
-				lat = append(lat, time.Since(start))
+				ok, served, kind := doRead(client, base, rng, latestID.Load(), &res)
+				d := time.Since(start)
+				lat = append(lat, d)
+				kindLat[kind] = append(kindLat[kind], d)
 				if ok {
 					if newest := strides.Load(); newest > served {
 						lag := newest - served
@@ -236,13 +288,33 @@ func run(cfg config) (*results, error) {
 	res.maxLag = maxLag.Load()
 	sort.Slice(latMerged, func(i, j int) bool { return latMerged[i] < latMerged[j] })
 	res.latencies = latMerged
+	for _, lats := range kindMerged {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	}
+	res.perKind = kindMerged
 	return &res, nil
 }
 
+// insertSlow keeps the n slowest requests, slowest first.
+func insertSlow(slow []slowReq, r slowReq, n int) []slowReq {
+	if n <= 0 {
+		return slow
+	}
+	i := sort.Search(len(slow), func(i int) bool { return slow[i].dur < r.dur })
+	slow = append(slow, slowReq{})
+	copy(slow[i+1:], slow[i:])
+	slow[i] = r
+	if len(slow) > n {
+		slow = slow[:n]
+	}
+	return slow
+}
+
 // doRead issues one randomly chosen GET and checks its internal
-// consistency. It returns whether the read succeeded and the stride the
-// response was served at (0 when the endpoint carries no stride header).
-func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *results) (bool, uint64) {
+// consistency. It returns whether the read succeeded, the stride the
+// response was served at (0 when the endpoint carries no stride header),
+// and the endpoint kind (an index into endpointKinds).
+func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *results) (bool, uint64, int) {
 	var url string
 	kind := rng.Intn(4)
 	switch kind {
@@ -262,7 +334,7 @@ func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *
 	resp, err := client.Get(url)
 	if err != nil {
 		atomic.AddUint64(&res.readErrors, 1)
-		return false, 0
+		return false, 0, kind
 	}
 	defer resp.Body.Close()
 	atomic.AddUint64(&res.reads, 1)
@@ -280,7 +352,7 @@ func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil || resp.StatusCode != http.StatusOK {
 			atomic.AddUint64(&res.readErrors, 1)
-			return false, served
+			return false, served, kind
 		}
 		total := cr.Noise
 		for _, c := range cr.Clusters {
@@ -297,7 +369,7 @@ func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != http.StatusOK {
 			atomic.AddUint64(&res.readErrors, 1)
-			return false, served
+			return false, served, kind
 		}
 		if sr.Stats.Strides != served {
 			atomic.AddUint64(&res.violations, 1)
@@ -306,10 +378,10 @@ func doRead(client *http.Client, base string, rng *rand.Rand, maxID int64, res *
 		io.Copy(io.Discard, resp.Body)
 		if resp.StatusCode != http.StatusOK && !(kind == 1 && resp.StatusCode == http.StatusNotFound) {
 			atomic.AddUint64(&res.readErrors, 1)
-			return false, served
+			return false, served, kind
 		}
 	}
-	return true, served
+	return true, served, kind
 }
 
 // ingestPoint mirrors the server's wire form.
@@ -336,6 +408,24 @@ func report(w io.Writer, cfg config, res *results) {
 		quantile(res.latencies, 0.95).Round(time.Microsecond),
 		quantile(res.latencies, 0.99).Round(time.Microsecond),
 		quantile(res.latencies, 1.0).Round(time.Microsecond))
+	for _, kind := range endpointKinds {
+		lats := res.perKind[kind]
+		if len(lats) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "discload:   %-8s n=%-7d p50=%v p95=%v p99=%v max=%v\n",
+			kind, len(lats),
+			quantile(lats, 0.50).Round(time.Microsecond),
+			quantile(lats, 0.95).Round(time.Microsecond),
+			quantile(lats, 0.99).Round(time.Microsecond),
+			quantile(lats, 1.0).Round(time.Microsecond))
+	}
+	if len(res.slowest) > 0 {
+		fmt.Fprintln(w, "discload: slowest ingest requests (GET /debug/traces?trace=<id>):")
+		for _, s := range res.slowest {
+			fmt.Fprintf(w, "discload:   %-12v trace=%s\n", s.dur.Round(time.Microsecond), s.traceID)
+		}
+	}
 	fmt.Fprintf(w, "discload: max served-stride lag %d, consistency violations %d, read errors %d\n",
 		res.maxLag, res.violations, res.readErrors)
 	if res.violations > 0 {

@@ -13,12 +13,27 @@ func TestRunSmoke(t *testing.T) {
 		dims: 2, eps: 2, minPts: 4,
 		window: 1000, stride: 100,
 		readers: 4, duration: 1500 * time.Millisecond, batch: 50,
+		slowest: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.reads == 0 {
 		t.Fatal("no reads completed")
+	}
+	if len(res.perKind["ingest"]) == 0 {
+		t.Fatal("no per-endpoint ingest latencies recorded")
+	}
+	if len(res.slowest) == 0 || len(res.slowest) > 3 {
+		t.Fatalf("slowest tracking returned %d entries, want 1..3", len(res.slowest))
+	}
+	for i, s := range res.slowest {
+		if len(s.traceID) != 32 {
+			t.Fatalf("slowest[%d] trace id %q is not 32 hex chars", i, s.traceID)
+		}
+		if i > 0 && s.dur > res.slowest[i-1].dur {
+			t.Fatalf("slowest not ordered: %v after %v", s.dur, res.slowest[i-1].dur)
+		}
 	}
 	if res.writes == 0 || res.strides == 0 {
 		t.Fatalf("writer made no progress: writes=%d strides=%d", res.writes, res.strides)

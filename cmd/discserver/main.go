@@ -25,9 +25,11 @@
 //	GET  /metrics       Prometheus text exposition (per-stride histograms)
 //	GET  /debug/vars    expvar JSON (registry published as "disc")
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//	GET  /debug/traces  recorded ingest span trees (only with -trace)
 //	GET  /checkpoint    binary service checkpoint (engine + window position)
 //	POST /checkpoint    restore from a checkpoint and resume the stream
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 until recovery resolves / while backlogged)
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // (including a final checkpoint download or metrics scrape) get up to
@@ -42,8 +44,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -52,6 +55,7 @@ import (
 	"disc/internal/model"
 	"disc/internal/obs"
 	"disc/internal/server"
+	"disc/internal/trace"
 )
 
 func main() {
@@ -67,28 +71,51 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 20, "checkpoint every N strides")
 	ckptMax := flag.Int64("checkpoint-max-bytes", server.DefaultMaxCheckpointBytes,
 		"largest checkpoint accepted on restore (POST /checkpoint and recovery)")
+	traceOn := flag.Bool("trace", true, "record ingest span trees and serve GET /debug/traces")
+	traceRecent := flag.Int("trace-recent", trace.DefRecent, "traces retained in the recent ring")
+	traceSlow := flag.Int("trace-slow", trace.DefSlow, "slow traces retained in the slow ring")
+	traceSlowAt := flag.Duration("trace-slow-threshold", 250*time.Millisecond,
+		"ingest latency beyond which a trace is retained in the slow ring")
+	readyHW := flag.Int("ready-high-water", 0,
+		"GET /readyz reports 503 while the slider backlog exceeds this many points (0 = disabled)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	var tc *server.TraceConfig
+	if *traceOn {
+		tc = &server.TraceConfig{Recent: *traceRecent, Slow: *traceSlow, SlowThreshold: *traceSlowAt}
+	}
 	srv, err := server.New(server.Config{
 		Cluster:            model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
 		Window:             *win,
 		Stride:             *stride,
 		EnablePprof:        *pprofOn,
 		MaxCheckpointBytes: *ckptMax,
+		Tracing:            tc,
+		StartNotReady:      *ckptDir != "",
+		ReadyHighWater:     *readyHW,
 	})
 	if err != nil {
-		log.Fatalf("discserver: %v", err)
+		fatal("discserver: invalid configuration", "err", err)
 	}
 
 	// Durable checkpointing: recover before serving, then checkpoint in the
-	// background every -checkpoint-every strides.
+	// background every -checkpoint-every strides. The server starts
+	// not-ready in this mode and flips ready only once recovery resolves,
+	// so a load balancer probing /readyz never routes to a window that is
+	// about to be replaced by a restore.
 	var runner *ckpt.Runner
 	runnerDone := make(chan struct{})
 	if *ckptDir != "" {
 		store, err := ckpt.Open(*ckptDir,
-			ckpt.WithMaxPayload(*ckptMax), ckpt.WithStoreLogf(log.Printf))
+			ckpt.WithMaxPayload(*ckptMax), ckpt.WithStoreLogger(logger))
 		if err != nil {
-			log.Fatalf("discserver: %v", err)
+			fatal("discserver: opening checkpoint store", "dir", *ckptDir, "err", err)
 		}
 		payload, gen, err := store.Recover()
 		switch {
@@ -99,20 +126,22 @@ func main() {
 				// restore (wrong config, wrong schema) is an operator error;
 				// starting fresh would silently discard the window they meant
 				// to keep.
-				log.Fatalf("discserver: checkpoint generation %d does not restore: %v", gen, err)
+				fatal("discserver: checkpoint does not restore", "generation", gen, "err", err)
 			}
-			log.Printf("discserver: recovered generation %d (%d bytes, window of %d points)",
-				gen, len(payload), restored)
+			logger.Info("recovered from checkpoint",
+				"generation", gen, "bytes", len(payload), "window_points", restored, "stride", srv.Strides())
 		case errors.Is(err, ckpt.ErrNoCheckpoint):
-			log.Printf("discserver: no checkpoint in %s, starting fresh", *ckptDir)
+			logger.Info("no checkpoint found, starting fresh", "dir", *ckptDir)
 		case errors.Is(err, ckpt.ErrNoValidCheckpoint):
-			log.Printf("discserver: WARNING: checkpoints exist in %s but none is valid, starting fresh: %v", *ckptDir, err)
+			logger.Warn("checkpoints exist but none is valid, starting fresh", "dir", *ckptDir, "err", err)
 		default:
-			log.Fatalf("discserver: checkpoint recovery: %v", err)
+			fatal("discserver: checkpoint recovery", "err", err)
 		}
+		srv.SetReady(true)
 		cm := obs.NewCheckpointMetrics(srv.Registry())
 		runner = ckpt.NewRunner(store, srv, *ckptEvery,
-			ckpt.WithObserver(cm), ckpt.WithRunnerLogf(log.Printf))
+			ckpt.WithObserver(cm), ckpt.WithRunnerLogger(logger),
+			ckpt.WithRunnerTracer(srv.Tracer()))
 	} else {
 		close(runnerDone)
 	}
@@ -122,8 +151,9 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("discserver listening on %s (eps=%g minPts=%d window=%d stride=%d pprof=%v checkpoints=%s)\n",
-		*addr, *eps, *minPts, *win, *stride, *pprofOn, describeCkpt(*ckptDir, *ckptEvery))
+	logger.Info("discserver listening",
+		"addr", *addr, "eps", *eps, "minpts", *minPts, "window", *win, "stride", *stride,
+		"pprof", *pprofOn, "trace", *traceOn, "checkpoints", describeCkpt(*ckptDir, *ckptEvery))
 
 	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
 	// and waits for in-flight handlers (a checkpoint save mid-write, a
@@ -140,22 +170,22 @@ func main() {
 	go func() { errc <- httpServer.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatalf("discserver: %v", err)
+		fatal("discserver: serve failed", "err", err)
 	case <-ctx.Done():
 		stop()
-		fmt.Printf("discserver: signal received, draining for up to %v\n", *drain)
+		logger.Info("signal received, draining", "deadline", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpServer.Shutdown(shutCtx); err != nil {
-			log.Fatalf("discserver: shutdown: %v", err)
+			fatal("discserver: shutdown", "err", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("discserver: %v", err)
+			fatal("discserver: serve failed", "err", err)
 		}
 		// Wait for the runner's final shutdown checkpoint: the listener is
 		// closed, so no new strides can arrive while it writes.
 		<-runnerDone
-		fmt.Println("discserver: shut down cleanly")
+		logger.Info("shut down cleanly")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"disc/internal/core"
 	"disc/internal/metrics"
 	"disc/internal/model"
+	"disc/internal/trace"
 	"disc/internal/window"
 )
 
@@ -430,5 +431,52 @@ func TestStrideLoggerNilWriter(t *testing.T) {
 	sum := lg.Summary()
 	if sum == nil || sum.Strides != 2 || sum.MaxMS < 9.9 {
 		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestStrideLoggerTraceStamping drives a DISC run with a tracer attached
+// and checks that stride-log records carry the trace ids of their recorded
+// span trees, gated by the logger's latency threshold.
+func TestStrideLoggerTraceStamping(t *testing.T) {
+	var jsonl bytes.Buffer
+	lg := NewStrideLogger(&jsonl)
+	o := small()
+	o.StrideLog = lg
+	o.Tracer = trace.NewTracer(trace.Config{})
+	o.fill()
+	dc, err := o.config("dtg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := dc.Window / 10
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.runKind("disc", dc.Cfg, dc.Window, stride, steps, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Threshold zero: every traced stride is stamped with a 32-hex id.
+	dec := json.NewDecoder(&jsonl)
+	for dec.More() {
+		var rec StrideLogRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.TraceID) != 32 {
+			t.Fatalf("stride %d trace id %q is not 32 hex chars", rec.Stride, rec.TraceID)
+		}
+	}
+
+	// An unreachable threshold suppresses stamping even when traced.
+	lg.SetTraceThreshold(time.Hour)
+	jsonl.Reset()
+	lg.ObserveStride(core.StrideRecord{Stride: 99, Total: time.Millisecond, TraceID: strings.Repeat("ab", 16)})
+	var rec StrideLogRecord
+	if err := json.NewDecoder(&jsonl).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != "" {
+		t.Fatalf("trace id %q stamped below threshold", rec.TraceID)
 	}
 }

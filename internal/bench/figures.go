@@ -18,6 +18,7 @@ import (
 	"disc/internal/edmstream"
 	"disc/internal/metrics"
 	"disc/internal/model"
+	"disc/internal/trace"
 	"disc/internal/window"
 )
 
@@ -34,6 +35,11 @@ type Options struct {
 	// engine that supports one (the DISC variants), producing one JSONL
 	// record per measured stride plus exact latency percentiles.
 	StrideLog *StrideLogger
+	// Tracer, when non-nil, is attached alongside StrideLog to every
+	// engine that supports tracing: each measured stride records a span
+	// tree, slow strides are retained in the tracer's slow ring, and their
+	// trace ids are stamped into the stride log.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) fill() {
@@ -137,6 +143,9 @@ func (o Options) observed(engine string, opts RunOpts) RunOpts {
 	if o.StrideLog != nil {
 		o.StrideLog.SetEngine(engine)
 		opts.Observer = o.StrideLog
+	}
+	if o.Tracer != nil {
+		opts.Tracer = o.Tracer
 	}
 	return opts
 }

@@ -15,6 +15,7 @@ import (
 	"disc/internal/metrics"
 	"disc/internal/model"
 	"disc/internal/rhodbscan"
+	"disc/internal/trace"
 	"disc/internal/window"
 )
 
@@ -86,12 +87,23 @@ type RunOpts struct {
 	// deliberately excluded so it cannot skew latency percentiles — and
 	// detached again before Run returns.
 	Observer core.Observer
+	// Tracer, when non-nil, is attached alongside the observer under the
+	// same bootstrap-excluded window: every measured stride records a span
+	// tree, and strides beyond the tracer's slow threshold are retained in
+	// its slow ring for post-run inspection.
+	Tracer *trace.Tracer
 }
 
 // observable is implemented by engines whose per-stride telemetry can be
 // tapped (currently the DISC core engine).
 type observable interface {
 	SetObserver(core.Observer)
+}
+
+// traceable is implemented by engines that can record per-stride span
+// trees (currently the DISC core engine).
+type traceable interface {
+	SetTracer(*trace.Tracer)
 }
 
 // RunResult summarizes one engine over one windowed workload.
@@ -123,6 +135,12 @@ func Run(eng model.Engine, steps []window.Step, opts RunOpts) RunResult {
 		if ob, ok := eng.(observable); ok {
 			ob.SetObserver(opts.Observer)
 			defer ob.SetObserver(nil)
+		}
+	}
+	if opts.Tracer != nil {
+		if tb, ok := eng.(traceable); ok {
+			tb.SetTracer(opts.Tracer)
+			defer tb.SetTracer(nil)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"disc/internal/core"
 )
@@ -25,6 +26,11 @@ type StrideLogger struct {
 	figure  string    // figure id of the current run
 	samples []float64 // stride total durations, seconds
 	lines   int
+	// traceThresh gates trace-id stamping: a record carries its trace_id
+	// only when the stride's total latency reached this threshold (and a
+	// tracer was attached), so the JSONL points at exactly the traces the
+	// tracer's slow ring retains. Zero stamps every traced stride.
+	traceThresh time.Duration
 }
 
 // StrideLogRecord is the JSONL wire form of one observed stride.
@@ -61,6 +67,11 @@ type StrideLogRecord struct {
 	ClusterWorkers int   `json:"cluster_workers"`
 	ConnChecks     int   `json:"conn_checks,omitempty"`
 	PoolGrows      int64 `json:"pool_grows,omitempty"`
+
+	// TraceID names the stride's recorded span tree (slow strides only,
+	// per the logger's trace threshold); look it up in the tracer's JSON
+	// dump or at GET /debug/traces when serving.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // NewStrideLogger returns a logger writing JSON lines to w. A nil w keeps
@@ -89,6 +100,14 @@ func (l *StrideLogger) SetEngine(engine string) {
 	l.mu.Unlock()
 }
 
+// SetTraceThreshold sets the minimum stride latency at which records carry
+// their trace id (see StrideLogRecord.TraceID).
+func (l *StrideLogger) SetTraceThreshold(d time.Duration) {
+	l.mu.Lock()
+	l.traceThresh = d
+	l.mu.Unlock()
+}
+
 // ObserveStride implements core.Observer.
 func (l *StrideLogger) ObserveStride(rec core.StrideRecord) {
 	ms := func(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1e3 }
@@ -99,6 +118,10 @@ func (l *StrideLogger) ObserveStride(rec core.StrideRecord) {
 		return
 	}
 	l.lines++
+	var traceID string
+	if rec.TraceID != "" && rec.Total >= l.traceThresh {
+		traceID = rec.TraceID
+	}
 	// Encoding errors (a full disk mid-bench) are deliberately swallowed:
 	// the stride log is an artifact, not the measurement.
 	_ = l.enc.Encode(StrideLogRecord{
@@ -115,6 +138,7 @@ func (l *StrideLogger) ObserveStride(rec core.StrideRecord) {
 		Shrinks: rec.Shrinks, Dissipations: rec.Dissipations,
 		Workers: rec.Workers, ClusterWorkers: rec.ClusterWorkers,
 		ConnChecks: rec.ConnChecks, PoolGrows: rec.PoolGrows,
+		TraceID: traceID,
 	})
 }
 

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"log/slog"
 	"time"
+
+	"disc/internal/trace"
 )
 
 // Source is what the Runner checkpoints: the running service. Both methods
@@ -15,6 +18,14 @@ type Source interface {
 	Strides() uint64
 	// WriteCheckpoint writes a restorable snapshot of the service to w.
 	WriteCheckpoint(w io.Writer) error
+}
+
+// TraceSource is optionally implemented by a Source that can name the
+// trace of the most recent stride. A Runner with a tracer attached joins
+// its checkpoint spans to that trace, so a slow stride's recorded trace
+// also shows the checkpoint write it triggered.
+type TraceSource interface {
+	TraceContext() trace.SpanContext
 }
 
 // Record describes one checkpoint attempt, delivered to the Observer.
@@ -79,6 +90,22 @@ func WithRunnerLogf(logf func(format string, args ...any)) RunnerOption {
 	}
 }
 
+// WithRunnerLogger attaches a structured logger. Every runner log line is
+// emitted through it with stride / generation / trace_id attributes, in
+// addition to whatever WithRunnerLogf destination is set — the two seams
+// are independent so existing logf-based tests and callers keep working.
+func WithRunnerLogger(l *slog.Logger) RunnerOption {
+	return func(r *Runner) { r.slogger = l }
+}
+
+// WithRunnerTracer makes each checkpoint attempt record a span tree —
+// "checkpoint" with "checkpoint.snapshot" and "checkpoint.save" children.
+// When the Source also implements TraceSource, the fragment joins the
+// covered stride's trace by id; otherwise it is recorded standalone.
+func WithRunnerTracer(t *trace.Tracer) RunnerOption {
+	return func(r *Runner) { r.tracer = t }
+}
+
 // Runner periodically persists a Source through a Store: every `every`
 // strides it writes a new generation; a failed write is retried with
 // exponential backoff without blocking the service (the snapshot is taken
@@ -93,8 +120,15 @@ type Runner struct {
 	maxBackoff time.Duration
 	obs        Observer
 	logf       func(format string, args ...any)
+	slogger    *slog.Logger
+	tracer     *trace.Tracer
 
 	lastSaved uint64 // stride count at the last successful checkpoint
+	// lastTraceID names the trace the most recent checkpoint attempt joined
+	// (empty when untraced); log lines carry it so a slow checkpoint can be
+	// looked up at /debug/traces. The runner is single-goroutine, so plain
+	// fields suffice.
+	lastTraceID string
 }
 
 // NewRunner returns a runner checkpointing src into store every `every`
@@ -124,17 +158,38 @@ func NewRunner(store *Store, src Source, every uint64, opts ...RunnerOption) *Ru
 // progress, reporting the attempt to the observer. It returns the
 // generation written.
 func (r *Runner) CheckpointNow() (uint64, error) {
+	var tr *trace.Trace
+	if r.tracer != nil {
+		var parent trace.SpanContext
+		if ts, ok := r.src.(TraceSource); ok {
+			parent = ts.TraceContext()
+		}
+		tr = r.tracer.StartTrace(parent)
+		r.lastTraceID = tr.ID().String()
+	}
 	start := time.Now()
+	root := tr.StartSpanAt("checkpoint", nil, start)
 	strides := r.src.Strides()
+	spSnap := tr.StartSpanAt("checkpoint.snapshot", root, start)
 	var buf bytes.Buffer
 	gen, err := uint64(0), r.src.WriteCheckpoint(&buf)
+	spSnap.SetInt("bytes", buf.Len())
+	spSnap.EndNow()
 	if err == nil {
+		spSave := tr.StartSpan("checkpoint.save", root)
 		gen, err = r.store.Save(buf.Bytes())
+		spSave.SetInt("generation", int(gen))
+		spSave.EndNow()
 	}
 	rec := Record{Gen: gen, Strides: strides, Duration: time.Since(start), Err: err}
 	if err == nil {
 		rec.Bytes = buf.Len()
 		r.lastSaved = strides
+	}
+	root.SetInt("generation", int(gen))
+	root.EndNow()
+	if tr != nil {
+		r.tracer.Finish(tr)
 	}
 	if r.obs != nil {
 		r.obs.ObserveCheckpoint(rec)
@@ -175,10 +230,18 @@ func (r *Runner) Run(ctx context.Context) {
 			}
 			notBefore = time.Now().Add(backoff)
 			r.logf("ckpt: checkpoint at stride %d failed (retry in %v): %v", strides, backoff, err)
+			if r.slogger != nil {
+				r.slogger.Error("checkpoint failed",
+					"stride", strides, "retry_in", backoff, "trace_id", r.lastTraceID, "err", err)
+			}
 			continue
 		}
 		backoff = 0
 		r.logf("ckpt: wrote generation %d at stride %d", gen, strides)
+		if r.slogger != nil {
+			r.slogger.Info("checkpoint written",
+				"generation", gen, "stride", strides, "trace_id", r.lastTraceID)
+		}
 	}
 }
 
@@ -191,7 +254,15 @@ func (r *Runner) final() {
 	gen, err := r.CheckpointNow()
 	if err != nil {
 		r.logf("ckpt: final checkpoint on shutdown failed: %v", err)
+		if r.slogger != nil {
+			r.slogger.Error("final checkpoint on shutdown failed",
+				"stride", r.src.Strides(), "trace_id", r.lastTraceID, "err", err)
+		}
 		return
 	}
 	r.logf("ckpt: wrote final generation %d on shutdown", gen)
+	if r.slogger != nil {
+		r.slogger.Info("final checkpoint written on shutdown",
+			"generation", gen, "stride", r.lastSaved, "trace_id", r.lastTraceID)
+	}
 }

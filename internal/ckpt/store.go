@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,6 +61,13 @@ func WithStoreLogf(logf func(format string, args ...any)) StoreOption {
 	}
 }
 
+// WithStoreLogger attaches a structured logger; the store's recovery and
+// pruning events are also emitted through it with generation attributes.
+// Independent of the WithStoreLogf seam, which keeps working.
+func WithStoreLogger(l *slog.Logger) StoreOption {
+	return func(s *Store) { s.slogger = l }
+}
+
 // Store persists framed checkpoint payloads in a directory as numbered
 // generations (ckpt-<seq>.disc). Writes are atomic: the frame goes to a
 // temp file which is fsynced and renamed into place, then the directory is
@@ -74,6 +82,7 @@ type Store struct {
 	maxPayload int64
 	seq        uint64 // highest generation present (0 = none)
 	logf       func(format string, args ...any)
+	slogger    *slog.Logger
 
 	// wrapWriter, when set, wraps the temp-file writer during Save. Test
 	// hook: fault-injection tests use it to fail or truncate the write
@@ -104,6 +113,9 @@ func Open(dir string, opts ...StoreOption) (*Store, error) {
 				return nil, fmt.Errorf("ckpt: removing stale temp %s: %w", name, err)
 			}
 			s.logf("ckpt: removed stale temp file %s (crash mid-write)", name)
+			if s.slogger != nil {
+				s.slogger.Warn("removed stale temp checkpoint (crash mid-write)", "file", name)
+			}
 			continue
 		}
 		if gen, ok := parseGen(name); ok && gen > s.seq {
@@ -220,6 +232,9 @@ func (s *Store) prune() {
 	gens, err := s.Generations()
 	if err != nil {
 		s.logf("ckpt: prune scan failed: %v", err)
+		if s.slogger != nil {
+			s.slogger.Warn("checkpoint prune scan failed", "err", err)
+		}
 		return
 	}
 	if len(gens) <= s.keep {
@@ -228,6 +243,9 @@ func (s *Store) prune() {
 	for _, gen := range gens[:len(gens)-s.keep] {
 		if err := os.Remove(s.genPath(gen)); err != nil {
 			s.logf("ckpt: pruning generation %d failed: %v", gen, err)
+			if s.slogger != nil {
+				s.slogger.Warn("pruning checkpoint generation failed", "generation", gen, "err", err)
+			}
 		}
 	}
 }
@@ -271,11 +289,18 @@ func (s *Store) Recover() (payload []byte, gen uint64, err error) {
 		payload, err := s.Load(gens[i])
 		if err != nil {
 			s.logf("ckpt: skipping generation %d: %v", gens[i], err)
+			if s.slogger != nil {
+				s.slogger.Warn("skipping corrupt checkpoint generation", "generation", gens[i], "err", err)
+			}
 			failures = append(failures, err)
 			continue
 		}
 		if i != len(gens)-1 {
 			s.logf("ckpt: recovered from fallback generation %d (newest is %d)", gens[i], gens[len(gens)-1])
+			if s.slogger != nil {
+				s.slogger.Warn("recovered from fallback checkpoint generation",
+					"generation", gens[i], "newest", gens[len(gens)-1])
+			}
 		}
 		return payload, gens[i], nil
 	}

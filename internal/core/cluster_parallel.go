@@ -6,6 +6,7 @@ import (
 
 	"disc/internal/geom"
 	"disc/internal/model"
+	"disc/internal/trace"
 )
 
 // This file implements the parallel CLUSTER step (Algorithm 2), restructured
@@ -171,24 +172,38 @@ func (e *Engine) fanOut(total int, fn func(worker, k int)) int {
 		}
 		return 1
 	}
+	// Per-worker span parameters, captured before the spawn so workers
+	// never read mutable engine fields. tr is nil for untraced strides
+	// (the common case), leaving one nil check per worker.
+	tr, fanName, fanParent := e.curTrace, e.fanSpanName, e.fanParent
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var sp *trace.Span
+			if tr != nil {
+				sp = tr.StartSpan(fanName, fanParent, trace.Int("worker", w))
+			}
+			items := 0
 			for {
 				hi := cursor.Add(fanOutChunk)
 				lo := hi - fanOutChunk
 				if int(lo) >= total {
-					return
+					break
 				}
 				if int(hi) > total {
 					hi = int64(total)
 				}
 				for k := int(lo); k < int(hi); k++ {
 					fn(w, k)
+					items++
 				}
+			}
+			if sp != nil {
+				sp.SetInt("items", items)
+				sp.EndNow()
 			}
 		}(w)
 	}
@@ -296,6 +311,9 @@ func (e *Engine) clusterExCores(exCores []int64) {
 	}
 	e.ensureSearchCtxs(min(e.workers, len(exCores)))
 	e.fanExCores = exCores
+	if e.curTrace != nil {
+		e.fanSpanName, e.fanParent = "cluster.excap.worker", e.phaseSpan
+	}
 	e.noteClusterWorkers(e.fanOut(len(exCores), e.exCapFanFn))
 	e.fanExCores = nil
 
@@ -353,7 +371,14 @@ func (e *Engine) clusterExCores(exCores []int64) {
 			cw = 1
 		}
 		e.ensureScratches(cw)
+		var spConn *trace.Span
+		if tr := e.curTrace; tr != nil {
+			spConn = tr.StartSpan("connectivity", e.phaseSpan,
+				trace.Int("checks", len(e.connWork)))
+			e.fanSpanName, e.fanParent = "connectivity.worker", spConn
+		}
 		e.noteClusterWorkers(e.fanOut(len(e.connWork), e.connFanFn))
+		spConn.EndNow()
 	}
 
 	// Phase D — fold, in component order.
@@ -458,6 +483,9 @@ func (e *Engine) clusterNeoCores(neoCores []int64) {
 	}
 	e.ensureSearchCtxs(min(e.workers, len(neoCores)))
 	e.fanNeoCores = neoCores
+	if e.curTrace != nil {
+		e.fanSpanName, e.fanParent = "cluster.neocap.worker", e.phaseSpan
+	}
 	e.noteClusterWorkers(e.fanOut(len(neoCores), e.neoCapFanFn))
 	e.fanNeoCores = nil
 

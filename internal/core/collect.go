@@ -199,6 +199,9 @@ func (e *Engine) fanOutSearches(in, out []model.Point) {
 	}
 	e.ensureSearchCtxs(min(e.workers, total))
 	e.fanInPts, e.fanOutPts = in, out
+	if e.curTrace != nil {
+		e.fanSpanName, e.fanParent = "collect.worker", e.phaseSpan
+	}
 	e.fanOut(total, e.collectFanFn)
 	e.fanInPts, e.fanOutPts = nil, nil
 	var nodes int64

@@ -38,6 +38,7 @@ import (
 	"disc/internal/geom"
 	"disc/internal/model"
 	"disc/internal/rtree"
+	"disc/internal/trace"
 )
 
 // compactInterval is the number of strides between cluster-id compactions
@@ -122,6 +123,21 @@ type Engine struct {
 	workers  int // per-stride search fan-out (COLLECT and CLUSTER); 1 = inline
 	onEvent  func(Event)
 	observer Observer
+
+	// Span recording (trace.go). tracer enables self-traced advances;
+	// curTrace/advParent are set for the duration of one traced advance
+	// (either self-started or caller-owned via AdvanceTraced). advSpan is
+	// the stride's "advance" span, phaseSpan the open phase span under it,
+	// and fanParent/fanSpanName parameterize per-worker fan-out spans the
+	// same way fanInPts/fanExCores parameterize the bound-once search
+	// dispatchers. With no trace active every hook is one nil check.
+	tracer      *trace.Tracer
+	curTrace    *trace.Trace
+	advParent   *trace.Span
+	advSpan     *trace.Span
+	phaseSpan   *trace.Span
+	fanParent   *trace.Span
+	fanSpanName string
 
 	stats       model.Stats
 	timings     PhaseTimings
@@ -223,8 +239,24 @@ func New(cfg model.Config, opts ...Option) *Engine {
 func (e *Engine) Name() string { return "DISC" }
 
 // Advance implements model.Engine: it slides the window by one stride,
-// running COLLECT and CLUSTER and finalizing every affected label.
+// running COLLECT and CLUSTER and finalizing every affected label. With a
+// tracer attached (WithTracer) each advance records its own span tree; see
+// AdvanceTraced for contributing to a caller-owned trace instead.
 func (e *Engine) Advance(in, out []model.Point) {
+	if e.tracer == nil || e.curTrace != nil {
+		e.advance(in, out)
+		return
+	}
+	// Self-traced advance: the engine owns the whole trace.
+	tr := e.tracer.StartTrace(trace.SpanContext{})
+	e.curTrace = tr
+	e.advance(in, out)
+	e.clearTrace()
+	e.tracer.Finish(tr)
+}
+
+// advance is the untraced body of Advance; tracing hooks read e.curTrace.
+func (e *Engine) advance(in, out []model.Point) {
 	e.stride++
 	e.affected = e.affected[:0]
 	e.strideEvents = [numEventTypes]int{}
@@ -235,13 +267,26 @@ func (e *Engine) Advance(in, out []model.Point) {
 	treeBefore := e.tree.Stats()
 	statsBefore := e.stats
 
+	tr := e.curTrace
 	var m0, m1, m2, m3 runtime.MemStats
 	if e.trackAllocs {
 		runtime.ReadMemStats(&m0)
 	}
 	t0 := time.Now()
+	if tr != nil {
+		e.advSpan = tr.StartSpanAt("advance", e.advParent, t0,
+			trace.Int64("stride", int64(e.stride)),
+			trace.Int("delta_in", len(in)), trace.Int("delta_out", len(out)))
+		e.phaseSpan = tr.StartSpanAt("collect", e.advSpan, t0)
+	}
 	exCores, neoCores, cout := e.collect(in, out)
 	t1 := time.Now()
+	if tr != nil {
+		e.phaseSpan.SetInt("ex_cores", len(exCores))
+		e.phaseSpan.SetInt("neo_cores", len(neoCores))
+		e.phaseSpan.EndAt(t1)
+		e.phaseSpan = tr.StartSpanAt("cluster.excores", e.advSpan, t1)
+	}
 	if e.trackAllocs {
 		runtime.ReadMemStats(&m1)
 	}
@@ -253,13 +298,27 @@ func (e *Engine) Advance(in, out []model.Point) {
 		e.tree.Delete(id, e.pts[id].pos)
 	}
 	t2 := time.Now()
+	if tr != nil {
+		e.phaseSpan.EndAt(t2)
+		e.phaseSpan = tr.StartSpanAt("cluster.neocores", e.advSpan, t2)
+	}
 	e.clusterNeoCores(neoCores)
 	t3 := time.Now()
+	if tr != nil {
+		e.phaseSpan.EndAt(t3)
+		e.phaseSpan = tr.StartSpanAt("finalize", e.advSpan, t3,
+			trace.Int("affected", len(e.affected)))
+	}
 	if e.trackAllocs {
 		runtime.ReadMemStats(&m2)
 	}
 	e.finalize()
 	t4 := time.Now()
+	if tr != nil {
+		e.phaseSpan.EndAt(t4)
+		e.phaseSpan = nil
+		e.advSpan.EndAt(t4)
+	}
 	if e.trackAllocs {
 		runtime.ReadMemStats(&m3)
 		e.allocs.accumulate(&m0, &m1, &m2, &m3)

@@ -58,6 +58,12 @@ type StrideRecord struct {
 	ClusterWorkers int   // widest CLUSTER fan-out (captures or connectivity) this stride
 	ConnChecks     int   // MS-BFS connectivity checks dispatched this stride
 	PoolGrows      int64 // scratch-pool misses (new allocations) this stride
+
+	// TraceID is the 32-hex-char id of the trace that recorded this
+	// stride's span tree ("" when the advance ran untraced). Slow-stride
+	// capturers stamp it into their logs so a tail-latency stride can be
+	// looked up in /debug/traces.
+	TraceID string
 }
 
 // Observer receives one StrideRecord per Advance, synchronously, after the
@@ -101,6 +107,10 @@ func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
 	if clusterWorkers < 1 {
 		clusterWorkers = 1 // a stride with no CLUSTER fan-out still ran serially
 	}
+	var traceID string
+	if e.curTrace != nil {
+		traceID = e.curTrace.ID().String()
+	}
 	e.observer.ObserveStride(StrideRecord{
 		Stride:         e.stride,
 		DeltaIn:        len(in),
@@ -127,5 +137,6 @@ func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
 		ClusterWorkers: clusterWorkers,
 		ConnChecks:     e.strideConnChecks,
 		PoolGrows:      poolGrows,
+		TraceID:        traceID,
 	})
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"disc/internal/model"
+	"disc/internal/trace"
+)
+
+// This file is the engine's span-recording seam, the tracing counterpart
+// of observe.go. Where the Observer delivers per-stride aggregates, a
+// trace.Tracer records the stride's internal timeline: one "advance" span
+// with children for COLLECT, the two CLUSTER phases, MS-BFS connectivity,
+// per-worker fan-out segments, and finalize. The contract matches the
+// observer's: with no trace active the hooks cost one nil check each
+// (verified by the interleaved A/B benchmark in trace_bench_test.go), and
+// the per-worker spans are recorded under the trace's mutex, so the
+// parallel COLLECT/CLUSTER paths stay race-clean.
+//
+// Two ownership modes exist:
+//
+//   - Self-traced: WithTracer/SetTracer attach a Tracer; every Advance
+//     then records its own trace, finished (and ring-resident) when
+//     Advance returns. This is the discbench path.
+//   - Caller-owned: AdvanceTraced contributes the same span tree to a
+//     trace the caller started and will finish — the server path, where
+//     one ingest request owns a trace spanning decode, validation, every
+//     stride it triggered, and the view publish.
+
+// WithTracer attaches a span recorder to the engine. Only one tracer is
+// held; attaching nil detaches. With no tracer attached (and no
+// caller-owned trace active) the tracing path is a single nil check per
+// Advance.
+func WithTracer(t *trace.Tracer) Option { return func(e *Engine) { e.tracer = t } }
+
+// SetTracer attaches (or, with nil, detaches) the engine's tracer between
+// Advance calls — the post-construction form of WithTracer, mirroring
+// SetObserver.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer, nil when tracing is detached.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// AdvanceTraced is Advance contributing spans to a caller-owned trace:
+// the stride's "advance" span (and its phase/worker children) are
+// recorded into tr under parent. The caller keeps ownership — it ends its
+// own spans and calls Tracer.Finish; the engine neither finishes nor
+// retains tr past the call. A nil tr falls back to plain Advance (which
+// self-traces when a tracer is attached).
+func (e *Engine) AdvanceTraced(tr *trace.Trace, parent *trace.Span, in, out []model.Point) {
+	if tr == nil {
+		e.Advance(in, out)
+		return
+	}
+	e.curTrace, e.advParent = tr, parent
+	e.advance(in, out)
+	e.clearTrace()
+}
+
+// clearTrace drops every per-advance trace reference so nothing pins a
+// finished trace (rings recycle them) past the stride that recorded it.
+func (e *Engine) clearTrace() {
+	e.curTrace, e.advParent, e.advSpan = nil, nil, nil
+	e.phaseSpan, e.fanParent = nil, nil
+	e.fanSpanName = ""
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"disc/internal/trace"
+)
+
+// BenchmarkAdvanceTrace is the tracing counterpart of the observer's A/B
+// overhead check: the same benchAdvance workload with the recorder
+// detached ("off") and attached ("on"). CI renames both sub-benchmarks to
+// a common name and runs benchdiff across the two samples, bounding the
+// attached-recorder overhead; the "off" sample doubles as evidence that
+// the nil-trace fast path added to Advance costs nothing measurable
+// relative to BenchmarkAdvance (which the main benchgate already gates at
+// 10%).
+func BenchmarkAdvanceTrace(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchAdvance(b)
+	})
+	b.Run("on", func(b *testing.B) {
+		benchAdvance(b, WithTracer(trace.NewTracer(trace.Config{
+			Recent: 64, Slow: 32, SlowThreshold: 50 * time.Millisecond,
+		})))
+	})
+}
+
+// BenchmarkAdvanceTraceWorkers exercises the per-worker span path: a
+// parallel engine with the recorder attached, so every stride records
+// fan-out worker spans under the trace mutex.
+func BenchmarkAdvanceTraceWorkers(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchAdvance(b, WithWorkers(4))
+	})
+	b.Run("on", func(b *testing.B) {
+		benchAdvance(b, WithWorkers(4), WithTracer(trace.NewTracer(trace.Config{
+			Recent: 64, Slow: 32, SlowThreshold: 50 * time.Millisecond,
+		})))
+	})
+}

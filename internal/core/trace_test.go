@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"disc/internal/model"
+	"disc/internal/trace"
+)
+
+// spanNamed returns the first span with the given name, or nil.
+func spanNamed(d *trace.TraceData, name string) *trace.Span {
+	for i := range d.Spans {
+		if d.Spans[i].Name == name {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+func countSpans(d *trace.TraceData, name string) int {
+	n := 0
+	for i := range d.Spans {
+		if d.Spans[i].Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAdvanceSelfTracedSpanTree drives a parallel engine with an attached
+// tracer and checks the recorded span tree: advance → {collect,
+// cluster.excores (→ connectivity), cluster.neocores, finalize} with
+// per-worker fan-out segments, parent links intact. Run under -race this
+// also proves the parallel COLLECT/CLUSTER span writes are race-clean.
+func TestAdvanceSelfTracedSpanTree(t *testing.T) {
+	tc := trace.NewTracer(trace.Config{Recent: 16, Slow: 4})
+	var recs []StrideRecord
+	eng := New(model.Config{Dims: 2, Eps: 1.0, MinPts: 2},
+		WithWorkers(4), WithTracer(tc),
+		WithObserver(ObserverFunc(func(r StrideRecord) { recs = append(recs, r) })))
+
+	// Stride 1: bulk arrival of a 60-core chain — parallel COLLECT fan-out.
+	pts := line(0, 0, 60, 0.9)
+	eng.Advance(pts, nil)
+	// Stride 2: remove the chain's middle point — an ex-core whose minimal
+	// bonding cores are disconnected, forcing an MS-BFS connectivity check
+	// and a split.
+	eng.Advance(nil, []model.Point{pts[30]})
+
+	snap := tc.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("resident traces = %d, want 2", len(snap))
+	}
+	// Newest first: snap[0] is stride 2, snap[1] stride 1.
+	stride2, stride1 := &snap[0], &snap[1]
+
+	for _, d := range []*trace.TraceData{stride1, stride2} {
+		adv := spanNamed(d, "advance")
+		if adv == nil {
+			t.Fatalf("trace %s has no advance span", d.TraceID)
+		}
+		if adv.ParentID != 0 {
+			t.Fatalf("self-traced advance has parent %d", adv.ParentID)
+		}
+		for _, phase := range []string{"collect", "cluster.excores", "cluster.neocores", "finalize"} {
+			sp := spanNamed(d, phase)
+			if sp == nil {
+				t.Fatalf("trace %s missing %q span", d.TraceID, phase)
+			}
+			if sp.ParentID != adv.SpanID {
+				t.Fatalf("%q parent = %d, want advance %d", phase, sp.ParentID, adv.SpanID)
+			}
+			if sp.End.IsZero() || sp.End.Before(sp.Start) {
+				t.Fatalf("%q span not closed properly: %v..%v", phase, sp.Start, sp.End)
+			}
+		}
+	}
+
+	// Stride 1's 60-point COLLECT fanned out: per-worker spans under collect.
+	collect := spanNamed(stride1, "collect")
+	if n := countSpans(stride1, "collect.worker"); n < 2 {
+		t.Fatalf("stride 1 has %d collect.worker spans, want >= 2", n)
+	}
+	for i := range stride1.Spans {
+		if stride1.Spans[i].Name == "collect.worker" && stride1.Spans[i].ParentID != collect.SpanID {
+			t.Fatalf("collect.worker parent = %d, want collect %d", stride1.Spans[i].ParentID, collect.SpanID)
+		}
+	}
+
+	// Stride 2 ran a connectivity check, recorded under cluster.excores.
+	conn := spanNamed(stride2, "connectivity")
+	if conn == nil {
+		t.Fatalf("stride 2 has no connectivity span (spans: %v)", names(stride2))
+	}
+	if ex := spanNamed(stride2, "cluster.excores"); conn.ParentID != ex.SpanID {
+		t.Fatalf("connectivity parent = %d, want cluster.excores %d", conn.ParentID, ex.SpanID)
+	}
+
+	// The observer records carry the trace ids of the resident traces.
+	if len(recs) != 2 {
+		t.Fatalf("observer saw %d strides", len(recs))
+	}
+	if recs[0].TraceID != stride1.TraceID.String() || recs[1].TraceID != stride2.TraceID.String() {
+		t.Fatalf("StrideRecord trace ids %q/%q do not match traces %s/%s",
+			recs[0].TraceID, recs[1].TraceID, stride1.TraceID, stride2.TraceID)
+	}
+}
+
+func names(d *trace.TraceData) []string {
+	out := make([]string, len(d.Spans))
+	for i := range d.Spans {
+		out[i] = d.Spans[i].Name
+	}
+	return out
+}
+
+// TestAdvanceTracedCallerOwned checks the server-shaped mode: the caller
+// starts the trace, AdvanceTraced contributes the stride's spans under the
+// caller's root, and nothing is ring-resident until the caller finishes.
+func TestAdvanceTracedCallerOwned(t *testing.T) {
+	tc := trace.NewTracer(trace.Config{Recent: 8, Slow: 4})
+	eng := New(model.Config{Dims: 2, Eps: 1.0, MinPts: 2})
+
+	tr := tc.StartTrace(trace.SpanContext{})
+	root := tr.StartSpan("ingest", nil)
+	eng.AdvanceTraced(tr, root, line(0, 0, 20, 0.9), nil)
+	if got := len(tc.Snapshot()); got != 0 {
+		t.Fatalf("%d traces resident before caller Finish", got)
+	}
+	root.EndNow()
+	tc.Finish(tr)
+
+	snap := tc.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("resident traces = %d", len(snap))
+	}
+	d := &snap[0]
+	ingest := spanNamed(d, "ingest")
+	adv := spanNamed(d, "advance")
+	if ingest == nil || adv == nil {
+		t.Fatalf("span tree incomplete: %v", names(d))
+	}
+	if adv.ParentID != ingest.SpanID {
+		t.Fatalf("advance parent = %d, want ingest %d", adv.ParentID, ingest.SpanID)
+	}
+	if spanNamed(d, "collect").ParentID != adv.SpanID {
+		t.Fatalf("collect not parented under advance")
+	}
+
+	// The engine must not retain the finished trace.
+	if eng.curTrace != nil || eng.advSpan != nil || eng.phaseSpan != nil || eng.fanParent != nil {
+		t.Fatalf("engine retained trace references after AdvanceTraced")
+	}
+
+	// Nil trace falls back to a plain advance without panicking.
+	eng.AdvanceTraced(nil, nil, line(100, 100, 3, 0.9), nil)
+}
+
+// TestTracedAdvanceMatchesUntraced pins that tracing is observation only:
+// a traced engine and an untraced engine produce identical assignments,
+// stats, and window contents over the same stream.
+func TestTracedAdvanceMatchesUntraced(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+	plain := New(cfg, WithWorkers(4))
+	traced := New(cfg, WithWorkers(4), WithTracer(trace.NewTracer(trace.Config{Recent: 4, Slow: 2})))
+
+	pts := line(0, 0, 80, 0.9)
+	strides := [][2][]model.Point{
+		{pts, nil},
+		{nil, {pts[40]}},
+		{line(200, 0, 10, 0.9), {pts[10]}},
+	}
+	for _, s := range strides {
+		plain.Advance(s[0], s[1])
+		traced.Advance(s[0], s[1])
+	}
+	a, b := plain.Snapshot(), traced.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("window sizes diverge: %d vs %d", len(a), len(b))
+	}
+	for id, as := range a {
+		if bs, ok := b[id]; !ok || as != bs {
+			t.Fatalf("point %d: %+v vs %+v", id, as, b[id])
+		}
+	}
+	sa, sb := plain.Stats(), traced.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverge:\n%+v\n%+v", sa, sb)
+	}
+}
+
+// TestSetTracerDetach verifies SetTracer(nil) stops recording.
+func TestSetTracerDetach(t *testing.T) {
+	tc := trace.NewTracer(trace.Config{Recent: 4, Slow: 2})
+	eng := New(model.Config{Dims: 2, Eps: 1.0, MinPts: 2}, WithTracer(tc))
+	eng.Advance(line(0, 0, 10, 0.9), nil)
+	if len(tc.Snapshot()) != 1 {
+		t.Fatalf("attached tracer recorded %d traces, want 1", len(tc.Snapshot()))
+	}
+	eng.SetTracer(nil)
+	eng.Advance(line(50, 50, 5, 0.9), nil)
+	if len(tc.Snapshot()) != 1 {
+		t.Fatalf("detached tracer still recorded")
+	}
+	if eng.Tracer() != nil {
+		t.Fatalf("Tracer() != nil after detach")
+	}
+}

@@ -262,9 +262,35 @@ func renderLabels(labels Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabelValue(labels[k]))
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and line feed — and nothing else. Go's
+// %q is close but wrong here: it additionally escapes non-printables and
+// non-ASCII as \x/\u sequences, which the exposition parser takes
+// literally, corrupting any label value that is not plain printable ASCII.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 

@@ -210,3 +210,27 @@ func TestConcurrentScrape(t *testing.T) {
 		t.Fatalf("lost updates: c=%d h=%d g=%g", c.Value(), h.Count(), g.Value())
 	}
 }
+
+// TestLabelValueEscaping pins exposition-format escaping of hostile label
+// values: exactly backslash, double-quote, and line feed are escaped;
+// every other byte — tabs, non-ASCII — passes through verbatim. The old
+// %q rendering Go-escaped those extra bytes into \x/\u sequences that a
+// Prometheus parser would take literally.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "evil\\path \"quoted\"\nnaïve\ttab"
+	r.Counter("hostile_total", "help", Labels{"endpoint": hostile}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "hostile_total{endpoint=\"evil\\\\path \\\"quoted\\\"\\nnaïve\ttab\"} 1\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q\n---\n%s", want, b.String())
+	}
+	// The escaped value must not contain Go-style \x or \u escapes.
+	if strings.Contains(b.String(), `\x`) || strings.Contains(b.String(), `\u`) {
+		t.Fatalf("Go-style escapes leaked into exposition:\n%s", b.String())
+	}
+}

@@ -20,7 +20,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -28,11 +28,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"disc/internal/core"
 	"disc/internal/geom"
 	"disc/internal/model"
 	"disc/internal/obs"
+	"disc/internal/trace"
 	"disc/internal/window"
 )
 
@@ -62,6 +64,31 @@ type Config struct {
 	// MaxCheckpointBytes caps the request body of POST /checkpoint; 0
 	// selects DefaultMaxCheckpointBytes. Oversized requests get 413.
 	MaxCheckpointBytes int64
+	// Tracing enables the span recorder and GET /debug/traces; nil
+	// disables tracing entirely (the write path then pays one nil check
+	// per hook).
+	Tracing *TraceConfig
+	// StartNotReady makes GET /readyz report 503 until SetReady(true) is
+	// called. Operators that restore from a checkpoint before serving set
+	// it so load balancers hold traffic until recovery has resolved
+	// (fresh start or restored) — /healthz stays 200 throughout, keeping
+	// liveness and readiness distinct.
+	StartNotReady bool
+	// ReadyHighWater makes GET /readyz report 503 while the slider's
+	// pending backlog (points buffered below the next stride boundary)
+	// exceeds this many points; 0 disables the backlog gate.
+	ReadyHighWater int
+}
+
+// TraceConfig sizes the server's trace recorder.
+type TraceConfig struct {
+	// Recent and Slow are the ring capacities (trace.DefRecent /
+	// trace.DefSlow when <= 0).
+	Recent int
+	Slow   int
+	// SlowThreshold retains any ingest trace at least this slow in the
+	// slow ring; <= 0 disables slow capture.
+	SlowThreshold time.Duration
 }
 
 // Server is the HTTP handler set. Create with New, mount via Handler.
@@ -75,6 +102,16 @@ type Server struct {
 	metrics  *obs.EngineMetrics
 	ingestMx *obs.Counter // disc_ingested_points_total
 	qm       *obs.QueryMetrics
+
+	// tracer records ingest span trees when Config.Tracing is set; nil
+	// otherwise. ready and pending back GET /readyz: both are atomics so
+	// the probe never touches mu. strideCtx holds the SpanContext of the
+	// most recent traced stride, the join point for the checkpoint
+	// runner's asynchronous trace fragment.
+	tracer    *trace.Tracer
+	ready     atomic.Bool
+	pending   atomic.Int64
+	strideCtx atomic.Pointer[trace.SpanContext]
 
 	// view is the immutable read-path snapshot, replaced wholesale after
 	// every successful stride and every restore (view.go). GET handlers
@@ -128,6 +165,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxCheckpointBytes = DefaultMaxCheckpointBytes
 	}
 	s := &Server{cfg: cfg, slider: slider, reg: obs.NewRegistry()}
+	if tc := cfg.Tracing; tc != nil {
+		s.tracer = trace.NewTracer(trace.Config{
+			Recent: tc.Recent, Slow: tc.Slow, SlowThreshold: tc.SlowThreshold,
+		})
+	}
+	s.ready.Store(!cfg.StartNotReady)
 	s.metrics = obs.NewEngineMetrics(s.reg)
 	s.ingestMx = s.reg.Counter("disc_ingested_points_total",
 		"Points accepted by POST /ingest (including those still buffered below a stride boundary).", nil)
@@ -179,6 +222,10 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.tracer != nil {
+		mux.Handle("GET /debug/traces", s.tracer.Handler())
+	}
 	mux.Handle("GET /metrics", s.reg.Handler())
 	// expvar: the registry is published process-wide under "disc"
 	// (first server wins — expvar names cannot be unpublished), alongside
@@ -193,6 +240,44 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness:
+// 503 until checkpoint recovery has resolved (Config.StartNotReady +
+// SetReady) and while the slider backlog exceeds Config.ReadyHighWater.
+// It reads only atomics, so probes never contend with ingest.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "not ready: checkpoint recovery pending", http.StatusServiceUnavailable)
+		return
+	}
+	if hw := s.cfg.ReadyHighWater; hw > 0 {
+		if backlog := s.pending.Load(); backlog > int64(hw) {
+			http.Error(w, fmt.Sprintf("not ready: slider backlog %d exceeds high-water mark %d",
+				backlog, hw), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// SetReady resolves (or revokes) the recovery gate of GET /readyz. The
+// serving binary calls SetReady(true) once checkpoint recovery has
+// resolved — a successful restore or a clean fresh start.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Tracer returns the server's span recorder, nil when tracing is off.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// TraceContext returns the span context of the most recent traced stride
+// (zero before the first one). The checkpoint runner joins its write
+// spans to this context, completing the ingest → … → checkpoint trace.
+func (s *Server) TraceContext() trace.SpanContext {
+	if ctx := s.strideCtx.Load(); ctx != nil {
+		return *ctx
+	}
+	return trace.SpanContext{}
 }
 
 // checkpointEnvelope carries the engine snapshot plus the service's own
@@ -300,6 +385,9 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	// counter rewound to a number they already cached, hence the epoch.
 	s.viewEpoch++
 	s.publish()
+	// A restore discards any pending partial stride, so the readiness
+	// backlog gauge resets with it.
+	s.pending.Store(int64(s.slider.PendingLen()))
 	return eng.WindowSize(), nil
 }
 
@@ -374,9 +462,28 @@ type ingestError struct {
 // advance mid-batch, the triggering point is rolled out of the slider
 // (keeping slider and engine in lockstep) and the 409 body reports how
 // many points were applied so the client knows where to resume.
+// When tracing is enabled each request records a span tree — ingest →
+// decode/validate → one advance (with engine phase and worker children)
+// and publish per completed stride — into a trace whose id either came
+// from the client's W3C traceparent header or was minted here; the id is
+// echoed in the X-Disc-Trace response header and the completed trace is
+// queryable at GET /debug/traces.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var tr *trace.Trace
+	var root *trace.Span
+	if s.tracer != nil {
+		tr = s.tracer.StartTrace(trace.ParseTraceparent(r.Header.Get("traceparent")))
+		root = tr.StartSpan("ingest", nil)
+		w.Header().Set("X-Disc-Trace", tr.ID().String())
+		defer func() {
+			root.EndNow()
+			s.tracer.Finish(tr)
+		}()
+	}
+	spDecode := tr.StartSpan("decode", root)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
 	if err != nil {
+		spDecode.EndNow()
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			http.Error(w, fmt.Sprintf("ingest body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
@@ -387,12 +494,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var batch []ingestPoint
 	if err := json.Unmarshal(body, &batch); err != nil {
+		spDecode.EndNow()
 		http.Error(w, "body must be a JSON array of {id,time,coords}: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	spDecode.SetInt("batch", len(batch))
+	spDecode.EndNow()
+	root.SetInt("batch", len(batch))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if msg := s.validateBatch(batch); msg != "" {
+	// The probe gauge tracks the slider backlog across every exit path.
+	defer func() { s.pending.Store(int64(s.slider.PendingLen())) }()
+	spValidate := tr.StartSpan("validate", root)
+	msg := s.validateBatch(batch)
+	spValidate.EndNow()
+	if msg != "" {
 		http.Error(w, msg+" (no points applied)", http.StatusBadRequest)
 		return
 	}
@@ -400,7 +516,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for _, ip := range batch {
 		p := model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
 		if step := s.slider.Push(p); step != nil {
-			if err := s.safeAdvance(step); err != nil {
+			if err := s.safeAdvance(step, tr, root); err != nil {
 				// The engine refused the stride, so the slider must not keep
 				// it either: roll the triggering point back out, leaving both
 				// exactly at the pre-push stream position. Without this the
@@ -414,7 +530,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			applied++
 			s.ingested++
 			s.ingestMx.Inc()
+			spPub := tr.StartSpan("publish", root)
 			s.publish()
+			spPub.EndNow()
+			if tr != nil {
+				// Remember where the stride's trace can be joined; the
+				// checkpoint runner parents its write spans here.
+				ctx := tr.Context(root)
+				s.strideCtx.Store(&ctx)
+			}
 			continue
 		}
 		applied++
@@ -457,8 +581,9 @@ func (s *Server) validateBatch(batch []ingestPoint) string {
 }
 
 // safeAdvance converts engine protocol panics (duplicate ids and the like)
-// into HTTP-reportable errors rather than crashing the service.
-func (s *Server) safeAdvance(step *window.Step) (err error) {
+// into HTTP-reportable errors rather than crashing the service. With a
+// trace active the stride's spans land under parent in tr.
+func (s *Server) safeAdvance(step *window.Step, tr *trace.Trace, parent *trace.Span) (err error) {
 	if s.testAdvanceErr != nil {
 		return s.testAdvanceErr(step)
 	}
@@ -467,7 +592,7 @@ func (s *Server) safeAdvance(step *window.Step) (err error) {
 			err = fmt.Errorf("rejected: %v", r)
 		}
 	}()
-	s.eng.Advance(step.In, step.Out)
+	s.eng.AdvanceTraced(tr, parent, step.In, step.Out)
 	return nil
 }
 
@@ -575,6 +700,6 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		log.Printf("server: writing response: %v", err)
+		slog.Warn("server: writing response", "err", err)
 	}
 }

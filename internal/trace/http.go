@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// traceJSON is the wire shape of one trace at GET /debug/traces.
+type traceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Start      time.Time  `json:"start"`
+	DurationUS int64      `json:"duration_us"`
+	Slow       bool       `json:"slow"`
+	Remote     bool       `json:"remote,omitempty"`
+	Root       string     `json:"root,omitempty"`
+	Spans      []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	ID         string         `json:"id"`
+	Parent     string         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Handler serves the resident rings as JSON, newest first.
+//
+//	GET /debug/traces?min=5ms&slow=1&limit=20&trace=<32 hex>
+//
+// min filters by total trace duration (any time.ParseDuration string),
+// slow=1 keeps only slow-ring captures, trace selects one id, and limit
+// caps the result count. Span start offsets are microseconds relative to
+// the trace start, which keeps the payload free of 25-byte timestamps
+// per span.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		var min time.Duration
+		if s := q.Get("min"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "bad min: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = d
+		}
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
+		wantID := q.Get("trace")
+
+		all := t.Snapshot()
+		out := make([]traceJSON, 0, len(all))
+		for i := range all {
+			d := &all[i]
+			if d.Duration < min {
+				continue
+			}
+			if slowOnly && !d.Slow {
+				continue
+			}
+			if wantID != "" && d.TraceID.String() != wantID {
+				continue
+			}
+			out = append(out, renderTrace(d))
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []traceJSON `json:"traces"`
+		}{out}) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// WriteJSON renders the resident traces (optionally only slow ones) to w
+// — the offline path used by discbench to dump slow-stride exemplars.
+func (t *Tracer) WriteJSON(w interface{ Write([]byte) (int, error) }, slowOnly bool) error {
+	all := t.Snapshot()
+	out := make([]traceJSON, 0, len(all))
+	for i := range all {
+		if slowOnly && !all[i].Slow {
+			continue
+		}
+		out = append(out, renderTrace(&all[i]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Traces []traceJSON `json:"traces"`
+	}{out})
+}
+
+func renderTrace(d *TraceData) traceJSON {
+	tj := traceJSON{
+		TraceID:    d.TraceID.String(),
+		Start:      d.Start,
+		DurationUS: d.Duration.Microseconds(),
+		Slow:       d.Slow,
+		Remote:     d.Remote,
+		Root:       d.Root(),
+		Spans:      make([]spanJSON, len(d.Spans)),
+	}
+	for i := range d.Spans {
+		s := &d.Spans[i]
+		sj := spanJSON{
+			ID:         strconv.FormatUint(s.SpanID, 16),
+			Name:       s.Name,
+			StartUS:    s.Start.Sub(d.Start).Microseconds(),
+			DurationUS: s.Duration().Microseconds(),
+		}
+		if s.ParentID != 0 {
+			sj.Parent = strconv.FormatUint(s.ParentID, 16)
+		}
+		if len(s.Attrs) > 0 {
+			sj.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsStr {
+					sj.Attrs[a.Key] = a.Str
+				} else {
+					sj.Attrs[a.Key] = a.Int
+				}
+			}
+		}
+		tj.Spans[i] = sj
+	}
+	return tj
+}

@@ -1,0 +1,407 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishOne records a single-span trace with the given duration.
+func finishOne(t *Tracer, name string, dur time.Duration) TraceID {
+	tr := t.StartTrace(SpanContext{})
+	sp := tr.StartSpan(name, nil)
+	sp.EndAt(sp.Start.Add(dur))
+	id, _ := t.Finish(tr)
+	return id
+}
+
+func TestNilTracerAndSpansAreNoOps(t *testing.T) {
+	var tc *Tracer
+	tr := tc.StartTrace(SpanContext{})
+	if tr != nil {
+		t.Fatalf("nil tracer StartTrace = %v, want nil", tr)
+	}
+	sp := tr.StartSpan("x", nil, Int("k", 1))
+	if sp != nil {
+		t.Fatalf("nil trace StartSpan = %v, want nil", sp)
+	}
+	// All of these must be silent no-ops.
+	sp.EndNow()
+	sp.EndAt(time.Now())
+	sp.SetInt("k", 2)
+	sp.SetStr("s", "v")
+	if got := sp.ID(); got != 0 {
+		t.Fatalf("nil span ID = %d", got)
+	}
+	if ctx := tr.Context(sp); ctx.Valid() {
+		t.Fatalf("nil trace Context valid")
+	}
+	if id, slow := tc.Finish(tr); !id.IsZero() || slow {
+		t.Fatalf("nil Finish = %v %v", id, slow)
+	}
+	if s := tc.Snapshot(); s != nil {
+		t.Fatalf("nil Snapshot = %v", s)
+	}
+}
+
+func TestRingWraparoundNewestFirst(t *testing.T) {
+	tc := NewTracer(Config{Recent: 4, Slow: 2})
+	var ids []TraceID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, finishOne(tc, fmt.Sprintf("t%d", i), time.Millisecond))
+	}
+	snap := tc.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("resident traces = %d, want ring capacity 4", len(snap))
+	}
+	// Newest first: t9, t8, t7, t6.
+	for i, want := range []int{9, 8, 7, 6} {
+		if snap[i].TraceID != ids[want] {
+			t.Errorf("snap[%d] = %s (root %q), want trace %d", i, snap[i].TraceID, snap[i].Root(), want)
+		}
+		if wantName := fmt.Sprintf("t%d", want); snap[i].Root() != wantName {
+			t.Errorf("snap[%d] root = %q, want %q", i, snap[i].Root(), wantName)
+		}
+	}
+}
+
+func TestSlowRingRetainsSlowTraces(t *testing.T) {
+	tc := NewTracer(Config{Recent: 2, Slow: 4, SlowThreshold: 10 * time.Millisecond})
+	slowID := finishOne(tc, "slow", 50*time.Millisecond)
+	// Flood the recent ring: the slow capture must survive.
+	for i := 0; i < 8; i++ {
+		finishOne(tc, "fast", time.Millisecond)
+	}
+	snap := tc.Snapshot()
+	var found *TraceData
+	for i := range snap {
+		if snap[i].TraceID == slowID {
+			found = &snap[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("slow trace evicted by fast traffic; snapshot has %d traces", len(snap))
+	}
+	if !found.Slow {
+		t.Fatalf("slow trace not marked slow")
+	}
+	if found.Duration < 10*time.Millisecond {
+		t.Fatalf("slow duration = %v", found.Duration)
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	tc := NewTracer(Config{Recent: 8, Slow: 4, SlowThreshold: time.Nanosecond})
+	const writers = 8
+	const perWriter = 50
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers exercising Snapshot and the HTTP handler while
+	// the rings churn.
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			h := tc.Handler()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tc.Snapshot()
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?min=1ns", nil))
+				if rec.Code != 200 {
+					t.Errorf("handler status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := tc.StartTrace(SpanContext{})
+				root := tr.StartSpan("root", nil, Int("writer", w))
+				// Concurrent child spans on ONE trace, as the engine's
+				// fan-out workers produce them.
+				var cwg sync.WaitGroup
+				for c := 0; c < 4; c++ {
+					cwg.Add(1)
+					go func(c int) {
+						defer cwg.Done()
+						sp := tr.StartSpan("worker", root, Int("c", c))
+						sp.SetInt("items", c*2)
+						sp.EndNow()
+					}(c)
+				}
+				cwg.Wait()
+				root.EndNow()
+				tc.Finish(tr)
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	// All traces complete; validate structure of survivors.
+	snap := tc.Snapshot()
+	if len(snap) == 0 {
+		t.Fatalf("no resident traces after %d writes", writers*perWriter)
+	}
+	for _, d := range snap {
+		if len(d.Spans) != 5 {
+			t.Fatalf("trace has %d spans, want 5", len(d.Spans))
+		}
+		rootID := uint64(0)
+		for i := range d.Spans {
+			if d.Spans[i].Name == "root" {
+				rootID = d.Spans[i].SpanID
+			}
+		}
+		if rootID == 0 {
+			t.Fatalf("no root span in %s", d.TraceID)
+		}
+		for i := range d.Spans {
+			if d.Spans[i].Name == "worker" && d.Spans[i].ParentID != rootID {
+				t.Fatalf("worker span parent = %d, want %d", d.Spans[i].ParentID, rootID)
+			}
+		}
+	}
+}
+
+func TestHandlerMinDurationFilterAndLimit(t *testing.T) {
+	tc := NewTracer(Config{Recent: 16, Slow: 4})
+	finishOne(tc, "fast", 100*time.Microsecond)
+	finishOne(tc, "mid", 5*time.Millisecond)
+	finishOne(tc, "slow", 80*time.Millisecond)
+
+	get := func(url string) (int, []traceJSON) {
+		rec := httptest.NewRecorder()
+		tc.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var body struct {
+			Traces []traceJSON `json:"traces"`
+		}
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+			}
+		}
+		return rec.Code, body.Traces
+	}
+
+	if code, all := get("/debug/traces"); code != 200 || len(all) != 3 {
+		t.Fatalf("unfiltered: code %d, %d traces, want 3", code, len(all))
+	}
+	code, filtered := get("/debug/traces?min=1ms")
+	if code != 200 || len(filtered) != 2 {
+		t.Fatalf("min=1ms: code %d, %d traces, want 2 (mid+slow)", code, len(filtered))
+	}
+	// Newest-first ordering within the filtered set.
+	if filtered[0].Root != "slow" || filtered[1].Root != "mid" {
+		t.Fatalf("order = %q, %q; want slow, mid", filtered[0].Root, filtered[1].Root)
+	}
+	if _, lim := get("/debug/traces?min=1ms&limit=1"); len(lim) != 1 || lim[0].Root != "slow" {
+		t.Fatalf("limit=1 returned %d traces", len(lim))
+	}
+	if code, _ := get("/debug/traces?min=banana"); code != 400 {
+		t.Fatalf("bad min: code %d, want 400", code)
+	}
+	if code, _ := get("/debug/traces?limit=-1"); code != 400 {
+		t.Fatalf("bad limit: code %d, want 400", code)
+	}
+}
+
+func TestFinishMergesFragmentsByTraceID(t *testing.T) {
+	tc := NewTracer(Config{Recent: 8, Slow: 4})
+
+	// Stride fragment: ingest → advance.
+	tr := tc.StartTrace(SpanContext{})
+	ingest := tr.StartSpan("ingest", nil)
+	adv := tr.StartSpan("advance", ingest)
+	adv.EndNow()
+	ingest.EndNow()
+	ctx := tr.Context(ingest)
+	id, _ := tc.Finish(tr)
+
+	// Late checkpoint fragment joins by SpanContext, like the ckpt runner.
+	frag := tc.StartTrace(ctx)
+	ck := frag.StartSpan("checkpoint", nil, Int("generation", 3))
+	ck.EndNow()
+	fid, _ := tc.Finish(frag)
+	if fid != id {
+		t.Fatalf("fragment trace id = %s, want %s", fid, id)
+	}
+
+	snap := tc.Snapshot()
+	var merged *TraceData
+	for i := range snap {
+		if snap[i].TraceID == id {
+			if merged != nil {
+				t.Fatalf("trace %s resident twice", id)
+			}
+			merged = &snap[i]
+		}
+	}
+	if merged == nil {
+		t.Fatalf("merged trace not resident")
+	}
+	if len(merged.Spans) != 3 {
+		t.Fatalf("merged spans = %d, want 3", len(merged.Spans))
+	}
+	var ingestID uint64
+	byName := map[string]*Span{}
+	for i := range merged.Spans {
+		byName[merged.Spans[i].Name] = &merged.Spans[i]
+		if merged.Spans[i].Name == "ingest" {
+			ingestID = merged.Spans[i].SpanID
+		}
+	}
+	if byName["advance"].ParentID != ingestID {
+		t.Fatalf("advance parent = %d, want ingest %d", byName["advance"].ParentID, ingestID)
+	}
+	if byName["checkpoint"].ParentID != ingestID {
+		t.Fatalf("checkpoint parent = %d, want ingest %d", byName["checkpoint"].ParentID, ingestID)
+	}
+	// Span ids must not collide across fragments.
+	seen := map[uint64]bool{}
+	for i := range merged.Spans {
+		if seen[merged.Spans[i].SpanID] {
+			t.Fatalf("duplicate span id %d after merge", merged.Spans[i].SpanID)
+		}
+		seen[merged.Spans[i].SpanID] = true
+	}
+}
+
+func TestRecycledFragmentDoesNotAliasMergedSpans(t *testing.T) {
+	tc := NewTracer(Config{Recent: 8, Slow: 2})
+	tr := tc.StartTrace(SpanContext{})
+	root := tr.StartSpan("host", nil)
+	root.EndNow()
+	ctx := tr.Context(root)
+	id, _ := tc.Finish(tr)
+
+	frag := tc.StartTrace(ctx)
+	frag.StartSpan("fragment-span", nil).EndNow()
+	tc.Finish(frag)
+
+	// Recycle pressure (below ring capacity, so the host trace stays
+	// resident): the disowned, recycled fragment must not rewrite the
+	// merged spans when its object is reused.
+	for i := 0; i < 5; i++ {
+		t2 := tc.StartTrace(SpanContext{})
+		t2.StartSpan("churn", nil, Str("n", "x")).EndNow()
+		tc.Finish(t2)
+	}
+	for _, d := range tc.Snapshot() {
+		if d.TraceID != id {
+			continue
+		}
+		names := map[string]bool{}
+		for i := range d.Spans {
+			names[d.Spans[i].Name] = true
+		}
+		if !names["host"] || !names["fragment-span"] {
+			t.Fatalf("merged trace lost spans: %v", names)
+		}
+		if names["churn"] {
+			t.Fatalf("recycled fragment aliased into merged trace")
+		}
+		return
+	}
+	t.Fatalf("merged trace evicted unexpectedly (capacity 8, 5 churn traces)")
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	ctx := ParseTraceparent(valid)
+	if !ctx.Valid() {
+		t.Fatalf("valid header rejected")
+	}
+	if got := ctx.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", got)
+	}
+	if ctx.SpanID != 0x00f067aa0ba902b7 {
+		t.Fatalf("span id = %x", ctx.SpanID)
+	}
+
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-", // v00 with suffix
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e47xx-00f067aa0ba902b7-01",
+	}
+	for _, h := range bad {
+		if got := ParseTraceparent(h); got.Valid() {
+			t.Errorf("ParseTraceparent(%q) = %+v, want invalid", h, got)
+		}
+	}
+
+	// Future version with vendor suffix is accepted (forward compat).
+	fut := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"
+	if got := ParseTraceparent(fut); !got.Valid() {
+		t.Errorf("future-version header rejected")
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	want := SpanContext{TraceID: NewTraceID(), SpanID: 0xdeadbeef12345678}
+	h := FormatTraceparent(want)
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("formatted header %q", h)
+	}
+	got := ParseTraceparent(h)
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestStartSpanAtUsesSuppliedClock(t *testing.T) {
+	tc := NewTracer(Config{Recent: 4, Slow: 2})
+	tr := tc.StartTrace(SpanContext{})
+	t0 := time.Now()
+	t1 := t0.Add(7 * time.Millisecond)
+	sp := tr.StartSpanAt("phase", nil, t0)
+	sp.EndAt(t1)
+	tc.Finish(tr)
+	d := tc.Snapshot()[0]
+	if d.Spans[0].Duration() != 7*time.Millisecond {
+		t.Fatalf("span duration = %v, want 7ms", d.Spans[0].Duration())
+	}
+	if d.Duration != 7*time.Millisecond {
+		t.Fatalf("trace duration = %v, want root span's 7ms", d.Duration)
+	}
+}
+
+func TestTraceparentContextBecomesRemoteParent(t *testing.T) {
+	tc := NewTracer(Config{Recent: 4, Slow: 2})
+	ctx := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	tr := tc.StartTrace(ctx)
+	if tr.ID() != ctx.TraceID {
+		t.Fatalf("trace id not inherited")
+	}
+	root := tr.StartSpan("ingest", nil)
+	root.EndNow()
+	tc.Finish(tr)
+	d := tc.Snapshot()[0]
+	if !d.Remote {
+		t.Fatalf("remote flag not set")
+	}
+	if d.Spans[0].ParentID != ctx.SpanID {
+		t.Fatalf("root parent = %x, want remote parent %x", d.Spans[0].ParentID, ctx.SpanID)
+	}
+}

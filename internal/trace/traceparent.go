@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strconv"
+)
+
+// ParseTraceparent extracts a SpanContext from a W3C traceparent header:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// version(2) "-" trace-id(32) "-" parent-id(16) "-" flags(2), lowercase
+// hex. Malformed headers, unknown versions, and the all-zero trace or
+// parent ids return the zero (invalid) context: the server then starts a
+// fresh trace rather than rejecting the batch — propagation is an
+// assist, never a gate.
+func ParseTraceparent(h string) SpanContext {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}
+	}
+	// Version: two lowercase hex digits, 0xff forbidden by spec. Accept
+	// future versions (>00) as long as the 00 prefix fields parse, per
+	// the spec's forward-compatibility rule, but then ignore any suffix.
+	if !isHexLower(h[0:2]) || h[0:2] == "ff" {
+		return SpanContext{}
+	}
+	if h[0:2] == "00" && len(h) != 55 {
+		return SpanContext{}
+	}
+	var ctx SpanContext
+	if !isHexLower(h[3:35]) {
+		return SpanContext{}
+	}
+	if _, err := hex.Decode(ctx.TraceID[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}
+	}
+	if !isHexLower(h[36:52]) {
+		return SpanContext{}
+	}
+	parent, err := strconv.ParseUint(h[36:52], 16, 64)
+	if err != nil || parent == 0 {
+		return SpanContext{}
+	}
+	if !isHexLower(h[53:55]) {
+		return SpanContext{}
+	}
+	if ctx.TraceID.IsZero() {
+		return SpanContext{}
+	}
+	ctx.SpanID = parent
+	return ctx
+}
+
+// FormatTraceparent renders a version-00 traceparent header for ctx with
+// the sampled flag set. Load generators use it to stamp outgoing batches
+// so slow requests can be found in /debug/traces afterwards.
+func FormatTraceparent(ctx SpanContext) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hexAppend(b, ctx.TraceID[:])
+	b = append(b, '-')
+	var sp [8]byte
+	for i := 0; i < 8; i++ {
+		sp[i] = byte(ctx.SpanID >> (8 * (7 - i)))
+	}
+	b = hexAppend(b, sp[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+func hexAppend(dst, src []byte) []byte {
+	const digits = "0123456789abcdef"
+	for _, c := range src {
+		dst = append(dst, digits[c>>4], digits[c&0xf])
+	}
+	return dst
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
