@@ -112,6 +112,28 @@ func WithEpochProbing(on bool) DISCOption { return core.WithEpochProbing(on) }
 // purely a throughput knob. The setting is persisted in checkpoints.
 func WithWorkers(n int) DISCOption { return core.WithWorkers(n) }
 
+// ConnStrategy selects how DISC answers density-connectivity queries over
+// minimal bonding cores during CLUSTER.
+type ConnStrategy = core.ConnStrategy
+
+// Connectivity strategies. Every strategy produces bit-identical labels,
+// statistics, and events; they differ only in per-stride cost.
+const (
+	// ConnMSBFS recomputes components per stride with the Multi-Starter BFS
+	// traversal (the paper's Algorithm 3) — the default and the
+	// always-available reference.
+	ConnMSBFS = core.ConnMSBFS
+	// ConnDynamic answers from an incrementally maintained
+	// dynamic-connectivity forest over the core-adjacency graph — cheaper
+	// under churn-heavy workloads where components rarely change shape.
+	ConnDynamic = core.ConnDynamic
+)
+
+// WithConnectivity selects the connectivity strategy (default ConnMSBFS).
+// The setting is persisted in checkpoints; passed to LoadDISC it overrides
+// the persisted strategy.
+func WithConnectivity(s ConnStrategy) DISCOption { return core.WithConnectivity(s) }
+
 // WithGridIndex swaps DISC's R-tree for a hash grid with the given cell
 // side (≤ 0 selects ε/2) — an index-choice ablation; epoch probing then
 // degrades to an external visited set.

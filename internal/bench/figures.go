@@ -794,6 +794,98 @@ func FigExt4(o Options) ([]Row, error) {
 	return rows, tw.Flush()
 }
 
+// connAccum is a pass-through core.Observer that accumulates the
+// connectivity-strategy cost columns of FigExt5 while forwarding every
+// record to the stride logger (an engine holds a single observer).
+type connAccum struct {
+	next           core.Observer
+	connDur        time.Duration
+	forestDur      time.Duration
+	connSearches   int64
+	connNodes      int64
+	forestOps      int64
+	replSearches   int64
+	forestRebuilds int64
+}
+
+// ObserveStride implements core.Observer.
+func (a *connAccum) ObserveStride(rec core.StrideRecord) {
+	a.connDur += rec.Connectivity
+	a.forestDur += rec.ForestUpdate
+	a.connSearches += rec.ConnSearches
+	a.connNodes += rec.ConnNodes
+	a.forestOps += rec.ForestOps
+	a.replSearches += rec.ForestReplSearches
+	a.forestRebuilds += rec.ForestRebuilds
+	if a.next != nil {
+		a.next.ObserveStride(rec)
+	}
+}
+
+// FigExt5 is an extension experiment (not in the paper): the cost of the two
+// connectivity strategies — per-stride MS-BFS re-traversal vs the maintained
+// dyncon forest — on the DTG analog at a 25% stride, where heavy churn makes
+// every stride carry split-candidate connectivity checks. Both strategies are
+// exactness-preserving (bit-identical labels, events, and stats), so the
+// figure compares only what each one pays: traversal time and searches for
+// MS-BFS, forest-sync time and mutation counts for the dynamic forest.
+func FigExt5(o Options) ([]Row, error) {
+	o.fill()
+	dc, err := o.config("dtg")
+	if err != nil {
+		return nil, err
+	}
+	stride := ratioStride(dc.Window, 0.25)
+	steps, err := o.steps(dc, stride)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		kind     string
+		strategy core.ConnStrategy
+	}{
+		{"disc", core.ConnMSBFS},
+		{"disc-dyncon", core.ConnDynamic},
+	}
+	var rows []Row
+	fmt.Fprintf(o.Out, "\n[Fig ext5] %s: connectivity strategy cost (stride=25%%)\n", dc.Label)
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tstride ms\tconn ms\tforest ms\tsearches/stride\tforest ops/stride\trebuilds")
+	for _, v := range variants {
+		eng := core.New(dc.Cfg, core.WithConnectivity(v.strategy))
+		acc := &connAccum{}
+		runOpts := o.observed(v.kind, RunOpts{Timeout: o.Timeout})
+		acc.next = runOpts.Observer
+		runOpts.Observer = acc
+		res := Run(eng, steps, runOpts)
+		n := float64(res.Strides)
+		if n == 0 {
+			n = 1
+		}
+		connMS := msOf(acc.connDur) / n
+		forestMS := msOf(acc.forestDur) / n
+		rows = append(rows, Row{
+			Figure: "ext5", Dataset: dc.Label,
+			Param: "strategy=" + v.strategy.String(), Engine: "DISC",
+			Value: connMS, Unit: "ms",
+			Extra: map[string]float64{
+				"stride_ms":        msOf(res.PerStride),
+				"forest_ms":        forestMS,
+				"conn_searches_op": float64(acc.connSearches) / n,
+				"conn_nodes_op":    float64(acc.connNodes) / n,
+				"forest_ops_op":    float64(acc.forestOps) / n,
+				"repl_searches_op": float64(acc.replSearches) / n,
+				"forest_rebuilds":  float64(acc.forestRebuilds),
+			},
+			DNF: res.DNF, Note: res.DNFReason,
+		})
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%.3f\t%.0f\t%.0f\t%d\n",
+			v.strategy, msOf(res.PerStride), connMS, forestMS,
+			float64(acc.connSearches)/n, float64(acc.forestOps)/n, acc.forestRebuilds)
+	}
+	return rows, tw.Flush()
+}
+
 // Fig11 regenerates Figure 11: per-point update latency of DISC vs
 // ρ²-DBSCAN (ρ=0.001) across distance thresholds, on Maze and DTG; the
 // crossover appears only at thresholds too coarse to be useful.
@@ -996,10 +1088,11 @@ func Figures() map[string]func(Options) ([]Row, error) {
 		"4": Fig4, "5": Fig5, "6": Fig6, "7": Fig7,
 		"8": Fig8, "9": Fig9, "10": Fig10, "11": Fig11, "12": Fig12,
 		"ext1": FigExt1, "ext2": FigExt2, "ext3": FigExt3, "ext4": FigExt4,
+		"ext5": FigExt5,
 	}
 }
 
 // FigureIDs returns the figure ids in presentation order.
 func FigureIDs() []string {
-	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2", "ext3", "ext4"}
+	return []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "ext1", "ext2", "ext3", "ext4", "ext5"}
 }

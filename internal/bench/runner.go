@@ -22,7 +22,7 @@ import (
 // EngineKinds lists the engine identifiers accepted by NewEngine.
 func EngineKinds() []string {
 	return []string{
-		"disc", "disc-nomsbfs", "disc-noepoch", "disc-plain", "disc-grid", "disc-kd", "disc-par",
+		"disc", "disc-nomsbfs", "disc-noepoch", "disc-plain", "disc-grid", "disc-kd", "disc-par", "disc-dyncon",
 		"dbscan", "incdbscan", "extran",
 		"dbstream", "edmstream", "denstream", "dstream", "rho2-0.1", "rho2-0.001",
 	}
@@ -46,6 +46,8 @@ func NewEngine(kind string, cfg model.Config, win, stride int) (model.Engine, er
 		return core.New(cfg, core.WithKDTreeIndex()), nil
 	case "disc-par":
 		return core.New(cfg, core.WithWorkers(0)), nil // 0 = all available cores
+	case "disc-dyncon":
+		return core.New(cfg, core.WithConnectivity(core.ConnDynamic)), nil
 	case "dbscan":
 		return dbscan.New(cfg), nil
 	case "incdbscan":

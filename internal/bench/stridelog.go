@@ -68,6 +68,16 @@ type StrideLogRecord struct {
 	ConnChecks     int   `json:"conn_checks,omitempty"`
 	PoolGrows      int64 `json:"pool_grows,omitempty"`
 
+	// Connectivity-strategy cost: how the configured strategy (conn_strategy)
+	// paid for the stride's connectivity answers. Traversal fields stay zero
+	// under the dynamic forest; forest fields stay zero under MS-BFS.
+	ConnStrategy   string  `json:"conn_strategy,omitempty"`
+	ConnMS         float64 `json:"conn_ms,omitempty"`
+	ForestMS       float64 `json:"forest_ms,omitempty"`
+	ConnSearches   int64   `json:"conn_searches,omitempty"`
+	ForestOps      int64   `json:"forest_ops,omitempty"`
+	ForestRebuilds int64   `json:"forest_rebuilds,omitempty"`
+
 	// TraceID names the stride's recorded span tree (slow strides only,
 	// per the logger's trace threshold); look it up in the tracer's JSON
 	// dump or at GET /debug/traces when serving.
@@ -138,7 +148,11 @@ func (l *StrideLogger) ObserveStride(rec core.StrideRecord) {
 		Shrinks: rec.Shrinks, Dissipations: rec.Dissipations,
 		Workers: rec.Workers, ClusterWorkers: rec.ClusterWorkers,
 		ConnChecks: rec.ConnChecks, PoolGrows: rec.PoolGrows,
-		TraceID: traceID,
+		ConnStrategy: rec.ConnStrategy,
+		ConnMS:       ms(rec.Connectivity), ForestMS: ms(rec.ForestUpdate),
+		ConnSearches: rec.ConnSearches, ForestOps: rec.ForestOps,
+		ForestRebuilds: rec.ForestRebuilds,
+		TraceID:        traceID,
 	})
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"disc/internal/geom"
 	"disc/internal/model"
@@ -24,7 +26,11 @@ import (
 //	   (coreDeg decrements, hint operations, affected ids, M⁻ candidates,
 //	   R⁻ frontier edges) in ball order. Captures read only fields frozen
 //	   during CLUSTER (pos, n, label, wasCore, enterStamp) and write only
-//	   their own buffer, so they are trivially race-free.
+//	   their own buffer, so they are trivially race-free. Advance hoists
+//	   both capture fan-outs (ex-core AND neo-core) ahead of everything
+//	   else, in every connectivity mode: the dynamic forest consumes the
+//	   captured edge delta before phase C queries it, and identical capture
+//	   timing is what keeps search statistics strategy-independent.
 //	B. Assembly (sequential): a BFS over the captured frontier lists
 //	   partitions the ex-cores into retro-reachable components, visiting
 //	   members and deduplicating M⁻ (via bondTick/bondStamp) in exactly the
@@ -47,10 +53,12 @@ import (
 // serial walk would have seen at that step.
 //
 // The neo-core phase is the same shape but needs no connectivity sub-phase:
-// captures fan out in parallel, then assembly and fold run fused,
-// per-component, in seed order. Cluster ids of bonding cores are captured
-// raw and resolved through cids.Find at fold time, because a merger earlier
-// in the fold mutates the union-find that later components must observe.
+// captures fan out in parallel (hoisted; see above), then assembly and fold
+// run fused, per-component, in seed order. Bonding cores are captured as
+// point ids and resolved through pts[id].cid + cids.Find at fold time,
+// because both an ex-core split folded earlier in the stride (which rewrites
+// raw cids) and a merger folded earlier in the neo phase (which mutates the
+// union-find) must be observed by later components.
 //
 // All buffers live on the Engine and are pooled across strides; nothing
 // here is observable state and none of it is persisted (persist.go stores
@@ -96,7 +104,7 @@ type exCapture struct {
 // one list serves all three.
 type neoCapture struct {
 	touched  []int64 // non-departed neighbors, ball order
-	rawCIDs  []int   // raw cluster ids of surviving-core neighbors (M⁺)
+	bondIDs  []int64 // surviving-core neighbors (M⁺); cids resolve at fold time
 	frontier []int64 // neo-core neighbors: R⁺ expansion edges
 	nodes    int64
 }
@@ -135,7 +143,7 @@ func resetNeoCaps(buf []neoCapture, n int) []neoCapture {
 	buf = grow(buf, n)
 	for i := range buf {
 		buf[i].touched = buf[i].touched[:0]
-		buf[i].rawCIDs = buf[i].rawCIDs[:0]
+		buf[i].bondIDs = buf[i].bondIDs[:0]
 		buf[i].frontier = buf[i].frontier[:0]
 		buf[i].nodes = 0
 	}
@@ -291,18 +299,14 @@ func (e *Engine) connCheck(w, k int) {
 	e.connectivityInto(e.exComps[ci].bonding, e.scratches[w], &e.connResults[ci])
 }
 
-// clusterExCores processes cluster evolution driven by ex-cores: for each
-// retro-reachable component it computes the minimal bonding cores M⁻ and
-// checks their density-connectedness. Theorem 1 of the paper justifies
-// retiring the entire component after a single check — and, since distinct
-// components share no minimal bonding cores, running those checks
-// concurrently. See the file header for the phase structure.
-func (e *Engine) clusterExCores(exCores []int64) {
+// captureExCores is phase A of the ex-core pipeline: capture searches fan
+// out over the worker pool. Advance calls it before the C_out points leave
+// the index (retro-reachability needs them) and before any fold mutates
+// engine state.
+func (e *Engine) captureExCores(exCores []int64) {
 	if len(exCores) == 0 {
 		return
 	}
-
-	// Phase A — capture searches fan out over the worker pool.
 	e.exCaps = resetExCaps(e.exCaps, len(exCores))
 	for i, id := range exCores {
 		st := e.pts[id]
@@ -316,6 +320,19 @@ func (e *Engine) clusterExCores(exCores []int64) {
 	}
 	e.noteClusterWorkers(e.fanOut(len(exCores), e.exCapFanFn))
 	e.fanExCores = nil
+}
+
+// clusterExCores processes cluster evolution driven by ex-cores: for each
+// retro-reachable component it computes the minimal bonding cores M⁻ and
+// checks their density-connectedness. Theorem 1 of the paper justifies
+// retiring the entire component after a single check — and, since distinct
+// components share no minimal bonding cores, running those checks
+// concurrently. Phase A (captureExCores) has already run. See the file
+// header for the phase structure.
+func (e *Engine) clusterExCores(exCores []int64) {
+	if len(exCores) == 0 {
+		return
+	}
 
 	// Phase B — assemble retro-reachable components from the captured
 	// frontier lists, replaying the serial BFS discovery order.
@@ -363,6 +380,12 @@ func (e *Engine) clusterExCores(exCores []int64) {
 	}
 	if len(e.connWork) > 0 {
 		e.strideConnChecks += len(e.connWork)
+		if e.connStrategy == ConnDynamic {
+			// Serial pre-verify: every bonding core must be a forest vertex
+			// before the concurrent (read-only) queries run; a miss means
+			// desync and triggers a rebuild here, where mutating is safe.
+			e.verifyForestBonding()
+		}
 		cw := e.workers
 		if cw > len(e.connWork) {
 			cw = len(e.connWork)
@@ -377,7 +400,9 @@ func (e *Engine) clusterExCores(exCores []int64) {
 				trace.Int("checks", len(e.connWork)))
 			e.fanSpanName, e.fanParent = "connectivity.worker", spConn
 		}
+		connStart := time.Now()
 		e.noteClusterWorkers(e.fanOut(len(e.connWork), e.connFanFn))
+		e.strideConnDur += time.Since(connStart)
 		spConn.EndNow()
 	}
 
@@ -420,7 +445,14 @@ func (e *Engine) clusterExCores(exCores []int64) {
 			cid := e.nextCID
 			e.nextCID++
 			fresh = append(fresh, cid)
-			for _, id := range res.component(k) {
+			// Canonical member order: the recording order is traversal
+			// (MS-BFS / sequential) or Euler-tour (forest) shaped, and the
+			// relabel order feeds the affected set, whose order is
+			// observable one stride later (it decides the next stride's
+			// ex-core order). Sorting makes it strategy-independent.
+			members := res.component(k)
+			slices.Sort(members)
+			for _, id := range members {
 				st := e.pts[id]
 				st.cid = cid
 				e.markAffected(id, st)
@@ -455,23 +487,21 @@ func (c *searchCtx) onNeoCore(qid int64, _ geom.Vec) bool {
 		return true
 	}
 	if q.wasCore {
-		// Raw, unresolved id: the fold resolves through cids.Find so a
-		// merger folded earlier in this stride is observed.
-		cp.rawCIDs = append(cp.rawCIDs, q.cid)
+		// The id, not the cid: the fold reads pts[qid].cid and resolves it
+		// through cids.Find, so both an ex-core split relabel and a merger
+		// folded earlier in this stride are observed.
+		cp.bondIDs = append(cp.bondIDs, qid)
 	} else {
 		cp.frontier = append(cp.frontier, qid)
 	}
 	return true
 }
 
-// clusterNeoCores processes cluster evolution driven by neo-cores: each
-// nascent-reachable component gathers the cluster ids of its minimal
-// bonding cores M⁺; no ids means a new cluster emerges, one id means the
-// cluster expands, several mean those clusters merge (Algorithm 2 lines
-// 9-13). Captures fan out in parallel; assembly and fold run fused per
-// component, in seed order, so merger order — and therefore every union in
-// the cid forest — matches the serial walk.
-func (e *Engine) clusterNeoCores(neoCores []int64) {
+// captureNeoCores is the neo-core capture fan-out, hoisted by Advance next
+// to captureExCores (see the file header): it runs while the C_out points
+// are still resident in the index — they are skipped by label — and before
+// any fold mutates engine state.
+func (e *Engine) captureNeoCores(neoCores []int64) {
 	if len(neoCores) == 0 {
 		return
 	}
@@ -488,7 +518,19 @@ func (e *Engine) clusterNeoCores(neoCores []int64) {
 	}
 	e.noteClusterWorkers(e.fanOut(len(neoCores), e.neoCapFanFn))
 	e.fanNeoCores = nil
+}
 
+// clusterNeoCores processes cluster evolution driven by neo-cores: each
+// nascent-reachable component gathers the cluster ids of its minimal
+// bonding cores M⁺; no ids means a new cluster emerges, one id means the
+// cluster expands, several mean those clusters merge (Algorithm 2 lines
+// 9-13). Captures already fanned out (captureNeoCores); assembly and fold
+// run fused per component, in seed order, so merger order — and therefore
+// every union in the cid forest — matches the serial walk.
+func (e *Engine) clusterNeoCores(neoCores []int64) {
+	if len(neoCores) == 0 {
+		return
+	}
 	for _, seed := range neoCores {
 		if e.pts[seed].neoStamp == e.stride {
 			continue // covered by an earlier component
@@ -511,8 +553,8 @@ func (e *Engine) clusterNeoCores(neoCores []int64) {
 				q.hint = nid
 				e.markAffected(qid, q)
 			}
-			for _, raw := range cp.rawCIDs {
-				cid := e.cids.Find(raw)
+			for _, bid := range cp.bondIDs {
+				cid := e.cids.Find(e.pts[bid].cid)
 				if !containsCID(e.cidScratch, cid) {
 					e.cidScratch = append(e.cidScratch, cid)
 				}

@@ -197,9 +197,10 @@ func FuzzParallelCluster(f *testing.F) {
 	})
 }
 
-// TestConnectivityZeroAlloc verifies the MS-BFS scratch-pool contract: once
-// warmed up, a connectivity check — connected or split, pooled or
-// sequential-BFS — performs zero heap allocations.
+// TestConnectivityZeroAlloc verifies the connectivity scratch-pool
+// contract: once warmed up, a connectivity check — connected or split,
+// pooled MS-BFS, sequential-BFS, or a dynamic-forest query — performs zero
+// heap allocations.
 func TestConnectivityZeroAlloc(t *testing.T) {
 	cases := []struct {
 		name string
@@ -207,6 +208,7 @@ func TestConnectivityZeroAlloc(t *testing.T) {
 	}{
 		{"msbfs", nil},
 		{"seq", []Option{WithMSBFS(false)}},
+		{"dynamic", []Option{WithConnectivity(ConnDynamic)}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

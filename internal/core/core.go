@@ -32,9 +32,11 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"disc/internal/dsu"
+	"disc/internal/dyncon"
 	"disc/internal/geom"
 	"disc/internal/model"
 	"disc/internal/rtree"
@@ -124,6 +126,18 @@ type Engine struct {
 	onEvent  func(Event)
 	observer Observer
 
+	// Connectivity strategy (dyncon.go). With ConnDynamic the engine keeps
+	// forest — a dynamic-connectivity structure over the core-adjacency
+	// graph — in sync with every stride's core delta and answers phase-C
+	// component queries from it instead of traversing. connMu serializes the
+	// sequential connectivity() convenience, whose scratch and result are
+	// engine-owned singletons. forestRebuilds counts lifetime full rebuilds
+	// (restores and desync fallbacks).
+	connStrategy   ConnStrategy
+	forest         *dyncon.Forest
+	connMu         sync.Mutex
+	forestRebuilds int64
+
 	// Span recording (trace.go). tracer enables self-traced advances;
 	// curTrace/advParent are set for the duration of one traced advance
 	// (either self-started or caller-owned via AdvanceTraced). advSpan is
@@ -151,6 +165,19 @@ type Engine struct {
 	strideMerges         int64
 	strideClusterWorkers int
 	strideConnChecks     int
+
+	// Connectivity telemetry for the stride: traversal work (MS-BFS modes),
+	// phase-C wall time, and — under ConnDynamic — the forest maintenance
+	// cost. None of this feeds model.Stats; engine statistics are
+	// strategy-independent by contract (see msbfs.go).
+	strideConnSearches       int64
+	strideConnNodes          int64
+	strideConnDur            time.Duration
+	strideForestDur          time.Duration
+	strideForestOps          int64
+	strideForestReplSearches int64
+	strideForestReplScans    int64
+	strideForestRebuilds     int64
 
 	// Scratch reused across strides. None of this is observable state and
 	// none of it is persisted (persist.go serializes an explicit field
@@ -205,6 +232,8 @@ type Engine struct {
 	hintFn       func(qid int64, p geom.Vec) bool
 	hintSelf     int64
 	hintFound    int64
+	rebuildFn    func(qid int64, p geom.Vec) bool
+	rebuildSelf  int64
 }
 
 // New returns a DISC engine for the given configuration. It panics on an
@@ -229,6 +258,7 @@ func New(cfg model.Config, opts ...Option) *Engine {
 	e.neoCapFanFn = e.neoCapSearch
 	e.connFanFn = e.connCheck
 	e.hintFn = e.hintVisit
+	e.rebuildFn = e.rebuildVisit
 	for _, o := range opts {
 		o(e)
 	}
@@ -263,6 +293,10 @@ func (e *Engine) advance(in, out []model.Point) {
 	e.strideMerges = 0
 	e.strideClusterWorkers = 0
 	e.strideConnChecks = 0
+	e.strideConnSearches, e.strideConnNodes = 0, 0
+	e.strideConnDur, e.strideForestDur = 0, 0
+	e.strideForestOps, e.strideForestReplSearches, e.strideForestReplScans = 0, 0, 0
+	e.strideForestRebuilds = 0
 	poolBefore := e.poolGrows()
 	treeBefore := e.tree.Stats()
 	statsBefore := e.stats
@@ -289,6 +323,17 @@ func (e *Engine) advance(in, out []model.Point) {
 	}
 	if e.trackAllocs {
 		runtime.ReadMemStats(&m1)
+	}
+	// Both capture fan-outs run up front, against the same index contents
+	// (exited ex-cores still resident), in every connectivity mode: the
+	// dynamic forest needs the full core-graph delta — neo-core edges
+	// included — before the ex-core phase queries it, and running the
+	// captures at the same point regardless of strategy is what keeps the
+	// search statistics strategy-identical.
+	e.captureExCores(exCores)
+	e.captureNeoCores(neoCores)
+	if e.connStrategy == ConnDynamic {
+		e.syncForest(exCores, neoCores)
 	}
 	e.clusterExCores(exCores)
 	// Algorithm 2 line 8: ex-cores that exited the window stay in the R-tree

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -208,6 +209,68 @@ func BenchmarkConnectivity(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ringPoints lays n points on a circle with ~spacing chord length between
+// ring neighbors, so with Eps just above spacing every point is adjacent to
+// exactly its two ring neighbors — a single cluster shaped like one giant
+// cycle.
+func ringPoints(idBase int64, n int, spacing float64) []model.Point {
+	r := float64(n) * spacing / (2 * math.Pi)
+	pts := make([]model.Point, n)
+	for i := range pts {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = model.Point{ID: idBase + int64(i), Pos: geom.NewVec(r*math.Cos(th), r*math.Sin(th))}
+	}
+	return pts
+}
+
+// BenchmarkConnectivityStrategy is the churn-heavy workload the dynamic
+// forest exists for: a ring of ~1k cores where each iteration removes a
+// small interior block (forcing a connectivity check whose bonding cores are
+// only connected the long way around) and re-adds it under fresh ids. The
+// MS-BFS strategy re-traverses O(window) cores on every removal stride; the
+// maintained forest answers the same query from a handful of root walks plus
+// a polylog replacement-edge search per cut.
+func BenchmarkConnectivityStrategy(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"msbfs", nil},
+		{"dynamic", []Option{WithConnectivity(ConnDynamic)}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			const n, blockStart, blockLen = 1024, 100, 8
+			cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 2}
+			eng := New(cfg, variant.opts...)
+			ring := ringPoints(0, n, 0.9)
+			eng.Advance(ring, nil)
+			cur := make([]model.Point, blockLen)
+			copy(cur, ring[blockStart:blockStart+blockLen])
+			out := make([]model.Point, blockLen)
+			in := make([]model.Point, blockLen)
+			nextID := int64(n)
+			churn := func() {
+				for j := range out {
+					out[j] = model.Point{ID: cur[j].ID}
+				}
+				eng.Advance(nil, out) // shrink: M⁻ connected only the long way
+				for j := range in {
+					in[j] = model.Point{ID: nextID, Pos: cur[j].Pos}
+					cur[j] = in[j]
+					nextID++
+				}
+				eng.Advance(in, nil) // expansion: the block returns, fresh ids
+			}
+			churn() // warm the pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				churn()
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"disc/internal/dsu"
+	"disc/internal/dyncon"
 	"disc/internal/geom"
 	"disc/internal/model"
 	"disc/internal/queue"
@@ -16,14 +17,29 @@ import (
 // Since the CLUSTER phase went parallel (cluster_parallel.go), connectivity
 // checks for independent components may run concurrently, so a check must
 // not write anything another check could read: every expansion search uses
-// SearchBallRO, the visited set lives outside the index, and all side
-// effects the serial algorithm applied inline (border-hint refreshes,
-// affected-set marks, statistics, thread-merge counts) are recorded into a
-// caller-owned connResult and replayed later in a deterministic order. The
-// paper's in-tree epoch probing (Algorithm 4) is therefore retired from this
-// path — its entry stamps are writes into shared index pages — and its idea
-// survives as the instance tick below; the index implementations keep
-// SearchBallEpoch for single-threaded users (see internal/incdbscan).
+// SearchBallRO, the visited set lives outside the index, and the check's
+// outputs (component count, members, work counters) are recorded into a
+// caller-owned connResult. The paper's in-tree epoch probing (Algorithm 4)
+// is therefore retired from this path — its entry stamps are writes into
+// shared index pages — and its idea survives as the instance tick below; the
+// index implementations keep SearchBallEpoch for single-threaded users (see
+// internal/incdbscan).
+//
+// A connectivity check is free of engine side effects by contract: it must
+// answer exactly the same observable question as the maintained dyncon
+// forest (WithConnectivity(ConnDynamic)), which performs no traversal at
+// all, so nothing the traversal incidentally touches may leak into engine
+// state. Border-hint refreshes and affected-set marks are owned entirely by
+// the capture/fold pipeline (every border adjacent to a dying core is
+// marked affected by that core's capture, and finalize re-derives any hint
+// the stride invalidated), and the traversal's search/node counts feed
+// per-stride telemetry (StrideRecord.ConnSearches/ConnNodes), not
+// model.Stats. For the same reason closed components are reported in a
+// strategy-independent canonical order: ascending minimum starter
+// (bonding-core) index. Sequential BFS produces that order naturally; MS-
+// BFS closes components in an emergent round-robin order and sorts them
+// (canonicalizeComponents); the forest reports roots in first-seen starter
+// order, which is the same order by construction.
 //
 // All per-instance state lives in an msScratch owned by one goroutine
 // (the engine keeps one per CLUSTER worker slot) and reused across
@@ -61,8 +77,7 @@ import (
 // by s's group, the merge was detected — contradiction. Otherwise t enqueued
 // u and u would have been expanded by t's group, not s's — contradiction.
 // Non-core points never join the traversal; they are stamped on first touch
-// (after recording their border-hint refresh) since nothing revisits them
-// within one instance.
+// since nothing revisits them within one instance.
 
 // scratchVisitedCap bounds the visited map's retained size: after an
 // instance that left more entries than this, the map is compacted (capacity
@@ -88,17 +103,19 @@ type visitEntry struct {
 // expanded so far. Merged groups concatenate both. Groups are pooled on the
 // scratch; reset reuses the member slice's capacity.
 type group struct {
-	q       queue.Q
-	members []int64
-	closed  bool // finished a whole connected component
-	dead    bool // absorbed into another thread
-	root    int  // current starter index whose slot points at this group
+	q        queue.Q
+	members  []int64
+	closed   bool // finished a whole connected component
+	dead     bool // absorbed into another thread
+	root     int  // current starter index whose slot points at this group
+	minStart int  // smallest starter index merged into this thread
 }
 
 func (g *group) reset(i int) {
 	g.members = g.members[:0]
 	g.closed, g.dead = false, false
 	g.root = i
+	g.minStart = i
 }
 
 // msScratch is the pooled per-goroutine state of connectivity checks; see
@@ -142,10 +159,9 @@ func newMSScratch(e *Engine) *msScratch {
 			return true
 		}
 		if !e.isCoreNow(q) {
-			// Record the border-hint refresh: center is a current core
-			// ε-adjacent to q. One touch suffices within this instance.
-			s.res.hints = append(s.res.hints, hintOp{target: qid, arg: s.center})
-			s.res.affected = append(s.res.affected, qid)
+			// Non-core neighbor: not part of the traversal. No side effect is
+			// recorded (see the header contract): its hint and affected state
+			// are owned by the capture/fold pipeline and finalize.
 			s.stamp(qid)
 			return true
 		}
@@ -213,28 +229,34 @@ func (s *msScratch) ensureGroups(n int) {
 	s.slots = s.slots[:n]
 }
 
-// connResult records everything one connectivity check computed and wants
-// done to engine state — the check itself mutates nothing shared. All
-// slices are pooled by reset. Closed components are stored flattened:
-// component i is closedIDs[closedOff[i]:closedOff[i+1]].
+// connResult records everything one connectivity check computed — the check
+// itself mutates nothing shared. All slices are pooled by reset. Closed
+// components are stored flattened: component i is
+// closedIDs[closedOff[i]:closedOff[i+1]], in the canonical strategy-
+// independent order (ascending minimum starter index).
 type connResult struct {
 	ncc      int
 	merges   int64 // MS-BFS thread merges
 	searches int64 // expansion searches run
 	nodes    int64 // index nodes those searches touched
-	hints    []hintOp
-	affected []int64
 
 	closedIDs []int64
 	closedOff []int
+	closedMin []int // per closed component: minimum starter index (MS-BFS)
+
+	// Canonicalization and forest-query scratch, pooled like the rest.
+	ordIdx []int32
+	tmpIDs []int64
+	tmpOff []int
+	roots  []dyncon.Component
 }
 
 func (r *connResult) reset() {
 	r.ncc, r.merges, r.searches, r.nodes = 0, 0, 0, 0
-	r.hints = r.hints[:0]
-	r.affected = r.affected[:0]
 	r.closedIDs = r.closedIDs[:0]
 	r.closedOff = append(r.closedOff[:0], 0)
+	r.closedMin = r.closedMin[:0]
+	r.roots = r.roots[:0]
 }
 
 // components returns how many closed components were recorded. MS-BFS
@@ -274,6 +296,10 @@ func (e *Engine) connectivityInto(bonding []int64, s *msScratch, res *connResult
 	if len(bonding) == 0 {
 		return
 	}
+	if e.connStrategy == ConnDynamic {
+		e.forestConnectivityInto(bonding, res)
+		return
+	}
 	s.begin(e.useEpoch)
 	if e.useMSBFS {
 		e.multiStarterBFS(bonding, s, res)
@@ -283,14 +309,22 @@ func (e *Engine) connectivityInto(bonding []int64, s *msScratch, res *connResult
 }
 
 // connectivity is the sequential convenience form used by tests and tools:
-// it runs one check against the engine's own scratch and applies the
-// recorded side effects immediately, returning materialized components.
-// The CLUSTER pipeline instead calls connectivityInto with per-worker
-// scratches and folds the results in component order (cluster_parallel.go).
+// it runs one check against the engine's own scratch (e.scratches[0]) and
+// shared result buffer (e.connRes), returning materialized components. The
+// CLUSTER pipeline instead calls connectivityInto with per-worker scratches
+// and folds the results in component order (cluster_parallel.go).
+//
+// Because the borrowed scratch and result are engine-owned singletons, the
+// body runs under connMu: concurrent callers serialize instead of racing on
+// them. It still must not run concurrently with Advance (which owns the
+// same scratches through the CLUSTER fan-out), and with ConnDynamic it
+// answers from the forest as of the last completed stride.
 func (e *Engine) connectivity(bonding []int64) (closed [][]int64, ncc int) {
 	if len(bonding) == 0 {
 		return nil, 0
 	}
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
 	e.ensureScratches(1)
 	res := &e.connRes
 	e.connectivityInto(bonding, e.scratches[0], res)
@@ -301,22 +335,20 @@ func (e *Engine) connectivity(bonding []int64) (closed [][]int64, ncc int) {
 	return closed, res.ncc
 }
 
-// applyConnResult replays a check's recorded side effects into the engine:
-// unconditional border-hint refreshes, affected-set marks, and the
-// search/node/merge statistics. Must run single-threaded.
+// applyConnResult folds a check's work counters into the per-stride
+// connectivity telemetry. Deliberately NOT model.Stats: the traversal work
+// is an implementation cost of the MS-BFS strategy, and engine statistics
+// must stay bit-identical when the dyncon forest answers the same query
+// with no traversal at all. Must run single-threaded.
 func (e *Engine) applyConnResult(res *connResult) {
-	e.applyHintOps(res.hints)
-	for _, qid := range res.affected {
-		e.markAffected(qid, e.pts[qid])
-	}
-	e.stats.RangeSearches += res.searches
-	e.stats.NodeAccesses += res.nodes
+	e.strideConnSearches += res.searches
+	e.strideConnNodes += res.nodes
 	e.strideMerges += res.merges
 }
 
-// expand runs the read-only expansion search around core center, recording
-// border-hint refreshes into s.res and collecting every un-stamped core
-// neighbor into s.coreBuf (valid until the next expand on this scratch).
+// expand runs the read-only expansion search around core center, collecting
+// every un-stamped core neighbor into s.coreBuf (valid until the next
+// expand on this scratch).
 func (e *Engine) expand(center int64, s *msScratch, res *connResult) {
 	s.center = center
 	s.res = res
@@ -373,6 +405,7 @@ func (e *Engine) multiStarterBFS(bonding []int64, s *msScratch, res *connResult)
 				g.closed = true
 				live--
 				res.closeComponent(g.members)
+				res.closedMin = append(res.closedMin, g.minStart)
 				res.ncc++
 				continue
 			}
@@ -401,6 +434,9 @@ func (e *Engine) multiStarterBFS(bonding []int64, s *msScratch, res *connResult)
 				g.members = append(g.members, other.members...)
 				other.members = other.members[:0]
 				other.dead = true
+				if other.minStart < g.minStart {
+					g.minStart = other.minStart
+				}
 				g.root = s.threads.Find(g.root)
 				s.slots[g.root] = g
 				live--
@@ -408,6 +444,53 @@ func (e *Engine) multiStarterBFS(bonding []int64, s *msScratch, res *connResult)
 		}
 		s.active = w
 	}
+	canonicalizeComponents(res)
+}
+
+// canonicalizeComponents reorders the closed components into the canonical
+// strategy-independent order: ascending minimum starter index (closedMin).
+// MS-BFS closes components in an emergent order — whichever thread drains
+// first — which depends on traversal geometry; the other strategies produce
+// the canonical order natively, and split relabeling assigns fresh cluster
+// ids per component in recorded order, so the order is observable and must
+// match. All scratch is pooled on the result; the common already-sorted
+// case costs one scan.
+func canonicalizeComponents(res *connResult) {
+	n := res.components()
+	if n <= 1 {
+		return
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if res.closedMin[i] < res.closedMin[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	res.ordIdx = res.ordIdx[:0]
+	for i := 0; i < n; i++ {
+		res.ordIdx = append(res.ordIdx, int32(i))
+	}
+	// Insertion sort: component counts are small and a closure-based sort
+	// would allocate on this otherwise allocation-free path.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && res.closedMin[res.ordIdx[j]] < res.closedMin[res.ordIdx[j-1]]; j-- {
+			res.ordIdx[j], res.ordIdx[j-1] = res.ordIdx[j-1], res.ordIdx[j]
+		}
+	}
+	res.tmpIDs = res.tmpIDs[:0]
+	res.tmpOff = append(res.tmpOff[:0], 0)
+	for _, k := range res.ordIdx {
+		res.tmpIDs = append(res.tmpIDs, res.component(int(k))...)
+		res.tmpOff = append(res.tmpOff, len(res.tmpIDs))
+	}
+	// Swap the buffers so both stay pooled; closedMin is stale afterwards
+	// but is only consumed by this ordering pass.
+	res.closedIDs, res.tmpIDs = res.tmpIDs, res.closedIDs
+	res.closedOff, res.tmpOff = res.tmpOff, res.closedOff
 }
 
 // sequentialBFS is the ablation fallback: classic one-source BFS repeated

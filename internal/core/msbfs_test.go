@@ -198,9 +198,53 @@ func TestConnectivityRandomGraphsAllVariants(t *testing.T) {
 	}
 }
 
-// TestExpandRefreshesHints: expanding a core must set the border hint of its
-// non-core neighbors.
-func TestExpandRefreshesHints(t *testing.T) {
+// TestExpandIsSideEffectFree: a connectivity expansion must leave engine
+// state untouched — hints, affected set, and model.Stats included — because
+// the dyncon forest strategy answers the identical query with no traversal
+// at all (see the msbfs.go header contract). Its traversal work lands in the
+// per-stride telemetry counters instead.
+func TestExpandIsSideEffectFree(t *testing.T) {
+	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
+	pts := []model.Point{
+		{ID: 1, Pos: geom.NewVec(0, 0)},
+		{ID: 2, Pos: geom.NewVec(0.5, 0)},
+		{ID: 3, Pos: geom.NewVec(1.0, 0)},
+		{ID: 4, Pos: geom.NewVec(1.8, 0)}, // border: only neighbor 3
+	}
+	eng := buildEngine(t, cfg, pts)
+	st := eng.pts[4]
+	st.hint = noHint // a traversal touching 4 must NOT repair this
+	statsBefore := eng.Stats()
+	eng.affected = eng.affected[:0]
+	eng.ensureScratches(1)
+	s := eng.scratches[0]
+	res := &eng.connRes
+	res.reset()
+	s.begin(eng.useEpoch)
+	eng.expand(3, s, res)
+	eng.applyConnResult(res)
+	if st.hint != noHint {
+		t.Fatalf("expansion wrote a border hint (%d); traversal must be side-effect-free", st.hint)
+	}
+	if len(eng.affected) != 0 {
+		t.Fatalf("expansion marked %d points affected", len(eng.affected))
+	}
+	if got := eng.Stats(); got != statsBefore {
+		t.Fatalf("expansion changed model.Stats:\nbefore %+v\nafter  %+v", statsBefore, got)
+	}
+	if res.searches != 1 || res.nodes == 0 {
+		t.Fatalf("traversal work not recorded in the result: searches=%d nodes=%d", res.searches, res.nodes)
+	}
+	if eng.strideConnSearches != 1 || eng.strideConnNodes != res.nodes {
+		t.Fatalf("applyConnResult must fold work into telemetry: searches=%d nodes=%d",
+			eng.strideConnSearches, eng.strideConnNodes)
+	}
+}
+
+// TestFinalizeHealsInvalidHint: the border-hint repair that used to ride on
+// connectivity traversals is owned by finalize — an invalidated hint is
+// re-acquired there via a targeted range search.
+func TestFinalizeHealsInvalidHint(t *testing.T) {
 	cfg := model.Config{Dims: 2, Eps: 1.0, MinPts: 3}
 	pts := []model.Point{
 		{ID: 1, Pos: geom.NewVec(0, 0)},
@@ -213,15 +257,13 @@ func TestExpandRefreshesHints(t *testing.T) {
 	st.hint = noHint // sabotage
 	eng.stride++     // fresh stride scope for markAffected
 	eng.affected = eng.affected[:0]
-	eng.ensureScratches(1)
-	s := eng.scratches[0]
-	res := &eng.connRes
-	res.reset()
-	s.begin(eng.useEpoch)
-	eng.expand(3, s, res)
-	eng.applyConnResult(res)
+	eng.markAffected(4, st)
+	eng.finalize()
 	if st.hint != 3 {
-		t.Fatalf("hint = %d, want 3", st.hint)
+		t.Fatalf("finalize left hint = %d, want 3", st.hint)
+	}
+	if st.label != model.Border {
+		t.Fatalf("finalize left label = %v, want Border", st.label)
 	}
 }
 

@@ -56,8 +56,25 @@ type StrideRecord struct {
 
 	Workers        int   // COLLECT fan-out width actually used this stride
 	ClusterWorkers int   // widest CLUSTER fan-out (captures or connectivity) this stride
-	ConnChecks     int   // MS-BFS connectivity checks dispatched this stride
+	ConnChecks     int   // connectivity checks dispatched this stride
 	PoolGrows      int64 // scratch-pool misses (new allocations) this stride
+
+	// Connectivity-strategy telemetry. These fields are the one part of the
+	// record that is NOT strategy-independent — they measure how the
+	// configured strategy paid for the (identical) answers. Traversal
+	// counters are zero under ConnDynamic; forest counters are zero under
+	// the MS-BFS strategies.
+	ConnStrategy       string        // "msbfs" or "dynamic"
+	Connectivity       time.Duration // wall time of the phase-C query fan-out
+	ForestUpdate       time.Duration // wall time syncing the dyncon forest
+	ConnSearches       int64         // traversal expansion searches run
+	ConnNodes          int64         // index nodes those searches touched
+	ForestOps          int64         // forest mutations applied (vertices + edges)
+	ForestReplSearches int64         // replacement-edge searches after tree cuts
+	ForestReplScans    int64         // candidate edges scanned by those searches
+	ForestRebuilds     int64         // full forest rebuilds (desync fallbacks)
+	ForestVertices     int           // forest size after the stride (cores)
+	ForestEdges        int           // core-adjacency edges tracked
 
 	// TraceID is the 32-hex-char id of the trace that recorded this
 	// stride's span tree ("" when the advance ran untraced). Slow-stride
@@ -111,6 +128,10 @@ func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
 	if e.curTrace != nil {
 		traceID = e.curTrace.ID().String()
 	}
+	var forestVertices, forestEdges int
+	if e.forest != nil {
+		forestVertices, forestEdges = e.forest.NumVertices(), e.forest.NumEdges()
+	}
 	e.observer.ObserveStride(StrideRecord{
 		Stride:         e.stride,
 		DeltaIn:        len(in),
@@ -137,6 +158,19 @@ func (e *Engine) observeStride(in, out []model.Point, exCores, neoCores int,
 		ClusterWorkers: clusterWorkers,
 		ConnChecks:     e.strideConnChecks,
 		PoolGrows:      poolGrows,
-		TraceID:        traceID,
+
+		ConnStrategy:       e.connStrategy.String(),
+		Connectivity:       e.strideConnDur,
+		ForestUpdate:       e.strideForestDur,
+		ConnSearches:       e.strideConnSearches,
+		ConnNodes:          e.strideConnNodes,
+		ForestOps:          e.strideForestOps,
+		ForestReplSearches: e.strideForestReplSearches,
+		ForestReplScans:    e.strideForestReplScans,
+		ForestRebuilds:     e.strideForestRebuilds,
+		ForestVertices:     forestVertices,
+		ForestEdges:        forestEdges,
+
+		TraceID: traceID,
 	})
 }

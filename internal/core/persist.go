@@ -53,6 +53,12 @@ type persistedEngine struct {
 	Stride    uint64
 	Stats     model.Stats
 	Points    []persistedPoint
+
+	// ConnStrategy is the configured connectivity strategy (zero in older
+	// snapshots decodes as ConnMSBFS). Only the setting is persisted: the
+	// dyncon forest itself is scratch, derivable from the points, and is
+	// rebuilt by LoadEngine.
+	ConnStrategy uint8
 }
 
 // SaveSnapshot writes the engine's full state to w. It must not be called
@@ -79,6 +85,8 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		Stride:    e.stride,
 		Stats:     e.stats,
 		Points:    make([]persistedPoint, 0, len(e.pts)),
+
+		ConnStrategy: uint8(e.connStrategy),
 	}
 	for id, st := range e.pts {
 		cid := st.cid
@@ -159,8 +167,16 @@ func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
 		e.tree = rtree.New(ps.Cfg.Dims)
 	}
 	e.tree.BulkLoad(ids, pos)
+	// Restore the persisted strategy through its own option so the forest is
+	// allocated too; caller options run after and may override it.
+	WithConnectivity(ConnStrategy(ps.ConnStrategy))(e)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.connStrategy == ConnDynamic {
+		// The forest is never serialized; rebuild it from the restored
+		// window so the first Advance finds it in sync.
+		e.rebuildForest()
 	}
 	return e, nil
 }

@@ -1,0 +1,567 @@
+// Package dyncon maintains the connected components of an undirected graph
+// under vertex and edge insertions AND deletions — dynamic connectivity.
+//
+// DISC consults it for the CLUSTER connectivity check (Algorithm 2): instead
+// of re-discovering the density-connected components of the minimal bonding
+// cores with a fresh multi-starter BFS every stride, the engine keeps a
+// Forest over the core-adjacency graph (vertices: current cores; edges:
+// ε-adjacent core pairs) and applies only the stride's delta — ex-cores
+// leave, neo-cores arrive — so a component query costs a tree walk instead
+// of a traversal of the component ("Dynamic DBSCAN with Euler Tour
+// Sequences", arXiv 2503.08246, applies the same structure to fully-dynamic
+// DBSCAN).
+//
+// # Structure
+//
+// A spanning forest of the graph is represented as Euler tour sequences:
+// the tour of each spanning tree — one self-loop occurrence per vertex plus
+// the two directed arcs of every tree edge — is stored in a balanced search
+// tree keyed by tour position. We use treaps with parent pointers and
+// deterministic pseudo-random priorities (splitmix64 of an insertion
+// counter): two vertices are connected iff their self-loop nodes reach the
+// same treap root, and link/cut are O(log n) expected splits and merges of
+// the tour.
+//
+// Non-tree edges (edges whose endpoints were already connected when the
+// edge was inserted) live in per-vertex adjacency sets. Deleting a non-tree
+// edge never changes connectivity. Deleting a tree edge cuts the tour in
+// two; a replacement edge, if one exists, must be a non-tree edge with one
+// endpoint on each side, so the smaller side (by maintained vertex count)
+// is searched for one. Each tour node additionally aggregates the non-tree
+// degree of the self-loops below it (ntSum), so the search descends only
+// into subtrees that actually hold non-tree edges: a side with none is
+// dismissed in O(1), and in general the search costs O(k log n) for k
+// candidate edges scanned rather than O(side size). This is the
+// replacement-edge scheme of Henzinger–King without the level hierarchy of
+// Holm–de Lichtenberg–Thorup: worst-case deletions can rescan edges, but
+// the stride deltas DISC applies are small and the common case — a churned
+// chain or ring where MS-BFS would traverse the whole component — is
+// polylogarithmic.
+//
+// # Concurrency
+//
+// Mutating calls (Add/Remove) require external serialization. The query
+// surface — HasVertex, Root, Connected, Size, AppendMembers, NumVertices,
+// NumEdges — is strictly read-only (root walks never rotate, splay, or
+// path-compress), so any number of queries may run concurrently with each
+// other, as the parallel CLUSTER phase does, provided no mutation is in
+// flight.
+//
+// # Strictness
+//
+// Every mutation reports whether the forest state matched the caller's
+// expectation (vertex absent on add, edge present on remove, ...). A false
+// return means the caller's view of the graph has diverged from the
+// forest's — DISC treats that as desync and rebuilds from scratch — and
+// leaves the forest unchanged.
+package dyncon
+
+// Stats counts the structural work the forest has performed since creation
+// (Reset does not clear it). All fields are monotonic.
+type Stats struct {
+	VertexAdds    int64
+	VertexRemoves int64
+	EdgeAdds      int64
+	EdgeRemoves   int64
+	Links         int64 // tree-edge attachments (including promoted replacements)
+	Cuts          int64 // tree-edge detachments
+	// ReplacementSearches counts tree-edge deletions that had candidate
+	// non-tree edges to scan; ReplacementScans counts the candidate edges
+	// examined across those searches.
+	ReplacementSearches int64
+	ReplacementScans    int64
+}
+
+// Ops returns the total number of graph mutations applied.
+func (s Stats) Ops() int64 {
+	return s.VertexAdds + s.VertexRemoves + s.EdgeAdds + s.EdgeRemoves
+}
+
+// node is one Euler-tour occurrence: a vertex self-loop (loop=true, vid
+// valid) or one directed arc of a tree edge. Nodes form a treap ordered by
+// tour position (no explicit keys; position is implicit) with max-heap
+// priorities.
+type node struct {
+	parent, left, right *node
+	prio                uint64
+	vid                 int64
+	loop                bool
+	ntDeg               int32 // self-loops: incident non-tree edges
+	size                int32 // subtree: total nodes
+	vcount              int32 // subtree: self-loops (= vertices)
+	ntSum               int32 // subtree: sum of ntDeg
+}
+
+// update recomputes x's aggregates from its children.
+func (x *node) update() {
+	x.size, x.ntSum = 1, x.ntDeg
+	if x.loop {
+		x.vcount = 1
+	} else {
+		x.vcount = 0
+	}
+	if l := x.left; l != nil {
+		x.size += l.size
+		x.vcount += l.vcount
+		x.ntSum += l.ntSum
+	}
+	if r := x.right; r != nil {
+		x.size += r.size
+		x.vcount += r.vcount
+		x.ntSum += r.ntSum
+	}
+}
+
+// merge concatenates two treaps (every position in a before every position
+// in b) and returns the new root, with its parent pointer cleared.
+func merge(a, b *node) *node {
+	if a == nil {
+		if b != nil {
+			b.parent = nil
+		}
+		return b
+	}
+	if b == nil {
+		a.parent = nil
+		return a
+	}
+	if a.prio >= b.prio {
+		r := merge(a.right, b)
+		a.right = r
+		r.parent = a
+		a.update()
+		a.parent = nil
+		return a
+	}
+	l := merge(a, b.left)
+	b.left = l
+	l.parent = b
+	b.update()
+	b.parent = nil
+	return b
+}
+
+// splitBefore detaches the tour into (everything before x, x and everything
+// after) by walking x's root path, reassembling each severed ancestor
+// segment onto the proper side.
+func splitBefore(x *node) (l, r *node) {
+	l = x.left
+	if l != nil {
+		l.parent = nil
+		x.left = nil
+	}
+	p := x.parent
+	x.parent = nil
+	x.update()
+	r = x
+	cur := x
+	for p != nil {
+		next := p.parent
+		fromRight := p.right == cur
+		if fromRight {
+			// p and its left subtree precede x: prepend to l.
+			p.right = nil
+			p.parent = nil
+			p.update()
+			l = merge(p, l)
+		} else {
+			// p and its right subtree follow x: append to r.
+			p.left = nil
+			p.parent = nil
+			p.update()
+			r = merge(r, p)
+		}
+		cur, p = p, next
+	}
+	return l, r
+}
+
+// removeNode deletes x (known to be in root's treap) and returns the new
+// root, which may be nil.
+func removeNode(root, x *node) *node {
+	sub := merge(x.left, x.right)
+	p := x.parent
+	if sub != nil {
+		sub.parent = p
+	}
+	x.parent, x.left, x.right = nil, nil, nil
+	if p == nil {
+		return sub
+	}
+	if p.left == x {
+		p.left = sub
+	} else {
+		p.right = sub
+	}
+	for q := p; ; q = q.parent {
+		q.update()
+		if q.parent == nil {
+			return q
+		}
+	}
+}
+
+// index returns x's tour position, for ordering the two arcs of a cut.
+func index(x *node) int32 {
+	var i int32
+	if x.left != nil {
+		i = x.left.size
+	}
+	for cur := x; cur.parent != nil; cur = cur.parent {
+		p := cur.parent
+		if p.right == cur {
+			i++
+			if p.left != nil {
+				i += p.left.size
+			}
+		}
+	}
+	return i
+}
+
+// rootOf walks to the treap root. Read-only.
+func rootOf(x *node) *node {
+	for x.parent != nil {
+		x = x.parent
+	}
+	return x
+}
+
+// vertex is a graph vertex: its tour self-loop and its non-tree adjacency.
+type vertex struct {
+	loop *node
+	nt   map[int64]struct{}
+}
+
+// edgeKey is the normalized (a < b) identity of an undirected edge.
+type edgeKey struct{ a, b int64 }
+
+func key(u, v int64) edgeKey {
+	if u < v {
+		return edgeKey{u, v}
+	}
+	return edgeKey{v, u}
+}
+
+// edgeRec is the stored state of one edge. Tree edges carry their two tour
+// arcs (ab runs key.a→key.b).
+type edgeRec struct {
+	tree   bool
+	ab, ba *node
+}
+
+// Component identifies one connected component. It is valid only until the
+// next mutating call on the forest (mutations restructure tours and change
+// roots); compare with == to test "same component".
+type Component struct{ root *node }
+
+// Size returns the number of vertices in the component.
+func (c Component) Size() int {
+	if c.root == nil {
+		return 0
+	}
+	return int(c.root.vcount)
+}
+
+// Forest is the dynamic-connectivity structure. The zero value is not
+// usable; construct with New. See the package comment for the concurrency
+// and strictness contracts.
+type Forest struct {
+	verts map[int64]*vertex
+	edges map[edgeKey]edgeRec
+
+	seq       uint64 // priority sequence; deterministic across runs
+	stats     Stats
+	freeNodes []*node
+	freeVerts []*vertex
+	walk      []*node // replacement-search descent stack (mutation path only)
+}
+
+// New returns an empty forest.
+func New() *Forest {
+	return &Forest{
+		verts: make(map[int64]*vertex),
+		edges: make(map[edgeKey]edgeRec),
+	}
+}
+
+// Reset empties the forest, keeping accumulated Stats. In-flight Components
+// become invalid.
+func (f *Forest) Reset() {
+	clear(f.verts)
+	clear(f.edges)
+	// Tour nodes still linked into dropped trees are unrecoverable without a
+	// traversal; let the GC take them (Reset is the rare rebuild path).
+	f.freeNodes = f.freeNodes[:0]
+	f.freeVerts = f.freeVerts[:0]
+}
+
+// Stats returns the monotonic operation counters.
+func (f *Forest) Stats() Stats { return f.stats }
+
+// NumVertices returns the current vertex count.
+func (f *Forest) NumVertices() int { return len(f.verts) }
+
+// NumEdges returns the current edge count (tree and non-tree).
+func (f *Forest) NumEdges() int { return len(f.edges) }
+
+// splitmix64 is the SplitMix64 finalizer; it turns the sequential counter
+// into well-distributed treap priorities without any runtime randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (f *Forest) newNode(vid int64, loop bool) *node {
+	var x *node
+	if k := len(f.freeNodes); k > 0 {
+		x = f.freeNodes[k-1]
+		f.freeNodes[k-1] = nil
+		f.freeNodes = f.freeNodes[:k-1]
+		*x = node{}
+	} else {
+		x = &node{}
+	}
+	f.seq++
+	x.prio = splitmix64(f.seq)
+	x.vid, x.loop = vid, loop
+	x.update()
+	return x
+}
+
+func (f *Forest) putNode(x *node) {
+	x.parent, x.left, x.right = nil, nil, nil
+	f.freeNodes = append(f.freeNodes, x)
+}
+
+// HasVertex reports whether id is a vertex of the graph. Read-only.
+func (f *Forest) HasVertex(id int64) bool {
+	_, ok := f.verts[id]
+	return ok
+}
+
+// AddVertex inserts an isolated vertex. False if it already exists.
+func (f *Forest) AddVertex(id int64) bool {
+	if _, ok := f.verts[id]; ok {
+		return false
+	}
+	var v *vertex
+	if k := len(f.freeVerts); k > 0 {
+		v = f.freeVerts[k-1]
+		f.freeVerts[k-1] = nil
+		f.freeVerts = f.freeVerts[:k-1]
+	} else {
+		v = &vertex{nt: make(map[int64]struct{})}
+	}
+	v.loop = f.newNode(id, true)
+	f.verts[id] = v
+	f.stats.VertexAdds++
+	return true
+}
+
+// RemoveVertex deletes vertex id, which must be isolated (no incident
+// edges); false if it is absent or still has edges.
+func (f *Forest) RemoveVertex(id int64) bool {
+	v, ok := f.verts[id]
+	if !ok || len(v.nt) != 0 {
+		return false
+	}
+	lp := v.loop
+	if lp.parent != nil || lp.left != nil || lp.right != nil {
+		return false // tour longer than the self-loop ⇒ tree edges remain
+	}
+	delete(f.verts, id)
+	f.putNode(lp)
+	v.loop = nil
+	f.freeVerts = append(f.freeVerts, v)
+	f.stats.VertexRemoves++
+	return true
+}
+
+// Root returns the component of vertex id. Read-only.
+func (f *Forest) Root(id int64) (Component, bool) {
+	v, ok := f.verts[id]
+	if !ok {
+		return Component{}, false
+	}
+	return Component{rootOf(v.loop)}, true
+}
+
+// Connected reports whether u and v are in one component; ok is false when
+// either vertex is absent. Read-only.
+func (f *Forest) Connected(u, v int64) (conn, ok bool) {
+	vu, ok1 := f.verts[u]
+	vv, ok2 := f.verts[v]
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	return rootOf(vu.loop) == rootOf(vv.loop), true
+}
+
+// AppendMembers appends the component's vertex ids to buf in tour order and
+// returns the extended slice. Read-only; allocation-free when buf has
+// capacity.
+func (f *Forest) AppendMembers(c Component, buf []int64) []int64 {
+	return appendLoops(c.root, buf)
+}
+
+func appendLoops(x *node, buf []int64) []int64 {
+	if x == nil {
+		return buf
+	}
+	buf = appendLoops(x.left, buf)
+	if x.loop {
+		buf = append(buf, x.vid)
+	}
+	return appendLoops(x.right, buf)
+}
+
+// bumpNt adjusts the non-tree degree of a self-loop and the ntSum of its
+// whole root path.
+func bumpNt(loop *node, d int32) {
+	loop.ntDeg += d
+	for x := loop; x != nil; x = x.parent {
+		x.ntSum += d
+	}
+}
+
+// reroot rotates the tour of loop's tree so it starts at loop.
+func (f *Forest) reroot(loop *node) *node {
+	l, r := splitBefore(loop)
+	return merge(r, l)
+}
+
+// linkTrees joins the (distinct) trees of u and v with a new tree edge,
+// returning the arcs (u→v, v→u).
+func (f *Forest) linkTrees(lu, lv *node) (uv, vu *node) {
+	tu := f.reroot(lu)
+	tv := f.reroot(lv)
+	uv = f.newNode(0, false)
+	vu = f.newNode(0, false)
+	merge(merge(merge(tu, uv), tv), vu)
+	f.stats.Links++
+	return uv, vu
+}
+
+// AddEdge inserts the undirected edge (u, v). False — with no change — if
+// either vertex is absent, u == v, or the edge already exists.
+func (f *Forest) AddEdge(u, v int64) bool {
+	if u == v {
+		return false
+	}
+	vu, ok1 := f.verts[u]
+	vv, ok2 := f.verts[v]
+	if !ok1 || !ok2 {
+		return false
+	}
+	k := key(u, v)
+	if _, dup := f.edges[k]; dup {
+		return false
+	}
+	if rootOf(vu.loop) != rootOf(vv.loop) {
+		a, b := f.linkTrees(vu.loop, vv.loop)
+		if k.a != u { // arcs are stored keyed: ab runs key.a→key.b
+			a, b = b, a
+		}
+		f.edges[k] = edgeRec{tree: true, ab: a, ba: b}
+	} else {
+		vu.nt[v] = struct{}{}
+		vv.nt[u] = struct{}{}
+		bumpNt(vu.loop, 1)
+		bumpNt(vv.loop, 1)
+		f.edges[k] = edgeRec{}
+	}
+	f.stats.EdgeAdds++
+	return true
+}
+
+// cutArcs removes a tree edge's arcs from the tour, returning the two
+// resulting trees: the tour segment strictly between the arcs, and the
+// outer remainder. Both are non-empty (each contains one endpoint's loop).
+func (f *Forest) cutArcs(x, y *node) (inner, outer *node) {
+	if index(x) > index(y) {
+		x, y = y, x
+	}
+	before, _ := splitBefore(x) // right side = [x] inner [y] after; y stays reachable
+	mid, tail := splitBefore(y) // mid = [x] inner, tail = [y] after
+	inner = removeNode(mid, x)
+	after := removeNode(tail, y)
+	outer = merge(before, after)
+	f.stats.Cuts++
+	return inner, outer
+}
+
+// findReplacement scans the non-tree edges of small's tree for one whose far
+// endpoint lies in other's tree, descending only into subtrees that hold
+// non-tree edges (ntSum > 0).
+func (f *Forest) findReplacement(small, other *node) (a, b int64, ok bool) {
+	f.walk = append(f.walk[:0], small)
+	for len(f.walk) > 0 {
+		x := f.walk[len(f.walk)-1]
+		f.walk = f.walk[:len(f.walk)-1]
+		if x == nil || x.ntSum == 0 {
+			continue
+		}
+		if x.loop && x.ntDeg > 0 {
+			for w := range f.verts[x.vid].nt {
+				f.stats.ReplacementScans++
+				if rootOf(f.verts[w].loop) == other {
+					return x.vid, w, true
+				}
+			}
+		}
+		f.walk = append(f.walk, x.left, x.right)
+	}
+	return 0, 0, false
+}
+
+// RemoveEdge deletes the undirected edge (u, v); false — with no change —
+// if it is absent. Deleting a tree edge promotes a replacement non-tree
+// edge when one reconnects the two sides.
+func (f *Forest) RemoveEdge(u, v int64) bool {
+	k := key(u, v)
+	rec, ok := f.edges[k]
+	if !ok {
+		return false
+	}
+	delete(f.edges, k)
+	f.stats.EdgeRemoves++
+	vu, vv := f.verts[u], f.verts[v]
+	if !rec.tree {
+		delete(vu.nt, v)
+		delete(vv.nt, u)
+		bumpNt(vu.loop, -1)
+		bumpNt(vv.loop, -1)
+		return true
+	}
+	inner, outer := f.cutArcs(rec.ab, rec.ba)
+	f.putNode(rec.ab)
+	f.putNode(rec.ba)
+	small, large := inner, outer
+	if outer.vcount < inner.vcount {
+		small, large = outer, inner
+	}
+	if small.ntSum == 0 {
+		return true // no candidate edges: the split is final
+	}
+	f.stats.ReplacementSearches++
+	ra, rb, found := f.findReplacement(small, large)
+	if !found {
+		return true
+	}
+	// Promote (ra, rb) from non-tree to tree: it now spans the two sides.
+	va, vb := f.verts[ra], f.verts[rb]
+	delete(va.nt, rb)
+	delete(vb.nt, ra)
+	bumpNt(va.loop, -1)
+	bumpNt(vb.loop, -1)
+	ab, ba := f.linkTrees(va.loop, vb.loop)
+	rk := key(ra, rb)
+	if rk.a != ra {
+		ab, ba = ba, ab
+	}
+	f.edges[rk] = edgeRec{tree: true, ab: ab, ba: ba}
+	return true
+}

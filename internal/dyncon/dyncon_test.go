@@ -1,0 +1,335 @@
+package dyncon
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refGraph is the brute-force reference: an adjacency-set graph whose
+// components are recomputed by BFS on every query.
+type refGraph struct {
+	adj map[int64]map[int64]struct{}
+}
+
+func newRef() *refGraph { return &refGraph{adj: make(map[int64]map[int64]struct{})} }
+
+func (g *refGraph) addVertex(id int64) bool {
+	if _, ok := g.adj[id]; ok {
+		return false
+	}
+	g.adj[id] = make(map[int64]struct{})
+	return true
+}
+
+func (g *refGraph) removeVertex(id int64) bool {
+	n, ok := g.adj[id]
+	if !ok || len(n) != 0 {
+		return false
+	}
+	delete(g.adj, id)
+	return true
+}
+
+func (g *refGraph) addEdge(u, v int64) bool {
+	nu, ok1 := g.adj[u]
+	nv, ok2 := g.adj[v]
+	if !ok1 || !ok2 || u == v {
+		return false
+	}
+	if _, dup := nu[v]; dup {
+		return false
+	}
+	nu[v] = struct{}{}
+	nv[u] = struct{}{}
+	return true
+}
+
+func (g *refGraph) removeEdge(u, v int64) bool {
+	nu, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	if _, present := nu[v]; !present {
+		return false
+	}
+	delete(nu, v)
+	delete(g.adj[v], u)
+	return true
+}
+
+func (g *refGraph) edgeCount() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// component returns the sorted members of id's component.
+func (g *refGraph) component(id int64) []int64 {
+	seen := map[int64]bool{id: true}
+	stack := []int64{id}
+	var out []int64
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, c)
+		for w := range g.adj[c] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// checkAgainstRef compares the forest's full component structure with the
+// reference graph's.
+func checkAgainstRef(t *testing.T, f *Forest, g *refGraph) {
+	t.Helper()
+	if f.NumVertices() != len(g.adj) {
+		t.Fatalf("NumVertices = %d, ref %d", f.NumVertices(), len(g.adj))
+	}
+	if f.NumEdges() != g.edgeCount() {
+		t.Fatalf("NumEdges = %d, ref %d", f.NumEdges(), g.edgeCount())
+	}
+	for id := range g.adj {
+		want := g.component(id)
+		c, ok := f.Root(id)
+		if !ok {
+			t.Fatalf("Root(%d): vertex missing", id)
+		}
+		if c.Size() != len(want) {
+			t.Fatalf("component of %d: Size=%d, ref %d", id, c.Size(), len(want))
+		}
+		got := f.AppendMembers(c, nil)
+		slices.Sort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("component of %d: members %v, ref %v", id, got, want)
+		}
+		for _, w := range want {
+			if conn, ok := f.Connected(id, w); !ok || !conn {
+				t.Fatalf("Connected(%d,%d) = %v,%v; ref connected", id, w, conn, ok)
+			}
+		}
+	}
+}
+
+func TestForestBasics(t *testing.T) {
+	f := New()
+	if !f.AddVertex(1) || !f.AddVertex(2) || !f.AddVertex(3) {
+		t.Fatal("fresh vertex adds must succeed")
+	}
+	if f.AddVertex(2) {
+		t.Fatal("duplicate vertex add must fail")
+	}
+	if f.AddEdge(1, 1) {
+		t.Fatal("self-loop must fail")
+	}
+	if f.AddEdge(1, 9) {
+		t.Fatal("edge to missing vertex must fail")
+	}
+	if !f.AddEdge(1, 2) {
+		t.Fatal("fresh edge add must succeed")
+	}
+	if f.AddEdge(2, 1) {
+		t.Fatal("duplicate edge add (either orientation) must fail")
+	}
+	if conn, ok := f.Connected(1, 2); !ok || !conn {
+		t.Fatal("1-2 must be connected")
+	}
+	if conn, ok := f.Connected(1, 3); !ok || conn {
+		t.Fatal("1-3 must not be connected")
+	}
+	if f.RemoveVertex(1) {
+		t.Fatal("removing a vertex with edges must fail")
+	}
+	if f.RemoveEdge(1, 3) {
+		t.Fatal("removing an absent edge must fail")
+	}
+	if !f.RemoveEdge(2, 1) {
+		t.Fatal("removing a present edge must succeed")
+	}
+	if !f.RemoveVertex(1) || !f.RemoveVertex(2) || !f.RemoveVertex(3) {
+		t.Fatal("removing isolated vertices must succeed")
+	}
+	if f.RemoveVertex(3) {
+		t.Fatal("removing an absent vertex must fail")
+	}
+	if f.NumVertices() != 0 || f.NumEdges() != 0 {
+		t.Fatalf("forest not empty: %d vertices, %d edges", f.NumVertices(), f.NumEdges())
+	}
+}
+
+// TestForestReplacement pins the replacement-edge mechanics on a ring:
+// cutting any single ring edge must keep the ring connected (the non-tree
+// closing edge is promoted), and cutting a second edge must split it.
+func TestForestReplacement(t *testing.T) {
+	const n = 64
+	f := New()
+	g := newRef()
+	for i := int64(0); i < n; i++ {
+		f.AddVertex(i)
+		g.addVertex(i)
+	}
+	for i := int64(0); i < n; i++ {
+		j := (i + 1) % n
+		if !f.AddEdge(i, j) {
+			t.Fatalf("ring edge %d-%d", i, j)
+		}
+		g.addEdge(i, j)
+	}
+	if !f.RemoveEdge(10, 11) {
+		t.Fatal("ring cut failed")
+	}
+	g.removeEdge(10, 11)
+	if conn, _ := f.Connected(10, 11); !conn {
+		t.Fatal("ring must stay connected after one cut (replacement edge)")
+	}
+	if !f.RemoveEdge(40, 41) {
+		t.Fatal("second cut failed")
+	}
+	g.removeEdge(40, 41)
+	// The ring is now two arcs: {11..40} and {41..63, 0..10}.
+	if conn, _ := f.Connected(11, 41); conn {
+		t.Fatal("two cuts must split the ring")
+	}
+	if conn, _ := f.Connected(10, 41); !conn {
+		t.Fatal("10 and 41 lie on the same surviving arc")
+	}
+	checkAgainstRef(t, f, g)
+	if s := f.Stats(); s.ReplacementSearches == 0 {
+		t.Fatal("expected at least one replacement search")
+	}
+}
+
+// TestForestRandomOps runs randomized add/remove sequences, verifying the
+// full component structure against the brute-force reference after every
+// batch.
+func TestForestRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		f := New()
+		g := newRef()
+		var verts []int64
+		next := int64(0)
+		randVert := func() int64 {
+			return verts[rng.Intn(len(verts))]
+		}
+		for step := 0; step < 600; step++ {
+			switch op := rng.Intn(10); {
+			case op < 3 || len(verts) < 2: // add vertex
+				id := next
+				next++
+				if f.AddVertex(id) != g.addVertex(id) {
+					t.Fatalf("seed %d step %d: AddVertex(%d) disagrees", seed, step, id)
+				}
+				verts = append(verts, id)
+			case op < 7: // add edge
+				u, v := randVert(), randVert()
+				if f.AddEdge(u, v) != g.addEdge(u, v) {
+					t.Fatalf("seed %d step %d: AddEdge(%d,%d) disagrees", seed, step, u, v)
+				}
+			case op < 9: // remove edge (sometimes absent)
+				u, v := randVert(), randVert()
+				if f.RemoveEdge(u, v) != g.removeEdge(u, v) {
+					t.Fatalf("seed %d step %d: RemoveEdge(%d,%d) disagrees", seed, step, u, v)
+				}
+			default: // remove vertex: detach its edges first, then remove
+				id := randVert()
+				for w := range g.adj[id] {
+					if !f.RemoveEdge(id, w) {
+						t.Fatalf("seed %d step %d: detach %d-%d failed", seed, step, id, w)
+					}
+					g.removeEdge(id, w)
+				}
+				if f.RemoveVertex(id) != g.removeVertex(id) {
+					t.Fatalf("seed %d step %d: RemoveVertex(%d) disagrees", seed, step, id)
+				}
+				verts = slices.DeleteFunc(verts, func(v int64) bool { return v == id })
+			}
+			if step%25 == 0 {
+				checkAgainstRef(t, f, g)
+			}
+		}
+		checkAgainstRef(t, f, g)
+	}
+}
+
+// TestForestReset pins that Reset empties the structure but keeps stats.
+func TestForestReset(t *testing.T) {
+	f := New()
+	f.AddVertex(1)
+	f.AddVertex(2)
+	f.AddEdge(1, 2)
+	ops := f.Stats().Ops()
+	if ops == 0 {
+		t.Fatal("stats must count ops")
+	}
+	f.Reset()
+	if f.NumVertices() != 0 || f.NumEdges() != 0 {
+		t.Fatal("Reset must empty the forest")
+	}
+	if f.HasVertex(1) {
+		t.Fatal("vertex survived Reset")
+	}
+	if f.Stats().Ops() != ops {
+		t.Fatal("Reset must not clear stats")
+	}
+	if !f.AddVertex(1) || !f.AddVertex(2) || !f.AddEdge(1, 2) {
+		t.Fatal("forest must be reusable after Reset")
+	}
+	if conn, ok := f.Connected(1, 2); !ok || !conn {
+		t.Fatal("rebuilt edge must connect")
+	}
+}
+
+// FuzzForest drives the forest with an arbitrary op tape, comparing against
+// the brute-force reference throughout.
+func FuzzForest(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 2, 3, 1, 2})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 1, 0, 1, 1, 2, 0, 1, 1, 2, 2, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		fo := New()
+		g := newRef()
+		const maxID = 16
+		for i := 0; i+1 < len(tape) && i < 400; i += 2 {
+			op, arg := tape[i]%4, tape[i+1]
+			u := int64(arg % maxID)
+			v := int64((arg / maxID) % maxID)
+			switch op {
+			case 0:
+				if fo.AddVertex(u) != g.addVertex(u) {
+					t.Fatalf("AddVertex(%d) disagrees", u)
+				}
+			case 1:
+				if fo.AddEdge(u, v) != g.addEdge(u, v) {
+					t.Fatalf("AddEdge(%d,%d) disagrees", u, v)
+				}
+			case 2:
+				if fo.RemoveEdge(u, v) != g.removeEdge(u, v) {
+					t.Fatalf("RemoveEdge(%d,%d) disagrees", u, v)
+				}
+			case 3:
+				if fo.RemoveVertex(u) != g.removeVertex(u) {
+					t.Fatalf("RemoveVertex(%d) disagrees", u)
+				}
+			}
+		}
+		for id := range g.adj {
+			want := g.component(id)
+			c, ok := fo.Root(id)
+			if !ok {
+				t.Fatalf("vertex %d missing", id)
+			}
+			got := fo.AppendMembers(c, nil)
+			slices.Sort(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("component of %d: %v, ref %v", id, got, want)
+			}
+		}
+	})
+}

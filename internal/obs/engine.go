@@ -29,6 +29,22 @@ import (
 //	window_size                    gauge      resident points after the last stride
 //	collect_workers                gauge      COLLECT fan-out width of the last stride
 //	cluster_workers                gauge      widest CLUSTER fan-out of the last stride
+//
+// Connectivity-strategy family (how the configured strategy paid for the
+// identical answers; traversal counters stay zero under the dynamic forest,
+// forest counters stay zero under MS-BFS):
+//
+//	connectivity_strategy{strategy}              gauge      1 on the active strategy, 0 on the other
+//	connectivity_check_duration_seconds          histogram  phase-C connectivity query time per stride
+//	connectivity_forest_update_duration_seconds  histogram  dyncon forest sync time per stride
+//	connectivity_traversal_searches_total        counter    MS-BFS/seq expansion searches run
+//	connectivity_traversal_nodes_total           counter    index nodes those searches touched
+//	connectivity_forest_ops_total                counter    forest mutations applied (amortized ns = update sum / ops)
+//	connectivity_replacement_searches_total      counter    replacement-edge searches after tree cuts
+//	connectivity_replacement_scans_total         counter    candidate edges scanned by those searches
+//	connectivity_forest_rebuilds_total           counter    full forest rebuilds (desync fallbacks)
+//	connectivity_forest_vertices                 gauge      forest size after the last stride (cores)
+//	connectivity_forest_edges                    gauge      core-adjacency edges tracked
 type EngineMetrics struct {
 	strideDur *Histogram
 	phaseDur  [4]*Histogram // collect, ex_cores, neo_cores, finalize
@@ -49,6 +65,18 @@ type EngineMetrics struct {
 	windowSize     *Gauge
 	workers        *Gauge
 	clusterWorkers *Gauge
+
+	connStrategy    [2]*Gauge // msbfs, dynamic — 1 on the active one
+	connCheckDur    *Histogram
+	forestUpdateDur *Histogram
+	connSearches    *Counter
+	connNodes       *Counter
+	forestOps       *Counter
+	replSearches    *Counter
+	replScans       *Counter
+	forestRebuilds  *Counter
+	forestVertices  *Gauge
+	forestEdges     *Gauge
 }
 
 // NewEngineMetrics registers the disc_* instruments on r and returns the
@@ -85,6 +113,30 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"COLLECT worker fan-out width used by the last stride.", nil),
 		clusterWorkers: r.Gauge("disc_cluster_workers",
 			"Widest CLUSTER fan-out (capture or connectivity) used by the last stride.", nil),
+		connCheckDur: r.Histogram("disc_connectivity_check_duration_seconds",
+			"Phase-C connectivity query time per stride, under the configured strategy.", nil, nil),
+		forestUpdateDur: r.Histogram("disc_connectivity_forest_update_duration_seconds",
+			"Dynamic-forest sync time per stride (zero under MS-BFS strategies).", nil, nil),
+		connSearches: r.Counter("disc_connectivity_traversal_searches_total",
+			"Traversal expansion searches run by MS-BFS/sequential connectivity checks.", nil),
+		connNodes: r.Counter("disc_connectivity_traversal_nodes_total",
+			"Index nodes touched by connectivity traversal searches.", nil),
+		forestOps: r.Counter("disc_connectivity_forest_ops_total",
+			"Dynamic-forest mutations applied (vertices and edges); amortized update time is the update-duration sum over this.", nil),
+		replSearches: r.Counter("disc_connectivity_replacement_searches_total",
+			"Replacement-edge searches triggered by spanning-tree cuts.", nil),
+		replScans: r.Counter("disc_connectivity_replacement_scans_total",
+			"Candidate edges scanned by replacement-edge searches.", nil),
+		forestRebuilds: r.Counter("disc_connectivity_forest_rebuilds_total",
+			"Full forest rebuilds (restore or desync fallbacks).", nil),
+		forestVertices: r.Gauge("disc_connectivity_forest_vertices",
+			"Vertices (cores) in the maintained connectivity forest after the last stride.", nil),
+		forestEdges: r.Gauge("disc_connectivity_forest_edges",
+			"Core-adjacency edges tracked by the maintained connectivity forest.", nil),
+	}
+	for i, s := range []string{"msbfs", "dynamic"} {
+		m.connStrategy[i] = r.Gauge("disc_connectivity_strategy",
+			"1 on the configured connectivity strategy, 0 on the others.", Labels{"strategy": s})
 	}
 	phases := []string{"collect", "ex_cores", "neo_cores", "finalize"}
 	for i, ph := range phases {
@@ -128,4 +180,22 @@ func (m *EngineMetrics) ObserveStride(rec core.StrideRecord) {
 	m.windowSize.Set(float64(rec.WindowSize))
 	m.workers.Set(float64(rec.Workers))
 	m.clusterWorkers.Set(float64(rec.ClusterWorkers))
+
+	for i, s := range []string{"msbfs", "dynamic"} {
+		var on float64
+		if rec.ConnStrategy == s {
+			on = 1
+		}
+		m.connStrategy[i].Set(on)
+	}
+	m.connCheckDur.Observe(rec.Connectivity.Seconds())
+	m.forestUpdateDur.Observe(rec.ForestUpdate.Seconds())
+	m.connSearches.Add(rec.ConnSearches)
+	m.connNodes.Add(rec.ConnNodes)
+	m.forestOps.Add(rec.ForestOps)
+	m.replSearches.Add(rec.ForestReplSearches)
+	m.replScans.Add(rec.ForestReplScans)
+	m.forestRebuilds.Add(rec.ForestRebuilds)
+	m.forestVertices.Set(float64(rec.ForestVertices))
+	m.forestEdges.Set(float64(rec.ForestEdges))
 }

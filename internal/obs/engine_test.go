@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"disc/internal/core"
+)
+
+// TestEngineMetricsConnectivityFamily pins the disc_connectivity_* family:
+// registration alongside the legacy disc_connectivity_checks_total counter
+// (prefix overlap, distinct names — no panic), translation of a StrideRecord
+// into the counters/gauges, and the strategy gauge flipping with the record.
+func TestEngineMetricsConnectivityFamily(t *testing.T) {
+	r := NewRegistry()
+	m := NewEngineMetrics(r) // registers disc_connectivity_checks_total too
+
+	m.ObserveStride(core.StrideRecord{
+		ConnStrategy:       "dynamic",
+		Connectivity:       2 * time.Millisecond,
+		ForestUpdate:       500 * time.Microsecond,
+		ConnChecks:         3,
+		ForestOps:          17,
+		ForestReplSearches: 2,
+		ForestReplScans:    9,
+		ForestRebuilds:     1,
+		ForestVertices:     120,
+		ForestEdges:        240,
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"disc_connectivity_checks_total 3\n",
+		`disc_connectivity_strategy{strategy="dynamic"} 1` + "\n",
+		`disc_connectivity_strategy{strategy="msbfs"} 0` + "\n",
+		"disc_connectivity_forest_ops_total 17\n",
+		"disc_connectivity_replacement_searches_total 2\n",
+		"disc_connectivity_replacement_scans_total 9\n",
+		"disc_connectivity_forest_rebuilds_total 1\n",
+		"disc_connectivity_forest_vertices 120\n",
+		"disc_connectivity_forest_edges 240\n",
+		"disc_connectivity_traversal_searches_total 0\n",
+		"disc_connectivity_check_duration_seconds_sum 0.002\n",
+		"disc_connectivity_forest_update_duration_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// An MS-BFS stride flips the strategy gauge and feeds the traversal
+	// counters instead.
+	m.ObserveStride(core.StrideRecord{
+		ConnStrategy: "msbfs",
+		ConnSearches: 4,
+		ConnNodes:    88,
+	})
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		`disc_connectivity_strategy{strategy="msbfs"} 1` + "\n",
+		`disc_connectivity_strategy{strategy="dynamic"} 0` + "\n",
+		"disc_connectivity_traversal_searches_total 4\n",
+		"disc_connectivity_traversal_nodes_total 88\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
