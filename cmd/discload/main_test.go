@@ -50,3 +50,36 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatalf("report did not conclude OK:\n%s", b.String())
 	}
 }
+
+// TestRunMultiStream drives several tenants concurrently through the
+// /streams API: every tenant's writer must make progress, per-stream
+// consistency must hold, and no cross-stream bleed probe may resolve —
+// the end-to-end form of the registry's isolation guarantee.
+func TestRunMultiStream(t *testing.T) {
+	res, err := run(config{
+		dims: 2, eps: 2, minPts: 4,
+		window: 1000, stride: 100,
+		readers: 6, duration: 1500 * time.Millisecond, batch: 50,
+		slowest: 3, streams: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.reads == 0 || res.writes == 0 {
+		t.Fatalf("no progress: reads=%d writes=%d", res.reads, res.writes)
+	}
+	// Total strides across 4 tenants: each must have advanced at least once
+	// for the sum to reach 4 in this workload.
+	if res.strides < 4 {
+		t.Fatalf("total strides %d across 4 streams — some tenant stalled", res.strides)
+	}
+	if res.violations != 0 {
+		t.Fatalf("%d consistency violations", res.violations)
+	}
+	if res.bleeds != 0 {
+		t.Fatalf("%d cross-stream bleeds", res.bleeds)
+	}
+	if res.readErrors != 0 {
+		t.Fatalf("%d read errors", res.readErrors)
+	}
+}

@@ -1,59 +1,71 @@
 // Command discserver runs the DISC stream-clustering HTTP service: ingest
 // points, query clusters and their evolution over a sliding window, and
-// scrape live telemetry. With -checkpoint-dir it also checkpoints itself
-// durably every -checkpoint-every strides and auto-recovers from the newest
-// valid checkpoint on startup.
+// scrape live telemetry. The process is multi-tenant — it hosts many
+// independent streams, each with its own engine, window, clustering
+// parameters, and checkpoint directory; the flags configure the always-on
+// "default" stream, which also serves as the template for streams created
+// at runtime. With -checkpoint-dir every stream checkpoints itself durably
+// every -checkpoint-every strides (one shared scheduler goroutine) and
+// recovers from its newest valid checkpoint when registered.
 //
 // Usage:
 //
 //	discserver -addr :8080 -dims 2 -eps 0.5 -minpts 5 -window 10000 -stride 500 \
 //	    -checkpoint-dir /var/lib/discserver -checkpoint-every 20
 //
-// Endpoints:
+// Stream registry:
 //
-//	POST /ingest        JSON array of {"id":1,"time":2,"coords":[x,y]}
-//	GET  /clusters      cluster census of the current window
-//	GET  /points/{id}   assignment of one point
-//	GET  /events        cluster-evolution log (?since=<seq>)
-//	GET  /stats         engine work counters and configuration
+//	POST   /streams          create a stream: {"name","dims","eps","minPts",
+//	                         "window","stride","connectivity"} — omitted
+//	                         fields inherit the default stream's template
+//	GET    /streams          list streams with config and live counters
+//	DELETE /streams/{name}   unregister a stream ("default" is undeletable)
 //
-// The four query endpoints are lock-free: they serve an immutable
-// per-stride view (reads never block ingestion) and stamp each response
-// with the stride it reflects via X-Disc-Stride and a strong ETag
-// (If-None-Match returns 304 until the next stride).
+// Per-stream endpoints (the historical unprefixed routes remain as aliases
+// for the default stream):
 //
-//	GET  /metrics       Prometheus text exposition (per-stride histograms)
+//	POST /streams/{name}/ingest        JSON array of {"id":1,"time":2,"coords":[x,y]}
+//	GET  /streams/{name}/clusters      cluster census of the current window
+//	GET  /streams/{name}/points/{id}   assignment of one point
+//	GET  /streams/{name}/events        cluster-evolution log (?since=<seq>)
+//	GET  /streams/{name}/stats         engine work counters and configuration
+//	GET  /streams/{name}/checkpoint    binary stream checkpoint
+//	POST /streams/{name}/checkpoint    restore the stream and resume
+//	GET  /streams/{name}/readyz        per-stream readiness
+//	GET  /streams/{name}/debug/traces  recorded ingest span trees (with -trace)
+//
+// The query endpoints are lock-free: they serve an immutable per-stride
+// view (reads never block ingestion, and streams never block each other)
+// and stamp each response with the stride it reflects via X-Disc-Stride
+// and a strong ETag (If-None-Match returns 304 until the next stride).
+//
+//	GET  /metrics       Prometheus text exposition, stream-labeled series
 //	GET  /debug/vars    expvar JSON (registry published as "disc")
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
-//	GET  /debug/traces  recorded ingest span trees (only with -trace)
-//	GET  /checkpoint    binary service checkpoint (engine + window position)
-//	POST /checkpoint    restore from a checkpoint and resume the stream
-//	GET  /healthz       liveness
-//	GET  /readyz        readiness (503 until recovery resolves / while backlogged)
+//	GET  /healthz       process liveness
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // (including a final checkpoint download or metrics scrape) get up to
 // -drain to complete before the listener closes, and — when durable
-// checkpointing is on — a final checkpoint generation is written so no
-// completed stride is lost.
+// checkpointing is on — a final checkpoint generation is written for every
+// stream so no completed stride is lost.
 package main
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"disc/internal/ckpt"
+	"disc/internal/geom"
 	"disc/internal/model"
-	"disc/internal/obs"
 	"disc/internal/server"
 	"disc/internal/trace"
 )
@@ -78,6 +90,10 @@ func main() {
 		"ingest latency beyond which a trace is retained in the slow ring")
 	readyHW := flag.Int("ready-high-water", 0,
 		"GET /readyz reports 503 while the slider backlog exceeds this many points (0 = disabled)")
+	maxStreams := flag.Int("max-streams", server.DefaultMaxStreams,
+		"streams the registry will host (POST /streams beyond it gets 429)")
+	metricStreams := flag.Int("metric-streams", server.DefaultMetricStreams,
+		"streams with a dedicated {stream=...} metric label; the rest share {stream=\"other\"}")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -86,86 +102,64 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Validate the clustering flags up front with flag-level messages: a
+	// typo'd -dims or a negative -eps must die here with the offending flag
+	// named, not as a downstream construction error (or, worse, a NaN that
+	// slips past a bare positivity check into distance comparisons).
+	if err := validateFlags(*dims, *eps, *minPts, *win, *stride, *maxStreams, *metricStreams); err != nil {
+		fatal("discserver: invalid flags", "err", err)
+	}
+
 	var tc *server.TraceConfig
 	if *traceOn {
 		tc = &server.TraceConfig{Recent: *traceRecent, Slow: *traceSlow, SlowThreshold: *traceSlowAt}
 	}
-	srv, err := server.New(server.Config{
-		Cluster:            model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
-		Window:             *win,
-		Stride:             *stride,
-		EnablePprof:        *pprofOn,
-		MaxCheckpointBytes: *ckptMax,
-		Tracing:            tc,
-		StartNotReady:      *ckptDir != "",
-		ReadyHighWater:     *readyHW,
+	// NewMulti recovers the default stream from its newest valid checkpoint
+	// before returning (hard error if a checkpoint exists but does not
+	// restore — starting fresh would silently discard the window the
+	// operator meant to keep), so /readyz never exposes a window about to
+	// be replaced.
+	m, err := server.NewMulti(server.MultiConfig{
+		Default: server.Config{
+			Cluster:            model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
+			Window:             *win,
+			Stride:             *stride,
+			EnablePprof:        *pprofOn,
+			MaxCheckpointBytes: *ckptMax,
+			Tracing:            tc,
+			StartNotReady:      *ckptDir != "",
+			ReadyHighWater:     *readyHW,
+		},
+		MaxStreams:      *maxStreams,
+		MetricStreams:   *metricStreams,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logger:          logger,
 	})
 	if err != nil {
-		fatal("discserver: invalid configuration", "err", err)
-	}
-
-	// Durable checkpointing: recover before serving, then checkpoint in the
-	// background every -checkpoint-every strides. The server starts
-	// not-ready in this mode and flips ready only once recovery resolves,
-	// so a load balancer probing /readyz never routes to a window that is
-	// about to be replaced by a restore.
-	var runner *ckpt.Runner
-	runnerDone := make(chan struct{})
-	if *ckptDir != "" {
-		store, err := ckpt.Open(*ckptDir,
-			ckpt.WithMaxPayload(*ckptMax), ckpt.WithStoreLogger(logger))
-		if err != nil {
-			fatal("discserver: opening checkpoint store", "dir", *ckptDir, "err", err)
-		}
-		payload, gen, err := store.Recover()
-		switch {
-		case err == nil:
-			restored, err := srv.ReadCheckpoint(bytes.NewReader(payload))
-			if err != nil {
-				// A checkpoint that validates at the frame layer but does not
-				// restore (wrong config, wrong schema) is an operator error;
-				// starting fresh would silently discard the window they meant
-				// to keep.
-				fatal("discserver: checkpoint does not restore", "generation", gen, "err", err)
-			}
-			logger.Info("recovered from checkpoint",
-				"generation", gen, "bytes", len(payload), "window_points", restored, "stride", srv.Strides())
-		case errors.Is(err, ckpt.ErrNoCheckpoint):
-			logger.Info("no checkpoint found, starting fresh", "dir", *ckptDir)
-		case errors.Is(err, ckpt.ErrNoValidCheckpoint):
-			logger.Warn("checkpoints exist but none is valid, starting fresh", "dir", *ckptDir, "err", err)
-		default:
-			fatal("discserver: checkpoint recovery", "err", err)
-		}
-		srv.SetReady(true)
-		cm := obs.NewCheckpointMetrics(srv.Registry())
-		runner = ckpt.NewRunner(store, srv, *ckptEvery,
-			ckpt.WithObserver(cm), ckpt.WithRunnerLogger(logger),
-			ckpt.WithRunnerTracer(srv.Tracer()))
-	} else {
-		close(runnerDone)
+		fatal("discserver: starting service", "err", err)
 	}
 
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           m.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("discserver listening",
 		"addr", *addr, "eps", *eps, "minpts", *minPts, "window", *win, "stride", *stride,
-		"pprof", *pprofOn, "trace", *traceOn, "checkpoints", describeCkpt(*ckptDir, *ckptEvery))
+		"max_streams", *maxStreams, "pprof", *pprofOn, "trace", *traceOn,
+		"checkpoints", describeCkpt(*ckptDir, *ckptEvery))
 
 	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
 	// and waits for in-flight handlers (a checkpoint save mid-write, a
 	// scrape) up to the deadline instead of cutting them off.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if runner != nil {
-		go func() {
-			defer close(runnerDone)
-			runner.Run(ctx)
-		}()
-	}
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		m.RunCheckpoints(ctx) // no-op without -checkpoint-dir
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
 	select {
@@ -182,11 +176,41 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("discserver: serve failed", "err", err)
 		}
-		// Wait for the runner's final shutdown checkpoint: the listener is
-		// closed, so no new strides can arrive while it writes.
-		<-runnerDone
+		// Wait for the scheduler's final shutdown checkpoints: the listener
+		// is closed, so no new strides can arrive while they are written.
+		<-schedDone
 		logger.Info("shut down cleanly")
 	}
+}
+
+// validateFlags rejects unusable clustering and registry parameters with
+// messages that name the offending flag.
+func validateFlags(dims int, eps float64, minPts, win, stride, maxStreams, metricStreams int) error {
+	if dims < 1 || dims > geom.MaxDims {
+		return fmt.Errorf("-dims must be 1-%d, got %d", geom.MaxDims, dims)
+	}
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps <= 0 {
+		return fmt.Errorf("-eps must be positive and finite, got %g", eps)
+	}
+	if minPts < 1 {
+		return fmt.Errorf("-minpts must be at least 1, got %d", minPts)
+	}
+	if win <= 0 {
+		return fmt.Errorf("-window must be positive, got %d", win)
+	}
+	if stride <= 0 {
+		return fmt.Errorf("-stride must be positive, got %d", stride)
+	}
+	if stride > win {
+		return fmt.Errorf("-stride (%d) must not exceed -window (%d)", stride, win)
+	}
+	if maxStreams < 1 {
+		return fmt.Errorf("-max-streams must be at least 1, got %d", maxStreams)
+	}
+	if metricStreams < 1 {
+		return fmt.Errorf("-metric-streams must be at least 1, got %d", metricStreams)
+	}
+	return nil
 }
 
 func describeCkpt(dir string, every uint64) string {

@@ -126,9 +126,14 @@ type Runner struct {
 	lastSaved uint64 // stride count at the last successful checkpoint
 	// lastTraceID names the trace the most recent checkpoint attempt joined
 	// (empty when untraced); log lines carry it so a slow checkpoint can be
-	// looked up at /debug/traces. The runner is single-goroutine, so plain
+	// looked up at /debug/traces. The runner is driven by exactly one
+	// goroutine at a time (its own Run loop, or a Scheduler), so plain
 	// fields suffice.
 	lastTraceID string
+	// Retry state across ticks: curBackoff is the active retry delay (0 =
+	// healthy) and notBefore the earliest next attempt while backing off.
+	curBackoff time.Duration
+	notBefore  time.Time
 }
 
 // NewRunner returns a runner checkpointing src into store every `every`
@@ -200,11 +205,10 @@ func (r *Runner) CheckpointNow() (uint64, error) {
 // Run checkpoints src until ctx is canceled, then — if strides advanced
 // since the last successful checkpoint — writes one final generation so a
 // graceful shutdown never loses completed strides. It is meant to be run
-// in its own goroutine.
+// in its own goroutine. A process hosting many streams should drive the
+// per-stream runners through one shared Scheduler instead of one Run
+// goroutine each.
 func (r *Runner) Run(ctx context.Context) {
-	backoff := time.Duration(0) // active retry delay; 0 = healthy
-	var notBefore time.Time     // earliest next attempt while backing off
-
 	ticker := time.NewTicker(r.poll)
 	defer ticker.Stop()
 	for {
@@ -214,34 +218,42 @@ func (r *Runner) Run(ctx context.Context) {
 			return
 		case <-ticker.C:
 		}
-		if backoff > 0 && time.Now().Before(notBefore) {
-			continue
+		r.tick(time.Now())
+	}
+}
+
+// tick runs one scheduling step at the given instant: if the source has
+// advanced `every` strides since the last save and any retry backoff has
+// elapsed, one checkpoint is taken and persisted. It never blocks beyond
+// that single attempt. Exactly one goroutine may drive a runner's ticks.
+func (r *Runner) tick(now time.Time) {
+	if r.curBackoff > 0 && now.Before(r.notBefore) {
+		return
+	}
+	strides := r.src.Strides()
+	if strides < r.lastSaved+r.every {
+		return
+	}
+	gen, err := r.CheckpointNow()
+	if err != nil {
+		if r.curBackoff == 0 {
+			r.curBackoff = r.backoff
+		} else if r.curBackoff < r.maxBackoff {
+			r.curBackoff = min(2*r.curBackoff, r.maxBackoff)
 		}
-		strides := r.src.Strides()
-		if strides < r.lastSaved+r.every {
-			continue
-		}
-		gen, err := r.CheckpointNow()
-		if err != nil {
-			if backoff == 0 {
-				backoff = r.backoff
-			} else if backoff < r.maxBackoff {
-				backoff = min(2*backoff, r.maxBackoff)
-			}
-			notBefore = time.Now().Add(backoff)
-			r.logf("ckpt: checkpoint at stride %d failed (retry in %v): %v", strides, backoff, err)
-			if r.slogger != nil {
-				r.slogger.Error("checkpoint failed",
-					"stride", strides, "retry_in", backoff, "trace_id", r.lastTraceID, "err", err)
-			}
-			continue
-		}
-		backoff = 0
-		r.logf("ckpt: wrote generation %d at stride %d", gen, strides)
+		r.notBefore = now.Add(r.curBackoff)
+		r.logf("ckpt: checkpoint at stride %d failed (retry in %v): %v", strides, r.curBackoff, err)
 		if r.slogger != nil {
-			r.slogger.Info("checkpoint written",
-				"generation", gen, "stride", strides, "trace_id", r.lastTraceID)
+			r.slogger.Error("checkpoint failed",
+				"stride", strides, "retry_in", r.curBackoff, "trace_id", r.lastTraceID, "err", err)
 		}
+		return
+	}
+	r.curBackoff = 0
+	r.logf("ckpt: wrote generation %d at stride %d", gen, strides)
+	if r.slogger != nil {
+		r.slogger.Info("checkpoint written",
+			"generation", gen, "stride", strides, "trace_id", r.lastTraceID)
 	}
 }
 

@@ -7,6 +7,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"disc/internal/geom"
 )
@@ -129,8 +130,12 @@ func (c Config) Validate() error {
 	if c.Dims < 1 || c.Dims > geom.MaxDims {
 		return fmt.Errorf("model: Dims must be in [1,%d], got %d", geom.MaxDims, c.Dims)
 	}
-	if c.Eps <= 0 {
-		return fmt.Errorf("model: Eps must be positive, got %g", c.Eps)
+	// The NaN check must be explicit: NaN <= 0 is false, so a bare
+	// positivity test would wave a NaN ε through to poison every distance
+	// comparison downstream. +Inf passes the same test and turns the
+	// clustering into one all-absorbing component, so ε must be finite.
+	if math.IsNaN(c.Eps) || math.IsInf(c.Eps, 0) || c.Eps <= 0 {
+		return fmt.Errorf("model: Eps must be positive and finite, got %g", c.Eps)
 	}
 	if c.MinPts < 1 {
 		return fmt.Errorf("model: MinPts must be at least 1, got %d", c.MinPts)

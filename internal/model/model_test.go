@@ -1,6 +1,7 @@
 package model
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,11 @@ func TestConfigValidate(t *testing.T) {
 		{Dims: 2, Eps: 0, MinPts: 1},
 		{Dims: 2, Eps: -1, MinPts: 1},
 		{Dims: 2, Eps: 1, MinPts: 0},
+		// NaN slips past a bare `Eps <= 0` check (NaN <= 0 is false), and
+		// ±Inf passes positivity; all three must be rejected explicitly.
+		{Dims: 2, Eps: math.NaN(), MinPts: 1},
+		{Dims: 2, Eps: math.Inf(1), MinPts: 1},
+		{Dims: 2, Eps: math.Inf(-1), MinPts: 1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

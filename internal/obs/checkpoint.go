@@ -30,19 +30,27 @@ type CheckpointMetrics struct {
 // and returns the observer. Register at most once per registry (duplicate
 // names panic).
 func NewCheckpointMetrics(r *Registry) *CheckpointMetrics {
+	return NewCheckpointMetricsLabeled(r, nil)
+}
+
+// NewCheckpointMetricsLabeled registers the disc_checkpoint_* instruments
+// with the given constant base labels (the multi-tenant server passes
+// {stream="<name>"}). With a nil base it is identical to
+// NewCheckpointMetrics.
+func NewCheckpointMetricsLabeled(r *Registry, base Labels) *CheckpointMetrics {
 	return &CheckpointMetrics{
 		attempts: r.Counter("disc_checkpoint_attempts_total",
-			"Durable checkpoint attempts, successful or not.", nil),
+			"Durable checkpoint attempts, successful or not.", base),
 		failures: r.Counter("disc_checkpoint_failures_total",
-			"Durable checkpoint attempts that failed (snapshot encoding or disk I/O).", nil),
+			"Durable checkpoint attempts that failed (snapshot encoding or disk I/O).", base),
 		bytes: r.Counter("disc_checkpoint_bytes_total",
-			"Checkpoint payload bytes durably written (framing overhead excluded).", nil),
+			"Checkpoint payload bytes durably written (framing overhead excluded).", base),
 		dur: r.Histogram("disc_checkpoint_duration_seconds",
-			"Wall-clock duration of one checkpoint attempt (snapshot + frame + fsync + rename).", nil, nil),
+			"Wall-clock duration of one checkpoint attempt (snapshot + frame + fsync + rename).", nil, base),
 		gen: r.Gauge("disc_checkpoint_generation",
-			"Newest checkpoint generation number written by this process.", nil),
+			"Newest checkpoint generation number written by this process.", base),
 		strides: r.Gauge("disc_checkpoint_last_strides",
-			"Stride count captured by the newest successful checkpoint.", nil),
+			"Stride count captured by the newest successful checkpoint.", base),
 	}
 }
 

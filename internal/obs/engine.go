@@ -82,70 +82,79 @@ type EngineMetrics struct {
 // NewEngineMetrics registers the disc_* instruments on r and returns the
 // observer. Register at most once per registry (duplicate names panic).
 func NewEngineMetrics(r *Registry) *EngineMetrics {
+	return NewEngineMetricsLabeled(r, nil)
+}
+
+// NewEngineMetricsLabeled registers the disc_* instruments with the given
+// constant base labels on every family — the multi-tenant server passes
+// {stream="<name>"} so one registry carries one family set per tenant.
+// With a nil base it is identical to NewEngineMetrics. Each (family, base)
+// pair may be registered at most once per registry.
+func NewEngineMetricsLabeled(r *Registry, base Labels) *EngineMetrics {
 	m := &EngineMetrics{
 		strideDur: r.Histogram("disc_stride_duration_seconds",
-			"Wall-clock duration of one window advance (COLLECT through finalize).", nil, nil),
+			"Wall-clock duration of one window advance (COLLECT through finalize).", nil, base),
 		strides: r.Counter("disc_strides_total",
-			"Window advances processed.", nil),
+			"Window advances processed.", base),
 		pointsIn: r.Counter("disc_points_in_total",
-			"Points that entered the window (sum of stride delta-in sizes).", nil),
+			"Points that entered the window (sum of stride delta-in sizes).", base),
 		pointsOut: r.Counter("disc_points_out_total",
-			"Points that left the window (sum of stride delta-out sizes).", nil),
+			"Points that left the window (sum of stride delta-out sizes).", base),
 		exCores: r.Counter("disc_ex_cores_total",
-			"Ex-cores identified by COLLECT (were cores, no longer are or exited).", nil),
+			"Ex-cores identified by COLLECT (were cores, no longer are or exited).", base),
 		neoCores: r.Counter("disc_neo_cores_total",
-			"Neo-cores identified by COLLECT (are cores, were not or just arrived).", nil),
+			"Neo-cores identified by COLLECT (are cores, were not or just arrived).", base),
 		rangeSearches: r.Counter("disc_range_searches_total",
-			"Epsilon-range searches issued against the spatial index.", nil),
+			"Epsilon-range searches issued against the spatial index.", base),
 		nodeAccesses: r.Counter("disc_node_accesses_total",
-			"Index nodes (or grid cells) touched by range searches.", nil),
+			"Index nodes (or grid cells) touched by range searches.", base),
 		epochPruned: r.Counter("disc_epoch_pruned_total",
-			"Entries or subtrees hidden from reachability searches by epoch probing.", nil),
+			"Entries or subtrees hidden from reachability searches by epoch probing.", base),
 		msbfsMerges: r.Counter("disc_msbfs_queue_merges_total",
-			"Multi-Starter BFS thread merges (two search frontiers met).", nil),
+			"Multi-Starter BFS thread merges (two search frontiers met).", base),
 		connChecks: r.Counter("disc_connectivity_checks_total",
-			"Density-connectivity checks dispatched by the ex-core phase.", nil),
+			"Density-connectivity checks dispatched by the ex-core phase.", base),
 		poolGrows: r.Counter("disc_scratch_pool_grows_total",
-			"Scratch-pool misses: nodes or buffers newly allocated instead of reused.", nil),
+			"Scratch-pool misses: nodes or buffers newly allocated instead of reused.", base),
 		windowSize: r.Gauge("disc_window_size",
-			"Points resident in the sliding window after the last stride.", nil),
+			"Points resident in the sliding window after the last stride.", base),
 		workers: r.Gauge("disc_collect_workers",
-			"COLLECT worker fan-out width used by the last stride.", nil),
+			"COLLECT worker fan-out width used by the last stride.", base),
 		clusterWorkers: r.Gauge("disc_cluster_workers",
-			"Widest CLUSTER fan-out (capture or connectivity) used by the last stride.", nil),
+			"Widest CLUSTER fan-out (capture or connectivity) used by the last stride.", base),
 		connCheckDur: r.Histogram("disc_connectivity_check_duration_seconds",
-			"Phase-C connectivity query time per stride, under the configured strategy.", nil, nil),
+			"Phase-C connectivity query time per stride, under the configured strategy.", nil, base),
 		forestUpdateDur: r.Histogram("disc_connectivity_forest_update_duration_seconds",
-			"Dynamic-forest sync time per stride (zero under MS-BFS strategies).", nil, nil),
+			"Dynamic-forest sync time per stride (zero under MS-BFS strategies).", nil, base),
 		connSearches: r.Counter("disc_connectivity_traversal_searches_total",
-			"Traversal expansion searches run by MS-BFS/sequential connectivity checks.", nil),
+			"Traversal expansion searches run by MS-BFS/sequential connectivity checks.", base),
 		connNodes: r.Counter("disc_connectivity_traversal_nodes_total",
-			"Index nodes touched by connectivity traversal searches.", nil),
+			"Index nodes touched by connectivity traversal searches.", base),
 		forestOps: r.Counter("disc_connectivity_forest_ops_total",
-			"Dynamic-forest mutations applied (vertices and edges); amortized update time is the update-duration sum over this.", nil),
+			"Dynamic-forest mutations applied (vertices and edges); amortized update time is the update-duration sum over this.", base),
 		replSearches: r.Counter("disc_connectivity_replacement_searches_total",
-			"Replacement-edge searches triggered by spanning-tree cuts.", nil),
+			"Replacement-edge searches triggered by spanning-tree cuts.", base),
 		replScans: r.Counter("disc_connectivity_replacement_scans_total",
-			"Candidate edges scanned by replacement-edge searches.", nil),
+			"Candidate edges scanned by replacement-edge searches.", base),
 		forestRebuilds: r.Counter("disc_connectivity_forest_rebuilds_total",
-			"Full forest rebuilds (restore or desync fallbacks).", nil),
+			"Full forest rebuilds (restore or desync fallbacks).", base),
 		forestVertices: r.Gauge("disc_connectivity_forest_vertices",
-			"Vertices (cores) in the maintained connectivity forest after the last stride.", nil),
+			"Vertices (cores) in the maintained connectivity forest after the last stride.", base),
 		forestEdges: r.Gauge("disc_connectivity_forest_edges",
-			"Core-adjacency edges tracked by the maintained connectivity forest.", nil),
+			"Core-adjacency edges tracked by the maintained connectivity forest.", base),
 	}
 	for i, s := range []string{"msbfs", "dynamic"} {
 		m.connStrategy[i] = r.Gauge("disc_connectivity_strategy",
-			"1 on the configured connectivity strategy, 0 on the others.", Labels{"strategy": s})
+			"1 on the configured connectivity strategy, 0 on the others.", base.With(Labels{"strategy": s}))
 	}
 	phases := []string{"collect", "ex_cores", "neo_cores", "finalize"}
 	for i, ph := range phases {
 		m.phaseDur[i] = r.Histogram("disc_phase_duration_seconds",
-			"Wall-clock duration of one DISC phase within an advance.", nil, Labels{"phase": ph})
+			"Wall-clock duration of one DISC phase within an advance.", nil, base.With(Labels{"phase": ph}))
 	}
 	for t := core.EventType(0); int(t) < len(m.events); t++ {
 		m.events[t] = r.Counter("disc_cluster_events_total",
-			"Cluster-evolution events detected, by kind.", Labels{"type": t.String()})
+			"Cluster-evolution events detected, by kind.", base.With(Labels{"type": t.String()}))
 	}
 	return m
 }

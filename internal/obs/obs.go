@@ -37,6 +37,23 @@ import (
 // effect.
 type Labels map[string]string
 
+// With returns a new label set combining l and extra; extra wins on key
+// collisions. Either side may be nil. The receiver is never mutated, so a
+// base set (e.g. {stream="x"}) can be extended per instrument safely.
+func (l Labels) With(extra Labels) Labels {
+	if len(l) == 0 {
+		return extra
+	}
+	out := make(Labels, len(l)+len(extra))
+	for k, v := range l {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
 // Counter is a monotonically increasing metric. The zero value is usable
 // but unregistered; obtain registered counters from Registry.Counter.
 type Counter struct {

@@ -35,15 +35,22 @@ type QueryMetrics struct {
 // NewQueryMetrics registers the disc_query_* instruments on r and returns
 // the recorder. Register at most once per registry (duplicate names panic).
 func NewQueryMetrics(r *Registry) *QueryMetrics {
+	return NewQueryMetricsLabeled(r, nil)
+}
+
+// NewQueryMetricsLabeled registers the disc_query_* instruments with the
+// given constant base labels (the multi-tenant server passes
+// {stream="<name>"}). With a nil base it is identical to NewQueryMetrics.
+func NewQueryMetricsLabeled(r *Registry, base Labels) *QueryMetrics {
 	m := &QueryMetrics{dur: make(map[string]*Histogram, len(QueryEndpoints))}
 	for _, ep := range QueryEndpoints {
 		m.dur[ep] = r.Histogram("disc_query_duration_seconds",
 			"Wall-clock latency of one read-path query, by endpoint.",
-			DefQueryBuckets(), Labels{"endpoint": ep})
+			DefQueryBuckets(), base.With(Labels{"endpoint": ep}))
 	}
 	m.lag = r.Histogram("disc_query_stride_lag",
 		"Strides published between the view a query served and the newest view at response time.",
-		[]float64{0, 1, 2, 4, 8, 16, 32}, nil)
+		[]float64{0, 1, 2, 4, 8, 16, 32}, base)
 	return m
 }
 

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"disc/internal/model"
+)
+
+// BenchmarkIngestRouting measures the full HTTP ingest path — decode,
+// validate, slider push, engine advance, view publish — through the two
+// route surfaces: "single" is the standalone single-stream Server,
+// "multi" is the registry's legacy alias onto the default stream. CI
+// A/B-gates the pair: the registry indirection (handler adapter + stream
+// lookup-free alias) must not cost the single-stream path more than the
+// benchdiff threshold.
+func BenchmarkIngestRouting(b *testing.B) {
+	cfg := Config{
+		Cluster: model.Config{Dims: 2, Eps: 2, MinPts: 4},
+		Window:  1000,
+		Stride:  100,
+	}
+	b.Run("single", func(b *testing.B) {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchIngest(b, s.Handler())
+	})
+	b.Run("multi", func(b *testing.B) {
+		m, err := NewMulti(MultiConfig{Default: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchIngest(b, m.Handler())
+	})
+}
+
+// benchIngest drives one stride-sized batch per iteration straight into
+// the handler (no network, no client): ids are globally unique across
+// iterations so the stream never rejects a duplicate, and the JSON
+// marshal cost is identical across variants, so the measured difference
+// isolates the routing layer.
+func benchIngest(b *testing.B, h http.Handler) {
+	b.ReportAllocs()
+	const batch = 100
+	id := int64(0)
+	pts := make([]ingestPoint, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pts {
+			c := float64((id % 2) * 20)
+			pts[j] = ingestPoint{
+				ID:   id,
+				Time: id,
+				// Deterministic in-blob jitter, cheap enough to stay timed.
+				Coords: []float64{c + float64(id%7)/7, c + float64(id%11)/11},
+			}
+			id++
+		}
+		body, err := json.Marshal(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(fmt.Errorf("ingest status %d: %s", rec.Code, rec.Body.String()))
+		}
+	}
+}

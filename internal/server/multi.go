@@ -1,0 +1,554 @@
+// Multi-tenant stream registry: one process hosting many independent DISC
+// streams. Each stream owns the full single-stream stack — engine, slider,
+// published view, write mutex, optional tracer, and checkpoint generation
+// directory — so writes to different streams proceed concurrently (there
+// is no global write lock; the registry's own mutex guards only the
+// name→stream map and is held for map operations, never across engine
+// work). The single-stream HTTP surface moves under /streams/{name}/...;
+// the historical routes remain as aliases for the undeletable "default"
+// stream, so existing clients, disccli, and discload keep working
+// unchanged.
+//
+// Telemetry: every stream records into one shared registry through a
+// {stream="<name>"}-labeled instrument bundle. The label's cardinality is
+// hard-capped (MetricStreams); tenants beyond the cap share one
+// {stream="other"} bundle, so scrape size is bounded no matter how many
+// streams a tenant storm registers. Durability: per-stream ckpt stores
+// under <dir>/streams/<name> (the default stream keeps <dir> itself — the
+// pre-multi-tenant layout — so existing deployments recover their data),
+// all driven by one shared ckpt.Scheduler goroutine.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"disc/internal/ckpt"
+	"disc/internal/core"
+	"disc/internal/model"
+	"disc/internal/obs"
+	"disc/internal/window"
+)
+
+// DefaultStream is the name of the stream the legacy single-stream routes
+// alias. It always exists and cannot be deleted.
+const DefaultStream = "default"
+
+// Registry limits.
+const (
+	DefaultMaxStreams    = 1024 // registered streams per process
+	DefaultMetricStreams = 32   // dedicated stream label values (then "other")
+)
+
+// Errors of the registry lifecycle, mapped to HTTP statuses by the
+// /streams handlers.
+var (
+	ErrStreamExists   = errors.New("stream already exists")
+	ErrUnknownStream  = errors.New("unknown stream")
+	ErrTooManyStreams = errors.New("stream limit reached")
+	ErrBadStreamName  = errors.New("bad stream name")
+)
+
+// streamNameRe bounds names to something that is safe in a URL path, a
+// Prometheus label value, and a directory name.
+var streamNameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// MultiConfig configures the multi-tenant service.
+type MultiConfig struct {
+	// Default is the configuration of the default stream AND the template
+	// dynamically created streams inherit their operational settings from
+	// (body limits, tracing, event-log size). Clustering parameters
+	// (Cluster, Window, Stride, Connectivity) act as per-field fallbacks
+	// for POST /streams requests that omit them.
+	Default Config
+	// MaxStreams caps registered streams (0 selects DefaultMaxStreams).
+	MaxStreams int
+	// MetricStreams caps the cardinality of the `stream` metric label
+	// (0 selects DefaultMetricStreams); streams beyond it share one
+	// {stream="other"} instrument bundle.
+	MetricStreams int
+	// CheckpointDir enables per-stream durable checkpointing under this
+	// directory; empty disables durability. The default stream stores its
+	// generations in CheckpointDir itself (the pre-registry layout, so
+	// existing single-stream deployments recover in place); stream X uses
+	// CheckpointDir/streams/X.
+	CheckpointDir string
+	// CheckpointEvery is the stride cadence of the shared checkpoint
+	// scheduler (0 selects 20).
+	CheckpointEvery uint64
+	// Logger receives stream lifecycle and recovery log lines; nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// Multi is the multi-tenant stream service. Create with NewMulti, mount
+// via Handler. All methods are safe for concurrent use.
+type Multi struct {
+	cfg    MultiConfig
+	reg    *obs.Registry
+	pool   *obs.StreamMetricsPool
+	sched  *ckpt.Scheduler
+	logger *slog.Logger
+
+	streamsGauge *obs.Gauge   // disc_streams
+	createdMx    *obs.Counter // disc_streams_created_total
+
+	mu      sync.RWMutex
+	streams map[string]*stream
+}
+
+// stream is one registered tenant: its server plus the request handlers
+// and durability hooks built once at registration.
+type stream struct {
+	name  string
+	srv   *Server
+	store *ckpt.Store // nil when durability is off
+
+	// Prebuilt serveView adapters (they close over the per-stream query
+	// metrics, so they are made once, not per request).
+	clusters, point, events, stats http.HandlerFunc
+}
+
+// NewMulti returns a registry hosting the default stream built from
+// cfg.Default. When CheckpointDir is set, the default stream recovers from
+// the newest valid generation before NewMulti returns — a load balancer
+// probing /readyz (with Default.StartNotReady) never routes to a window
+// about to be replaced by a restore.
+func NewMulti(cfg MultiConfig) (*Multi, error) {
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = DefaultMaxStreams
+	}
+	if cfg.MetricStreams <= 0 {
+		cfg.MetricStreams = DefaultMetricStreams
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 20
+	}
+	reg := obs.NewRegistry()
+	m := &Multi{
+		cfg:    cfg,
+		reg:    reg,
+		pool:   obs.NewStreamMetricsPool(reg, cfg.MetricStreams),
+		logger: cfg.Logger,
+		streamsGauge: reg.Gauge("disc_streams",
+			"Streams currently registered.", nil),
+		createdMx: reg.Counter("disc_streams_created_total",
+			"Streams registered over the process lifetime (including the default stream).", nil),
+		streams: make(map[string]*stream),
+	}
+	if cfg.CheckpointDir != "" {
+		m.sched = ckpt.NewScheduler()
+	}
+	if _, err := m.CreateStream(DefaultStream, cfg.Default); err != nil {
+		return nil, fmt.Errorf("creating default stream: %w", err)
+	}
+	return m, nil
+}
+
+// Registry exposes the shared metrics registry.
+func (m *Multi) Registry() *obs.Registry { return m.reg }
+
+// Stream returns the named stream's server, or nil when unknown — the
+// seam in-process drivers (discserver shutdown, tests) use.
+func (m *Multi) Stream(name string) *Server {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if st, ok := m.streams[name]; ok {
+		return st.srv
+	}
+	return nil
+}
+
+// CreateStream registers a new stream. The returned server is live as soon
+// as this returns; when durability is configured the stream has already
+// recovered from its newest valid checkpoint generation.
+func (m *Multi) CreateStream(name string, cfg Config) (*Server, error) {
+	if !streamNameRe.MatchString(name) {
+		return nil, fmt.Errorf("%w: %q must match %s", ErrBadStreamName, name, streamNameRe)
+	}
+	// Registration is serialized by a plain mutex section around the map
+	// checks, but the heavyweight parts (engine construction, checkpoint
+	// recovery) run outside it so creating one stream never stalls another
+	// stream's ingest path. The map is re-checked on insert: two
+	// concurrent creates of one name race to the second check, and the
+	// loser's engine is discarded.
+	m.mu.RLock()
+	_, exists := m.streams[name]
+	n := len(m.streams)
+	m.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	if n >= m.cfg.MaxStreams {
+		return nil, fmt.Errorf("%w: %d streams registered, limit %d", ErrTooManyStreams, n, m.cfg.MaxStreams)
+	}
+
+	// Validate before touching the metrics pool: a dedicated stream label
+	// slot is never reclaimed, so a flood of invalid create requests must
+	// not be able to consume the cap and push real streams to "other".
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := window.NewCountSlider(cfg.Window, cfg.Stride); err != nil {
+		return nil, err
+	}
+	srv, err := newServer(cfg, m.reg, m.pool.Acquire(name))
+	if err != nil {
+		return nil, err
+	}
+	st := &stream{name: name, srv: srv}
+	st.clusters = srv.serveView("clusters", srv.handleClusters)
+	st.point = srv.serveView("point", srv.handlePoint)
+	st.events = srv.serveView("events", srv.handleEvents)
+	st.stats = srv.serveView("stats", srv.handleStats)
+
+	var runner *ckpt.Runner
+	if m.cfg.CheckpointDir != "" {
+		dir := m.cfg.CheckpointDir
+		if name != DefaultStream {
+			dir = filepath.Join(dir, "streams", name)
+		}
+		store, err := ckpt.Open(dir,
+			ckpt.WithMaxPayload(srv.cfg.MaxCheckpointBytes), ckpt.WithStoreLogger(m.logger))
+		if err != nil {
+			return nil, fmt.Errorf("stream %q: opening checkpoint store: %w", name, err)
+		}
+		if err := m.recoverStream(st, store); err != nil {
+			return nil, err
+		}
+		st.store = store
+		srv.SetReady(true)
+		runner = ckpt.NewRunner(store, srv, m.cfg.CheckpointEvery,
+			ckpt.WithObserver(srv.sm.Checkpoint),
+			ckpt.WithRunnerLogger(m.logger),
+			ckpt.WithRunnerTracer(srv.Tracer()))
+	}
+
+	m.mu.Lock()
+	if _, raced := m.streams[name]; raced {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	m.streams[name] = st
+	m.streamsGauge.Set(float64(len(m.streams)))
+	m.mu.Unlock()
+	m.createdMx.Inc()
+	if m.sched != nil && runner != nil {
+		m.sched.Add(name, runner)
+	}
+	if m.logger != nil {
+		m.logger.Info("stream registered", "stream", name,
+			"dims", cfg.Cluster.Dims, "eps", cfg.Cluster.Eps, "minpts", cfg.Cluster.MinPts,
+			"window", cfg.Window, "stride", cfg.Stride, "connectivity", cfg.Connectivity.String())
+	}
+	return srv, nil
+}
+
+// recoverStream restores st from the newest valid generation in store,
+// mirroring the single-stream startup policy: no checkpoint → fresh, no
+// valid checkpoint → warn and fresh, a checkpoint that fails to restore →
+// hard error (starting fresh would silently discard the window the
+// operator meant to keep).
+func (m *Multi) recoverStream(st *stream, store *ckpt.Store) error {
+	payload, gen, err := store.Recover()
+	switch {
+	case err == nil:
+		restored, err := st.srv.ReadCheckpoint(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("stream %q: checkpoint generation %d does not restore: %w", st.name, gen, err)
+		}
+		if m.logger != nil {
+			m.logger.Info("stream recovered from checkpoint", "stream", st.name,
+				"generation", gen, "bytes", len(payload), "window_points", restored, "stride", st.srv.Strides())
+		}
+	case errors.Is(err, ckpt.ErrNoCheckpoint):
+		if m.logger != nil {
+			m.logger.Info("no checkpoint found, stream starting fresh", "stream", st.name)
+		}
+	case errors.Is(err, ckpt.ErrNoValidCheckpoint):
+		if m.logger != nil {
+			m.logger.Warn("checkpoints exist but none is valid, stream starting fresh",
+				"stream", st.name, "err", err)
+		}
+	default:
+		return fmt.Errorf("stream %q: checkpoint recovery: %w", st.name, err)
+	}
+	return nil
+}
+
+// DeleteStream unregisters a stream. The default stream cannot be deleted
+// (the legacy aliases must always resolve). In-flight requests on the
+// stream complete against its (now orphaned) server; its checkpoint
+// generations stay on disk, so re-creating the stream under the same name
+// with durability on recovers the old window.
+func (m *Multi) DeleteStream(name string) error {
+	if name == DefaultStream {
+		return fmt.Errorf("%w: the default stream cannot be deleted", ErrBadStreamName)
+	}
+	m.mu.Lock()
+	_, ok := m.streams[name]
+	if ok {
+		delete(m.streams, name)
+		m.streamsGauge.Set(float64(len(m.streams)))
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	if m.sched != nil {
+		m.sched.Remove(name)
+	}
+	if m.logger != nil {
+		m.logger.Info("stream deleted", "stream", name)
+	}
+	return nil
+}
+
+// RunCheckpoints drives the shared checkpoint scheduler until ctx is
+// canceled, then writes final generations for every stream with unsaved
+// stride progress. It returns immediately when durability is off.
+func (m *Multi) RunCheckpoints(ctx context.Context) {
+	if m.sched == nil {
+		return
+	}
+	m.sched.Run(ctx)
+}
+
+// lookup resolves a stream by name under the read lock, which is held only
+// for the map access — request handling proceeds on the stream's own
+// state, so a wedged write path on one stream never blocks another
+// stream's requests (and never blocks CreateStream/DeleteStream either).
+func (m *Multi) lookup(name string) (*stream, bool) {
+	m.mu.RLock()
+	st, ok := m.streams[name]
+	m.mu.RUnlock()
+	return st, ok
+}
+
+// withStream adapts a per-stream handler into an http.HandlerFunc that
+// resolves the {stream} path value (404 on unknown names).
+func (m *Multi) withStream(h func(st *stream, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.lookup(r.PathValue("stream"))
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown stream %q", r.PathValue("stream")), http.StatusNotFound)
+			return
+		}
+		h(st, w, r)
+	}
+}
+
+// streamSpec is the wire form of POST /streams. Omitted clustering fields
+// inherit the registry's default-stream template.
+type streamSpec struct {
+	Name   string  `json:"name"`
+	Dims   int     `json:"dims,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+	MinPts int     `json:"minPts,omitempty"`
+	Window int     `json:"window,omitempty"`
+	Stride int     `json:"stride,omitempty"`
+	// Connectivity is "msbfs" or "dynamic"; empty inherits the template.
+	Connectivity string `json:"connectivity,omitempty"`
+}
+
+// streamInfo is one row of GET /streams (and the POST /streams response).
+type streamInfo struct {
+	Name         string       `json:"name"`
+	Config       model.Config `json:"config"`
+	Window       int          `json:"windowExtent"`
+	Stride       int          `json:"stride"`
+	Connectivity string       `json:"connectivity"`
+	Strides      uint64       `json:"strides"`
+	Ingested     uint64       `json:"ingested"`
+	Resident     int          `json:"resident"`
+}
+
+func (st *stream) info() streamInfo {
+	v := st.srv.view.Load()
+	return streamInfo{
+		Name:         st.name,
+		Config:       st.srv.cfg.Cluster,
+		Window:       st.srv.cfg.Window,
+		Stride:       st.srv.cfg.Stride,
+		Connectivity: st.srv.cfg.Connectivity.String(),
+		Strides:      v.strides,
+		Ingested:     v.stats.Ingested,
+		Resident:     v.stats.Resident,
+	}
+}
+
+// parseConnStrategy maps the wire names to core strategies.
+func parseConnStrategy(s string) (core.ConnStrategy, error) {
+	switch s {
+	case "", "msbfs":
+		return core.ConnMSBFS, nil
+	case "dynamic":
+		return core.ConnDynamic, nil
+	default:
+		return 0, fmt.Errorf("unknown connectivity strategy %q (want msbfs or dynamic)", s)
+	}
+}
+
+// handleStreamCreate registers a tenant: 201 with its descriptor, 400 for
+// an invalid name or configuration, 409 for a duplicate, 429 at the
+// stream limit.
+func (m *Multi) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var spec streamSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// A typoed field name ("min_pts") would otherwise silently inherit the
+	// template value — for a config-bearing create, that is a 400.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad stream spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := m.cfg.Default
+	cfg.StartNotReady = false // dynamically created streams are born ready
+	if spec.Dims != 0 {
+		cfg.Cluster.Dims = spec.Dims
+	}
+	if spec.Eps != 0 {
+		cfg.Cluster.Eps = spec.Eps
+	}
+	if spec.MinPts != 0 {
+		cfg.Cluster.MinPts = spec.MinPts
+	}
+	if spec.Window != 0 {
+		cfg.Window = spec.Window
+	}
+	if spec.Stride != 0 {
+		cfg.Stride = spec.Stride
+	}
+	if spec.Connectivity != "" {
+		conn, err := parseConnStrategy(spec.Connectivity)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.Connectivity = conn
+	}
+	if _, err := m.CreateStream(spec.Name, cfg); err != nil {
+		switch {
+		case errors.Is(err, ErrStreamExists):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case errors.Is(err, ErrTooManyStreams):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrBadStreamName):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			// newServer validation (dims/eps/minpts/window/stride) lands
+			// here: the same rules discserver enforces at startup, as 400s.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	st, _ := m.lookup(spec.Name)
+	writeJSONStatus(w, http.StatusCreated, st.info())
+}
+
+// handleStreamList serves the sorted stream inventory.
+func (m *Multi) handleStreamList(w http.ResponseWriter, _ *http.Request) {
+	m.mu.RLock()
+	sts := make([]*stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		sts = append(sts, st)
+	}
+	m.mu.RUnlock()
+	infos := make([]streamInfo, 0, len(sts))
+	for _, st := range sts {
+		infos = append(infos, st.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, map[string]any{"streams": infos})
+}
+
+func (m *Multi) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	err := m.DeleteStream(r.PathValue("stream"))
+	switch {
+	case errors.Is(err, ErrUnknownStream):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBadStreamName):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, map[string]any{"deleted": r.PathValue("stream")})
+	}
+}
+
+// Handler returns the multi-tenant route multiplexer: the /streams
+// registry API, the per-stream endpoints, and the legacy single-stream
+// routes aliased to the default stream.
+func (m *Multi) Handler() http.Handler {
+	def, _ := m.lookup(DefaultStream) // always present; undeletable
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /streams", m.handleStreamCreate)
+	mux.HandleFunc("GET /streams", m.handleStreamList)
+	mux.HandleFunc("DELETE /streams/{stream}", m.handleStreamDelete)
+
+	mux.Handle("POST /streams/{stream}/ingest",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.srv.handleIngest(w, r) }))
+	mux.Handle("GET /streams/{stream}/clusters",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.clusters(w, r) }))
+	mux.Handle("GET /streams/{stream}/points/{id}",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.point(w, r) }))
+	mux.Handle("GET /streams/{stream}/events",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.events(w, r) }))
+	mux.Handle("GET /streams/{stream}/stats",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.stats(w, r) }))
+	mux.Handle("GET /streams/{stream}/checkpoint",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.srv.handleCheckpointSave(w, r) }))
+	mux.Handle("POST /streams/{stream}/checkpoint",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.srv.handleCheckpointLoad(w, r) }))
+	mux.Handle("GET /streams/{stream}/readyz",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) { st.srv.handleReady(w, r) }))
+	mux.Handle("GET /streams/{stream}/debug/traces",
+		m.withStream(func(st *stream, w http.ResponseWriter, r *http.Request) {
+			if st.srv.tracer == nil {
+				http.Error(w, "tracing disabled", http.StatusNotFound)
+				return
+			}
+			st.srv.tracer.Handler().ServeHTTP(w, r)
+		}))
+
+	// Legacy single-stream aliases → the default stream.
+	mux.HandleFunc("POST /ingest", def.srv.handleIngest)
+	mux.Handle("GET /clusters", def.clusters)
+	mux.Handle("GET /points/{id}", def.point)
+	mux.Handle("GET /events", def.events)
+	mux.Handle("GET /stats", def.stats)
+	mux.HandleFunc("GET /checkpoint", def.srv.handleCheckpointSave)
+	mux.HandleFunc("POST /checkpoint", def.srv.handleCheckpointLoad)
+	mux.HandleFunc("GET /readyz", def.srv.handleReady)
+	if def.srv.tracer != nil {
+		mux.Handle("GET /debug/traces", def.srv.tracer.Handler())
+	}
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /metrics", m.reg.Handler())
+	m.reg.PublishExpvar("disc")
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if m.cfg.Default.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -51,6 +51,13 @@ type Config struct {
 	Cluster model.Config
 	Window  int // sliding-window extent in points
 	Stride  int // points per window advance
+	// Connectivity selects the engine's density-connectivity strategy
+	// (core.ConnMSBFS by default; core.ConnDynamic maintains the
+	// incremental forest). Every strategy yields bit-identical clustering;
+	// the choice is per-stream cost tuning. A restore keeps the serving
+	// strategy — the engine option overrides whatever the checkpoint
+	// persisted.
+	Connectivity core.ConnStrategy
 	// EventLog bounds the in-memory cluster-evolution event ring; 0 keeps
 	// the default of 1024.
 	EventLog int
@@ -97,8 +104,11 @@ type Server struct {
 
 	// Telemetry. The registry's instruments are atomics, so /metrics and
 	// /debug/vars scrape them without taking mu — scrapes never stall
-	// ingestion and ingestion never stalls scrapes.
+	// ingestion and ingestion never stalls scrapes. The registry may be
+	// shared with other streams (multi-tenant mode), in which case sm is a
+	// {stream="<name>"}-labeled bundle from the shared pool.
 	reg      *obs.Registry
+	sm       *obs.StreamMetrics
 	metrics  *obs.EngineMetrics
 	ingestMx *obs.Counter // disc_ingested_points_total
 	qm       *obs.QueryMetrics
@@ -146,8 +156,17 @@ type eventRecord struct {
 	Cores int   `json:"cores"`
 }
 
-// New returns a service around a fresh DISC engine.
+// New returns a service around a fresh DISC engine with its own private
+// metrics registry (the historical single-stream shape).
 func New(cfg Config) (*Server, error) {
+	reg := obs.NewRegistry()
+	return newServer(cfg, reg, obs.SingleStreamMetrics(reg))
+}
+
+// newServer builds a Server on an externally owned registry and instrument
+// bundle — the seam the multi-tenant registry uses to share one registry
+// (with per-stream labels) across every tenant's engine.
+func newServer(cfg Config, reg *obs.Registry, sm *obs.StreamMetrics) (*Server, error) {
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -164,19 +183,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxCheckpointBytes <= 0 {
 		cfg.MaxCheckpointBytes = DefaultMaxCheckpointBytes
 	}
-	s := &Server{cfg: cfg, slider: slider, reg: obs.NewRegistry()}
+	s := &Server{cfg: cfg, slider: slider, reg: reg, sm: sm}
 	if tc := cfg.Tracing; tc != nil {
 		s.tracer = trace.NewTracer(trace.Config{
 			Recent: tc.Recent, Slow: tc.Slow, SlowThreshold: tc.SlowThreshold,
 		})
 	}
 	s.ready.Store(!cfg.StartNotReady)
-	s.metrics = obs.NewEngineMetrics(s.reg)
-	s.ingestMx = s.reg.Counter("disc_ingested_points_total",
-		"Points accepted by POST /ingest (including those still buffered below a stride boundary).", nil)
-	s.qm = obs.NewQueryMetrics(s.reg)
+	s.metrics = sm.Engine
+	s.ingestMx = sm.Ingested
+	s.qm = sm.Query
 	s.eng = core.New(cfg.Cluster,
-		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
+		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics),
+		core.WithConnectivity(cfg.Connectivity))
 	// Publish the empty stride-0 view so the read path serves (vacuously
 	// consistent) answers before the first stride completes.
 	s.publish()
@@ -338,7 +357,11 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("%w: %w", errBadCheckpoint, err)
 	}
 	eng, err := core.LoadEngine(bytes.NewReader(env.Engine),
-		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics))
+		core.WithEventHandler(s.recordEvent), core.WithObserver(s.metrics),
+		// The serving strategy wins over whatever the checkpoint persisted:
+		// a stream configured for the dynamic forest must not silently fall
+		// back to MS-BFS because it restored an MS-BFS-era snapshot.
+		core.WithConnectivity(s.cfg.Connectivity))
 	if err != nil {
 		return 0, fmt.Errorf("%w: %w", errBadCheckpoint, err)
 	}
@@ -378,13 +401,23 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	s.eventSeq = env.EventSeq
 	s.events = nil
 	// The telemetry counter must agree with the restored stream position,
-	// or /stats and /metrics disagree forever after a restore.
-	s.ingestMx.Set(int64(env.Ingested))
+	// or /stats and /metrics disagree forever after a restore. Skipped on
+	// a shared overflow bundle: that counter aggregates several streams,
+	// and forcing it to one stream's position would erase the others.
+	if s.sm.Dedicated {
+		s.ingestMx.Set(int64(env.Ingested))
+	}
 	// Readers must see the restored world immediately — and must be able
 	// to tell it apart from the pre-restore world even when the stride
 	// counter rewound to a number they already cached, hence the epoch.
 	s.viewEpoch++
 	s.publish()
+	// The pre-restore stride's trace context must not outlive the world it
+	// belongs to: the checkpoint runner joins its next write spans to this
+	// context, and a stale one would stitch a post-restore checkpoint onto
+	// a trace of strides the restore just discarded — the trace-level twin
+	// of serving a restored view under a pre-restore X-Disc-Stride.
+	s.strideCtx.Store(nil)
 	// A restore discards any pending partial stride, so the readiness
 	// backlog gauge resets with it.
 	s.pending.Store(int64(s.slider.PendingLen()))

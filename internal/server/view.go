@@ -31,6 +31,7 @@ import (
 // field concurrently without synchronization.
 type publishedView struct {
 	strides uint64 // engine strides completed when this view was built
+	epoch   uint64 // restore epoch this view belongs to (s.viewEpoch)
 	etag    string // `"disc-e<epoch>-s<strides>"`; epoch bumps on restore
 	// assign maps every resident point id to its exact assignment as of
 	// this stride (the engine Snapshot taken at publication).
@@ -53,6 +54,7 @@ func (s *Server) buildView() *publishedView {
 	strides := uint64(stats.Strides)
 	v := &publishedView{
 		strides: strides,
+		epoch:   s.viewEpoch,
 		etag:    fmt.Sprintf("\"disc-e%d-s%d\"", s.viewEpoch, strides),
 		assign:  snap,
 		events:  append([]eventRecord(nil), s.events...),
@@ -104,10 +106,13 @@ func (s *Server) buildView() *publishedView {
 func (s *Server) publish() { s.view.Store(s.buildView()) }
 
 // serveView adapts a view-reading handler into an instrumented, lock-free
-// http.HandlerFunc: it pins the current view, exposes the view's stride as
-// X-Disc-Stride and a strong ETag (If-None-Match short-circuits to 304 —
-// every GET body is a pure function of (view, URL), which is what makes
-// the ETag sound), and records latency plus served-stride lag.
+// http.HandlerFunc: it pins the current view ONCE and derives everything —
+// the X-Disc-Stride header, the strong ETag, the If-None-Match freshness
+// check, the body, and the lag baseline — from that single instance, so a
+// view published mid-request can never leak into the response or the
+// metrics attributed to it. (If-None-Match short-circuits to 304; every
+// GET body is a pure function of (view, URL), which is what makes the
+// ETag sound.) It records latency plus served-stride lag.
 func (s *Server) serveView(endpoint string, h func(v *publishedView, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -119,11 +124,15 @@ func (s *Server) serveView(endpoint string, h func(v *publishedView, w http.Resp
 		} else {
 			h(v, w, r)
 		}
-		// Lag = strides published while this request was being served. A
-		// restore can rewind the stride counter, so clamp at zero.
+		// Lag = strides published while this request was being served,
+		// measured against the served instance v. The epoch guard keeps the
+		// comparison within v's own restore epoch: a checkpoint restored
+		// mid-request installs a view whose stride counter belongs to a
+		// different history, and diffing across epochs would charge this
+		// (perfectly fresh) read with an arbitrary fabricated lag.
 		lag := float64(0)
-		if now := s.view.Load().strides; now > v.strides {
-			lag = float64(now - v.strides)
+		if now := s.view.Load(); now.epoch == v.epoch && now.strides > v.strides {
+			lag = float64(now.strides - v.strides)
 		}
 		s.qm.ObserveQuery(endpoint, time.Since(start).Seconds(), lag)
 	}
