@@ -16,6 +16,12 @@
 // stream's ids: any non-404 answer is cross-stream view bleed and fails
 // the run.
 //
+// With -failover the tool runs a kill-and-failover soak instead (see
+// failover.go): sequenced batches with duplicate re-deliveries into a
+// WAL-backed leader, a mid-run crash with a torn log tail, follower
+// catch-up and promotion, and a byte-level comparison of the survivor
+// against an uninterrupted reference server.
+//
 // With no -addr, discload starts an in-process server on a loopback port
 // and drives that — the zero-setup mode CI uses:
 //
@@ -61,6 +67,10 @@ type config struct {
 	batch    int
 	slowest  int
 	streams  int
+	failover bool
+	batches  int
+	killat   int
+	dupes    int
 }
 
 // endpointKinds names the request kinds latencies are bucketed by: the
@@ -107,6 +117,13 @@ func main() {
 	bindFlags(fs, &cfg)
 	fs.Parse(os.Args[1:])
 
+	if cfg.failover {
+		if err := runFailover(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "discload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	res, err := run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "discload: %v\n", err)
@@ -130,6 +147,10 @@ func bindFlags(fs *flag.FlagSet, cfg *config) {
 	fs.IntVar(&cfg.batch, "batch", 100, "points per ingest POST")
 	fs.IntVar(&cfg.slowest, "slowest", 5, "ingest requests to report trace ids for (slowest first)")
 	fs.IntVar(&cfg.streams, "streams", 1, "independent tenant streams to drive concurrently (>1 uses the /streams API)")
+	fs.BoolVar(&cfg.failover, "failover", false, "run the kill-and-failover soak instead of the load run (in-process leader+WAL, follower promotion, exactly-once checks)")
+	fs.IntVar(&cfg.batches, "batches", 40, "failover soak: total sequenced batches to deliver")
+	fs.IntVar(&cfg.killat, "killat", 0, "failover soak: batch index after which the leader is killed (0 = halfway)")
+	fs.IntVar(&cfg.dupes, "dupes", 6, "failover soak: duplicate re-deliveries to inject (each must dedup, not re-apply)")
 }
 
 // run executes one load-generation session and returns the aggregated

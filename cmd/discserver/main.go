@@ -44,6 +44,19 @@
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //	GET  /healthz       process liveness
 //
+// Durability and replication: with -wal-dir every acknowledged ingest
+// batch is framed and fsynced to a per-stream write-ahead log before its
+// 200, so a crash between checkpoints loses nothing a client was told was
+// applied. Batches may carry an X-Disc-Seq (plus X-Disc-Client) header;
+// re-delivering an acknowledged (client, seq) answers 200 with the
+// original body and X-Disc-Deduped: 1 instead of re-applying, making
+// at-least-once delivery exactly-once. With -ingest-high-water the ingest
+// path sheds load (429 + Retry-After) while the slider backlog exceeds
+// the mark. With -follow <dir> the process runs as a read-only replica:
+// it tails the leader's log, replays every batch through its own engine
+// (bit-identical state), serves the full GET surface, and becomes the
+// leader on POST /promote.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight requests
 // (including a final checkpoint download or metrics scrape) get up to
 // -drain to complete before the listener closes, and — when durable
@@ -81,6 +94,12 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for durable checkpoints (empty = durability off)")
 	ckptEvery := flag.Uint64("checkpoint-every", 20, "checkpoint every N strides")
+	walDir := flag.String("wal-dir", "",
+		"directory for per-stream write-ahead logs: every acknowledged ingest batch is fsynced before its 200 (empty = off)")
+	ingestHW := flag.Int("ingest-high-water", 0,
+		"POST .../ingest answers 429 + Retry-After while the slider backlog exceeds this many points (0 = disabled)")
+	follow := flag.String("follow", "",
+		"run as a read-only follower tailing this write-ahead log directory (serves the GET surface and POST /promote; single stream)")
 	ckptMax := flag.Int64("checkpoint-max-bytes", server.DefaultMaxCheckpointBytes,
 		"largest checkpoint accepted on restore (POST /checkpoint and recovery)")
 	traceOn := flag.Bool("trace", true, "record ingest span trees and serve GET /debug/traces")
@@ -114,6 +133,19 @@ func main() {
 	if *traceOn {
 		tc = &server.TraceConfig{Recent: *traceRecent, Slow: *traceSlow, SlowThreshold: *traceSlowAt}
 	}
+	if *follow != "" {
+		runFollower(logger, *addr, *follow, *ckptDir, *drain, server.Config{
+			Cluster:            model.Config{Dims: *dims, Eps: *eps, MinPts: *minPts},
+			Window:             *win,
+			Stride:             *stride,
+			EnablePprof:        *pprofOn,
+			MaxCheckpointBytes: *ckptMax,
+			Tracing:            tc,
+			ReadyHighWater:     *readyHW,
+			IngestHighWater:    *ingestHW,
+		})
+		return
+	}
 	// NewMulti recovers the default stream from its newest valid checkpoint
 	// before returning (hard error if a checkpoint exists but does not
 	// restore — starting fresh would silently discard the window the
@@ -127,13 +159,15 @@ func main() {
 			EnablePprof:        *pprofOn,
 			MaxCheckpointBytes: *ckptMax,
 			Tracing:            tc,
-			StartNotReady:      *ckptDir != "",
+			StartNotReady:      *ckptDir != "" || *walDir != "",
 			ReadyHighWater:     *readyHW,
+			IngestHighWater:    *ingestHW,
 		},
 		MaxStreams:      *maxStreams,
 		MetricStreams:   *metricStreams,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		WALDir:          *walDir,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -148,7 +182,7 @@ func main() {
 	logger.Info("discserver listening",
 		"addr", *addr, "eps", *eps, "minpts", *minPts, "window", *win, "stride", *stride,
 		"max_streams", *maxStreams, "pprof", *pprofOn, "trace", *traceOn,
-		"checkpoints", describeCkpt(*ckptDir, *ckptEvery))
+		"checkpoints", describeCkpt(*ckptDir, *ckptEvery), "wal", describeWAL(*walDir))
 
 	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the listener
 	// and waits for in-flight handlers (a checkpoint save mid-write, a
@@ -218,4 +252,66 @@ func describeCkpt(dir string, every uint64) string {
 		return "off"
 	}
 	return fmt.Sprintf("%s every %d strides", dir, every)
+}
+
+func describeWAL(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return dir
+}
+
+// runFollower serves the read-only replica mode: tail the leader's
+// write-ahead log, serve the GET surface from replayed state, and turn
+// into a leader on POST /promote. A signal drains in-flight requests,
+// stops the tailer, and exits; a definitively corrupt log is fatal (the
+// replica must not silently serve a prefix of the stream forever).
+func runFollower(logger *slog.Logger, addr, walDir, ckptDir string, drain time.Duration, cfg server.Config) {
+	f, err := server.NewFollower(server.FollowerConfig{
+		Server:        cfg,
+		WALDir:        walDir,
+		CheckpointDir: ckptDir,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("discserver: starting follower", "err", err)
+		os.Exit(1)
+	}
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           f.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logger.Info("discserver following", "addr", addr, "wal", walDir,
+		"checkpoints", describeCkpt(ckptDir, 0))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run(ctx) }()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		logger.Error("discserver: serve failed", "err", err)
+		os.Exit(1)
+	case err := <-runErr:
+		// Run only returns early on unrecoverable log damage (promotion
+		// stops it too, but via ctx — that path reports nil after a signal).
+		if err != nil {
+			logger.Error("discserver: follower tail failed", "err", err)
+			os.Exit(1)
+		}
+		<-ctx.Done()
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("signal received, draining", "deadline", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpServer.Shutdown(shutCtx); err != nil {
+		logger.Error("discserver: shutdown", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("shut down cleanly")
 }

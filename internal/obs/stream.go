@@ -24,6 +24,9 @@ type StreamMetrics struct {
 	Engine     *EngineMetrics
 	Query      *QueryMetrics
 	Checkpoint *CheckpointMetrics
+	// WAL is the stream's disc_wal_* bundle, attached to the stream's
+	// write-ahead log when one is configured (idle otherwise).
+	WAL *WALMetrics
 	// Ingested is the stream's disc_ingested_points_total counter.
 	Ingested *Counter
 }
@@ -92,6 +95,7 @@ func newStreamMetrics(r *Registry, label string, dedicated bool) *StreamMetrics 
 		Engine:     NewEngineMetricsLabeled(r, base),
 		Query:      NewQueryMetricsLabeled(r, base),
 		Checkpoint: NewCheckpointMetricsLabeled(r, base),
+		WAL:        NewWALMetricsLabeled(r, base),
 		Ingested: r.Counter("disc_ingested_points_total",
 			"Points accepted by POST .../ingest (including those still buffered below a stride boundary).", base),
 	}
@@ -109,6 +113,7 @@ func SingleStreamMetrics(r *Registry) *StreamMetrics {
 		Dedicated: true,
 		Engine:    NewEngineMetrics(r),
 		Query:     NewQueryMetrics(r),
+		WAL:       NewWALMetrics(r),
 		Ingested: r.Counter("disc_ingested_points_total",
 			"Points accepted by POST /ingest (including those still buffered below a stride boundary).", nil),
 	}

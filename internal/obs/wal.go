@@ -1,0 +1,92 @@
+package obs
+
+import "time"
+
+// WALMetrics is a ckpt.WALObserver feeding a Registry: one instance
+// registers the disc_wal_* family and translates append/sync/truncate
+// activity into instrument updates. Attach with ckpt.WithWALObserver.
+//
+// Metric inventory (all prefixed disc_wal_):
+//
+//	appends_total             counter    records appended
+//	append_bytes_total        counter    framed bytes appended (header included)
+//	syncs_total               counter    fsyncs issued for appended records
+//	sync_duration_seconds     histogram  wall-clock fsync latency
+//	segments                  gauge      segment files currently on disk
+//	truncated_segments_total  counter    segments removed by checkpoint truncation
+type WALMetrics struct {
+	appends   *Counter
+	bytes     *Counter
+	syncs     *Counter
+	syncDur   *Histogram
+	segments  *Gauge
+	truncated *Counter
+}
+
+// NewWALMetrics registers the disc_wal_* instruments on r.
+func NewWALMetrics(r *Registry) *WALMetrics {
+	return NewWALMetricsLabeled(r, nil)
+}
+
+// NewWALMetricsLabeled registers the disc_wal_* instruments with the
+// given constant base labels (the multi-tenant server passes
+// {stream="<name>"}).
+func NewWALMetricsLabeled(r *Registry, base Labels) *WALMetrics {
+	return &WALMetrics{
+		appends: r.Counter("disc_wal_appends_total",
+			"Records appended to the write-ahead log.", base),
+		bytes: r.Counter("disc_wal_append_bytes_total",
+			"Framed bytes appended to the write-ahead log (frame headers included).", base),
+		syncs: r.Counter("disc_wal_syncs_total",
+			"fsyncs issued to make appended WAL records durable.", base),
+		syncDur: r.Histogram("disc_wal_sync_duration_seconds",
+			"Wall-clock latency of one WAL fsync.", nil, base),
+		segments: r.Gauge("disc_wal_segments",
+			"WAL segment files currently on disk.", base),
+		truncated: r.Counter("disc_wal_truncated_segments_total",
+			"WAL segments removed because a durable checkpoint superseded them.", base),
+	}
+}
+
+// ObserveWALAppend implements ckpt.WALObserver.
+func (m *WALMetrics) ObserveWALAppend(bytes, segments int) {
+	m.appends.Inc()
+	m.bytes.Add(int64(bytes))
+	m.segments.Set(float64(segments))
+}
+
+// ObserveWALSync implements ckpt.WALObserver.
+func (m *WALMetrics) ObserveWALSync(d time.Duration) {
+	m.syncs.Inc()
+	m.syncDur.Observe(d.Seconds())
+}
+
+// ObserveWALTruncate implements ckpt.WALObserver.
+func (m *WALMetrics) ObserveWALTruncate(removed, remaining int) {
+	m.truncated.Add(int64(removed))
+	m.segments.Set(float64(remaining))
+}
+
+// ReplicationMetrics is the follower-side instrument bundle: how far the
+// replica trails the leader's log and how much it has replayed.
+//
+//	disc_replica_records_applied_total  counter  WAL records replayed into the engine
+//	disc_replica_points_applied_total   counter  points replayed into the window
+//	disc_replica_stride_lag             gauge    strides between log end and replica
+type ReplicationMetrics struct {
+	Records *Counter
+	Points  *Counter
+	Lag     *Gauge
+}
+
+// NewReplicationMetrics registers the disc_replica_* instruments on r.
+func NewReplicationMetrics(r *Registry) *ReplicationMetrics {
+	return &ReplicationMetrics{
+		Records: r.Counter("disc_replica_records_applied_total",
+			"WAL records the follower has replayed into its engine.", nil),
+		Points: r.Counter("disc_replica_points_applied_total",
+			"Points the follower has replayed into its window.", nil),
+		Lag: r.Gauge("disc_replica_stride_lag",
+			"Strides between the newest WAL record seen and the follower's replayed position.", nil),
+	}
+}

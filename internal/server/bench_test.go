@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"disc/internal/ckpt"
 	"disc/internal/model"
 )
 
@@ -37,6 +38,42 @@ func BenchmarkIngestRouting(b *testing.B) {
 			b.Fatal(err)
 		}
 		benchIngest(b, m.Handler())
+	})
+}
+
+// BenchmarkAdvanceWAL measures the ingest path with write-ahead logging
+// off and on. The WAL variant uses WithWALNoSync to isolate the logging
+// path's CPU cost — record encode, frame, CRC, buffered write — from
+// device fsync latency, which would otherwise dominate a sub-millisecond
+// advance and turn the CI gate into a disk benchmark. CI A/B-gates the
+// pair: the logging path must not cost the ingest path more than the
+// benchdiff threshold.
+func BenchmarkAdvanceWAL(b *testing.B) {
+	cfg := Config{
+		Cluster: model.Config{Dims: 2, Eps: 2, MinPts: 4},
+		Window:  1000,
+		Stride:  100,
+	}
+	b.Run("off", func(b *testing.B) {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchIngest(b, s.Handler())
+	})
+	b.Run("on", func(b *testing.B) {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := ckpt.OpenWAL(b.TempDir(), ckpt.WithWALNoSync(),
+			ckpt.WithWALMaxPayload(s.walRecordMaxPayload()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		s.AttachWAL(w)
+		benchIngest(b, s.Handler())
 	})
 }
 

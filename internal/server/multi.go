@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -87,6 +88,16 @@ type MultiConfig struct {
 	// CheckpointEvery is the stride cadence of the shared checkpoint
 	// scheduler (0 selects 20).
 	CheckpointEvery uint64
+	// WALDir enables per-stream write-ahead logging under this directory;
+	// empty disables it. Layout mirrors CheckpointDir: the default stream
+	// logs into WALDir itself, stream X into WALDir/streams/X. With a log
+	// attached every acknowledged ingest batch is fsynced before its 200,
+	// so a crash between checkpoints loses nothing a client was told was
+	// applied. Log segments older than the previous successful checkpoint
+	// are pruned automatically (only when CheckpointDir is also set —
+	// without checkpoints the log is the only durable history and is kept
+	// whole).
+	WALDir string
 	// Logger receives stream lifecycle and recovery log lines; nil
 	// discards them.
 	Logger *slog.Logger
@@ -114,6 +125,7 @@ type stream struct {
 	name  string
 	srv   *Server
 	store *ckpt.Store // nil when durability is off
+	wal   *ckpt.WAL   // nil when write-ahead logging is off
 
 	// Prebuilt serveView adapters (they close over the per-stream query
 	// metrics, so they are made once, not per request).
@@ -213,13 +225,8 @@ func (m *Multi) CreateStream(name string, cfg Config) (*Server, error) {
 	st.events = srv.serveView("events", srv.handleEvents)
 	st.stats = srv.serveView("stats", srv.handleStats)
 
-	var runner *ckpt.Runner
 	if m.cfg.CheckpointDir != "" {
-		dir := m.cfg.CheckpointDir
-		if name != DefaultStream {
-			dir = filepath.Join(dir, "streams", name)
-		}
-		store, err := ckpt.Open(dir,
+		store, err := ckpt.Open(m.streamDir(m.cfg.CheckpointDir, name),
 			ckpt.WithMaxPayload(srv.cfg.MaxCheckpointBytes), ckpt.WithStoreLogger(m.logger))
 		if err != nil {
 			return nil, fmt.Errorf("stream %q: opening checkpoint store: %w", name, err)
@@ -228,16 +235,56 @@ func (m *Multi) CreateStream(name string, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		st.store = store
-		srv.SetReady(true)
-		runner = ckpt.NewRunner(store, srv, m.cfg.CheckpointEvery,
-			ckpt.WithObserver(srv.sm.Checkpoint),
+	}
+
+	// The write-ahead log layers on top of checkpoint recovery: open (which
+	// repairs any torn tail from a crash mid-append), replay every record
+	// past the restored position, then attach for appending — open repair
+	// and replay stop at the same boundary, so the log and the recovered
+	// state agree before the first new batch lands.
+	var ckptObs ckpt.Observer = srv.sm.Checkpoint
+	if m.cfg.WALDir != "" {
+		wdir := m.streamDir(m.cfg.WALDir, name)
+		wal, err := ckpt.OpenWAL(wdir,
+			ckpt.WithWALObserver(srv.sm.WAL), ckpt.WithWALLogger(m.logger),
+			ckpt.WithWALMaxPayload(srv.walRecordMaxPayload()))
+		if err != nil {
+			return nil, fmt.Errorf("stream %q: opening write-ahead log: %w", name, err)
+		}
+		replayed, err := srv.RecoverWAL(wdir, m.logger)
+		if err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("stream %q: replaying write-ahead log: %w", name, err)
+		}
+		if replayed > 0 && m.logger != nil {
+			m.logger.Info("stream replayed write-ahead log", "stream", name,
+				"records", replayed, "stride", srv.Strides())
+		}
+		srv.AttachWAL(wal)
+		st.wal = wal
+		if st.store != nil {
+			ckptObs = &walTruncatingObserver{inner: ckptObs, wal: wal, logger: m.logger,
+				window: uint64(cfg.Window), stride: uint64(cfg.Stride)}
+		}
+	}
+
+	var runner *ckpt.Runner
+	if st.store != nil {
+		runner = ckpt.NewRunner(st.store, srv, m.cfg.CheckpointEvery,
+			ckpt.WithObserver(ckptObs),
 			ckpt.WithRunnerLogger(m.logger),
 			ckpt.WithRunnerTracer(srv.Tracer()))
+	}
+	if st.store != nil || st.wal != nil {
+		srv.SetReady(true)
 	}
 
 	m.mu.Lock()
 	if _, raced := m.streams[name]; raced {
 		m.mu.Unlock()
+		if st.wal != nil {
+			st.wal.Close()
+		}
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
 	m.streams[name] = st
@@ -253,6 +300,58 @@ func (m *Multi) CreateStream(name string, cfg Config) (*Server, error) {
 			"window", cfg.Window, "stride", cfg.Stride, "connectivity", cfg.Connectivity.String())
 	}
 	return srv, nil
+}
+
+// streamDir maps a stream name into a durability root: the default stream
+// keeps the root itself (the pre-multi-tenant layout, so existing
+// deployments recover in place), stream X uses root/streams/X. The same
+// layout serves both the checkpoint and write-ahead log trees.
+func (m *Multi) streamDir(root, name string) string {
+	if name == DefaultStream {
+		return root
+	}
+	return filepath.Join(root, "streams", name)
+}
+
+// walTruncatingObserver prunes write-ahead log segments as checkpoints
+// land. After a successful generation it truncates the log to the
+// PREVIOUS successful checkpoint's stream position — the store retains
+// two generations, and recovery may fall back to the older one, so the
+// log must stay replayable from there. Until a second checkpoint
+// succeeds nothing is pruned.
+type walTruncatingObserver struct {
+	inner          ckpt.Observer
+	wal            *ckpt.WAL
+	logger         *slog.Logger
+	window, stride uint64
+
+	mu       sync.Mutex
+	prevPos  uint64
+	havePrev bool
+}
+
+func (o *walTruncatingObserver) ObserveCheckpoint(rec ckpt.Record) {
+	if o.inner != nil {
+		o.inner.ObserveCheckpoint(rec)
+	}
+	if rec.Err != nil {
+		return
+	}
+	var pos uint64
+	if rec.Strides > 0 {
+		pos = o.window + (rec.Strides-1)*o.stride
+	}
+	o.mu.Lock()
+	prev, have := o.prevPos, o.havePrev
+	o.prevPos, o.havePrev = pos, true
+	o.mu.Unlock()
+	if have {
+		if err := o.wal.Truncate(prev); err != nil && o.logger != nil {
+			// Pruning is best-effort: a failed removal wastes disk but never
+			// loses data, so log and keep checkpointing.
+			o.logger.Warn("wal truncation failed", "keep_from", prev, "err", err)
+		}
+	}
 }
 
 // recoverStream restores st from the newest valid generation in store,
@@ -287,17 +386,19 @@ func (m *Multi) recoverStream(st *stream, store *ckpt.Store) error {
 	return nil
 }
 
-// DeleteStream unregisters a stream. The default stream cannot be deleted
-// (the legacy aliases must always resolve). In-flight requests on the
-// stream complete against its (now orphaned) server; its checkpoint
-// generations stay on disk, so re-creating the stream under the same name
-// with durability on recovers the old window.
+// DeleteStream unregisters a stream and removes its durable state — the
+// checkpoint generations under CheckpointDir/streams/<name> and the
+// write-ahead log under WALDir/streams/<name>. The default stream cannot
+// be deleted (the legacy aliases must always resolve). In-flight requests
+// on the stream complete against its (now orphaned) server. Deletion is
+// destructive by contract: re-creating the stream under the same name
+// starts empty, never resurrecting the deleted tenant's window.
 func (m *Multi) DeleteStream(name string) error {
 	if name == DefaultStream {
 		return fmt.Errorf("%w: the default stream cannot be deleted", ErrBadStreamName)
 	}
 	m.mu.Lock()
-	_, ok := m.streams[name]
+	st, ok := m.streams[name]
 	if ok {
 		delete(m.streams, name)
 		m.streamsGauge.Set(float64(len(m.streams)))
@@ -307,10 +408,32 @@ func (m *Multi) DeleteStream(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
 	if m.sched != nil {
+		// Remove before deleting the directory: a scheduler tick racing the
+		// removal would otherwise re-create the generation dir with a fresh
+		// checkpoint of the orphaned server.
 		m.sched.Remove(name)
+	}
+	if st.wal != nil {
+		st.wal.Close()
+	}
+	var errs []error
+	// name != DefaultStream here, so both paths are guaranteed to be the
+	// tenant's own streams/<name> subdirectory, never the shared root.
+	if m.cfg.CheckpointDir != "" {
+		if err := os.RemoveAll(m.streamDir(m.cfg.CheckpointDir, name)); err != nil {
+			errs = append(errs, fmt.Errorf("removing checkpoints: %w", err))
+		}
+	}
+	if m.cfg.WALDir != "" {
+		if err := os.RemoveAll(m.streamDir(m.cfg.WALDir, name)); err != nil {
+			errs = append(errs, fmt.Errorf("removing write-ahead log: %w", err))
+		}
 	}
 	if m.logger != nil {
 		m.logger.Info("stream deleted", "stream", name)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("stream %q deleted but its durable state remains: %w", name, errors.Join(errs...))
 	}
 	return nil
 }

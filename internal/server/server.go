@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"disc/internal/ckpt"
 	"disc/internal/core"
 	"disc/internal/geom"
 	"disc/internal/model"
@@ -85,6 +86,18 @@ type Config struct {
 	// pending backlog (points buffered below the next stride boundary)
 	// exceeds this many points; 0 disables the backlog gate.
 	ReadyHighWater int
+	// IngestHighWater makes POST /ingest shed load with 429 + Retry-After
+	// while the slider backlog exceeds this many points, instead of
+	// queueing writes without bound; 0 disables backpressure.
+	IngestHighWater int
+	// SeqWindow is how many recent X-Disc-Seq sequence numbers (with
+	// their original responses) are remembered per client for idempotent
+	// ingest; 0 selects DefaultSeqWindow.
+	SeqWindow int
+	// SeqClients caps how many distinct clients the dedup table tracks
+	// before evicting the least recently used; 0 selects
+	// DefaultSeqClients.
+	SeqClients int
 }
 
 // TraceConfig sizes the server's trace recorder.
@@ -134,6 +147,14 @@ type Server struct {
 	events   []eventRecord
 	eventSeq uint64
 	ingested uint64
+	// wal, when attached, receives one durable record per acknowledged
+	// ingest batch before the 200 leaves the mutex. walBroken latches a
+	// failed append: later ingests answer 503 rather than acknowledging
+	// batches a replica could never replay. seqs is the X-Disc-Seq dedup
+	// window (wal.go).
+	wal       *ckpt.WAL
+	walBroken bool
+	seqs      *seqTable
 	// viewEpoch distinguishes pre- and post-restore views in the ETag: a
 	// restore can rewind the stride counter to a value whose content
 	// differs from what a client cached under the same stride number.
@@ -183,7 +204,8 @@ func newServer(cfg Config, reg *obs.Registry, sm *obs.StreamMetrics) (*Server, e
 	if cfg.MaxCheckpointBytes <= 0 {
 		cfg.MaxCheckpointBytes = DefaultMaxCheckpointBytes
 	}
-	s := &Server{cfg: cfg, slider: slider, reg: reg, sm: sm}
+	s := &Server{cfg: cfg, slider: slider, reg: reg, sm: sm,
+		seqs: newSeqTable(cfg.SeqWindow, cfg.SeqClients)}
 	if tc := cfg.Tracing; tc != nil {
 		s.tracer = trace.NewTracer(trace.Config{
 			Recent: tc.Recent, Slow: tc.Slow, SlowThreshold: tc.SlowThreshold,
@@ -307,6 +329,10 @@ type checkpointEnvelope struct {
 	Window   []model.Point
 	Ingested uint64
 	EventSeq uint64
+	// Seqs is the X-Disc-Seq dedup table, sorted by client name so the
+	// envelope's bytes are a deterministic function of stream content
+	// (absent in pre-WAL checkpoints; gob restores it as empty).
+	Seqs []persistedClient
 }
 
 // ErrCheckpointMismatch reports a checkpoint whose clustering
@@ -338,6 +364,7 @@ func (s *Server) WriteCheckpoint(w io.Writer) error {
 		Window:   append([]model.Point(nil), s.slider.Window()...),
 		Ingested: s.ingested,
 		EventSeq: s.eventSeq,
+		Seqs:     s.seqs.persist(),
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -400,6 +427,7 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	s.ingested = env.Ingested
 	s.eventSeq = env.EventSeq
 	s.events = nil
+	s.seqs.restore(env.Seqs)
 	// The telemetry counter must agree with the restored stream position,
 	// or /stats and /metrics disagree forever after a restore. Skipped on
 	// a shared overflow bundle: that counter aggregates several streams,
@@ -424,7 +452,11 @@ func (s *Server) ReadCheckpoint(r io.Reader) (int, error) {
 	return eng.WindowSize(), nil
 }
 
-// handleCheckpointSave streams a binary service checkpoint.
+// handleCheckpointSave streams a binary service checkpoint. The body is
+// buffered first so Content-Length names the complete encoding: without
+// it a client whose connection dropped mid-download would hold a
+// truncated checkpoint indistinguishable from a complete one. A failed
+// write is logged, not 500'd — the status already left.
 func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
 	// Encode to a buffer first: an encoding failure after the first body
 	// byte could not change the status code anymore.
@@ -434,7 +466,10 @@ func (s *Server) handleCheckpointSave(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(buf.Bytes())
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		slog.Warn("server: writing checkpoint response", "err", err)
+	}
 }
 
 // handleCheckpointLoad restores the service from a posted checkpoint:
@@ -502,6 +537,19 @@ type ingestError struct {
 // echoed in the X-Disc-Trace response header and the completed trace is
 // queryable at GET /debug/traces.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Backpressure: shed load before reading the body. The gauge is an
+	// atomic, so an overloaded stream answers 429 without touching the
+	// mutex the backlog is queued behind.
+	if hw := s.cfg.IngestHighWater; hw > 0 {
+		if backlog := s.pending.Load(); backlog > int64(hw) {
+			w.Header().Set("Retry-After", "1")
+			writeJSONStatus(w, http.StatusTooManyRequests, ingestError{
+				Error: fmt.Sprintf("slider backlog %d exceeds ingest high-water mark %d; retry after the backlog drains",
+					backlog, hw),
+			})
+			return
+		}
+	}
 	var tr *trace.Trace
 	var root *trace.Span
 	if s.tracer != nil {
@@ -512,6 +560,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			root.EndNow()
 			s.tracer.Finish(tr)
 		}()
+	}
+	// Idempotency headers: an optional client-chosen sequence number per
+	// batch. A batch re-sent under the same (client, seq) after a lost
+	// response is answered from the dedup window with its original 200
+	// instead of being re-applied (or 400-rejected as a duplicate).
+	client := r.Header.Get("X-Disc-Client")
+	var seq uint64
+	hasSeq := false
+	if h := r.Header.Get("X-Disc-Seq"); h != "" {
+		v, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			http.Error(w, "X-Disc-Seq must be an unsigned integer: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		seq, hasSeq = v, true
+		if client == "" {
+			client = "default"
+		}
 	}
 	spDecode := tr.StartSpan("decode", root)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
@@ -538,6 +604,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	// The probe gauge tracks the slider backlog across every exit path.
 	defer func() { s.pending.Store(int64(s.slider.PendingLen())) }()
+	if s.walBroken {
+		http.Error(w, "write-ahead log failed; stream is read-only until repaired", http.StatusServiceUnavailable)
+		return
+	}
+	if hasSeq {
+		if resp, hit, tooOld := s.seqs.lookup(client, seq); hit {
+			// Exactly-once apply under at-least-once delivery: the batch was
+			// already applied and acknowledged; replay the original body.
+			w.Header().Set("X-Disc-Deduped", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			if _, err := w.Write(resp); err != nil {
+				slog.Warn("server: writing deduplicated response", "err", err)
+			}
+			return
+		} else if tooOld {
+			writeJSONStatus(w, http.StatusConflict, ingestError{
+				Error: fmt.Sprintf("seq %d for client %q is below the dedup window (last %d sequence numbers kept): cannot prove whether the batch was applied",
+					seq, client, s.seqs.window),
+			})
+			return
+		}
+	}
 	spValidate := tr.StartSpan("validate", root)
 	msg := s.validateBatch(batch)
 	spValidate.EndNow()
@@ -545,9 +634,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, msg+" (no points applied)", http.StatusBadRequest)
 		return
 	}
+	// With a WAL attached, materialize the batch once up front: the same
+	// slice feeds the slider and becomes the record's Points, so the log
+	// carries exactly what the engine saw.
+	var logPts []model.Point
+	if s.wal != nil {
+		logPts = make([]model.Point, len(batch))
+		for i, ip := range batch {
+			logPts[i] = model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
+		}
+	}
+	start := s.ingested
 	applied := 0
-	for _, ip := range batch {
-		p := model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
+	for i, ip := range batch {
+		var p model.Point
+		if logPts != nil {
+			p = logPts[i]
+		} else {
+			p = model.Point{ID: ip.ID, Time: ip.Time, Pos: geom.NewVec(ip.Coords...)}
+		}
 		if step := s.slider.Push(p); step != nil {
 			if err := s.safeAdvance(step, tr, root); err != nil {
 				// The engine refused the stride, so the slider must not keep
@@ -555,6 +660,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				// exactly at the pre-push stream position. Without this the
 				// slider runs one stride ahead of the engine forever.
 				s.slider.Rewind(step)
+				// The applied prefix is in the stream, so it must be in the
+				// log too, or a replica replaying past this point diverges.
+				// No sequence number: a partial apply must not be dedup-
+				// replayed as if it had succeeded.
+				if applied > 0 && logPts != nil {
+					if werr := s.walAppend(&walRecord{Start: start, Points: logPts[:applied]}); werr != nil {
+						http.Error(w, "write-ahead log failed; stream is read-only until repaired", http.StatusServiceUnavailable)
+						return
+					}
+				}
 				writeJSONStatus(w, http.StatusConflict, ingestError{Error: err.Error(), Applied: applied})
 				return
 			}
@@ -578,11 +693,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.ingested++
 		s.ingestMx.Inc()
 	}
-	writeJSON(w, ingestResponse{
+	resp := ingestResponse{
 		Accepted: len(batch),
 		Strides:  uint64(s.eng.Stats().Strides),
 		Window:   s.eng.WindowSize(),
-	})
+	}
+	ack, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ack = append(ack, '\n') // match the writeJSON encoder framing
+	// Durability before acknowledgment: the record (including the exact
+	// body about to be sent) is framed and fsynced while the mutex is
+	// still held, so a checkpoint can never capture un-logged state and
+	// an acknowledged batch can always be replayed.
+	if len(batch) > 0 || hasSeq {
+		if err := s.walAppend(&walRecord{
+			Start: start, Client: client, Seq: seq, HasSeq: hasSeq,
+			Points: logPts, Resp: ack,
+		}); err != nil {
+			http.Error(w, "write-ahead log failed; stream is read-only until repaired", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if hasSeq {
+		s.seqs.record(client, seq, ack, s.ingested)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(ack); err != nil {
+		slog.Warn("server: writing response", "err", err)
+	}
 }
 
 // validateBatch checks a decoded ingest batch against everything that can
@@ -603,11 +745,11 @@ func (s *Server) validateBatch(batch []ingestPoint) string {
 			}
 		}
 		if j, dup := seen[ip.ID]; dup {
-			return fmt.Sprintf("point %d duplicates id %d of point %d in the same batch", i, ip.ID, j)
+			return fmt.Sprintf("point %d duplicates id %d of point %d in the same batch (intra-batch duplicate: the batch itself is malformed; fix it and resend)", i, ip.ID, j)
 		}
 		seen[ip.ID] = i
 		if s.slider.Contains(ip.ID) {
-			return fmt.Sprintf("point %d: id %d is still resident in the window", i, ip.ID)
+			return fmt.Sprintf("point %d: id %d is still resident in the window (window-resident duplicate: if this is a retry of a batch whose response was lost, the batch may already be fully applied and retrying it is unsafe; send an X-Disc-Seq header to make retries idempotent)", i, ip.ID)
 		}
 	}
 	return ""

@@ -1,0 +1,353 @@
+// Write-ahead logging, idempotent ingest, and replay: the server-side
+// half of the exactly-once pipeline. Every acknowledged ingest batch is
+// encoded as one WAL record — the batch's points, its stream position,
+// and (when the client sent X-Disc-Seq) the sequence number plus the
+// exact 200 body that acknowledged it — and fsynced before the response
+// leaves the mutex. Replay pushes the same points through a fresh slider
+// and engine, so stride boundaries, cluster labels, events, and the
+// dedup window all recompute deterministically: a follower (or a
+// restarted leader) converges to bit-identical state.
+//
+// Records are batch-grained rather than stride-grained so that a batch
+// straddling a stride boundary is never half-durable: marking its
+// sequence number applied while its pending tail points were not yet
+// logged would make the dedup window swallow the client's retry and
+// lose the tail forever. The per-stride guarantee the WAL exists for
+// still holds — a stride only completes inside some acknowledged batch,
+// and every acknowledged batch is durable before its 200.
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+
+	"disc/internal/ckpt"
+	"disc/internal/model"
+)
+
+// Dedup-window defaults: how many recent sequence numbers (with their
+// original responses) are remembered per client, and how many clients.
+const (
+	DefaultSeqWindow  = 32
+	DefaultSeqClients = 256
+)
+
+// walRecord is the payload of one WAL record: one acknowledged ingest
+// batch. Start is the stream position (points applied since the stream
+// began) before the batch; Points is the entire batch in arrival order;
+// Resp is the exact 200 body the batch was acknowledged with, replayed
+// verbatim when a deduplicated retry arrives.
+type walRecord struct {
+	Start  uint64
+	Client string
+	Seq    uint64
+	HasSeq bool
+	Points []model.Point
+	Resp   []byte
+}
+
+// encodeWALRecord gobs one record as a self-contained blob (each record
+// carries its own type preamble, so replay can start at any record).
+func encodeWALRecord(rec *walRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("encoding wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWALRecord(b []byte) (*walRecord, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("decoding wal record: %w", err)
+	}
+	return &rec, nil
+}
+
+// seqEntry is one remembered (sequence number, original response) pair.
+type seqEntry struct {
+	Seq  uint64
+	Resp []byte
+}
+
+// clientSeqs is one client's bounded dedup window: entries ascending by
+// sequence number, LastUsed the stream position of the client's newest
+// acknowledged batch (the deterministic eviction key).
+type clientSeqs struct {
+	LastUsed uint64
+	Entries  []seqEntry
+}
+
+// persistedClient is the checkpoint wire form of one client's window.
+// Persisted sorted by client name so checkpoint bytes are deterministic.
+type persistedClient struct {
+	Client   string
+	LastUsed uint64
+	Entries  []seqEntry
+}
+
+// seqTable is the per-client dedup state. All methods require the
+// server mutex (or exclusive access).
+type seqTable struct {
+	window  int // sequence numbers remembered per client
+	clients int // clients tracked before deterministic eviction
+	m       map[string]*clientSeqs
+}
+
+func newSeqTable(window, clients int) *seqTable {
+	if window <= 0 {
+		window = DefaultSeqWindow
+	}
+	if clients <= 0 {
+		clients = DefaultSeqClients
+	}
+	return &seqTable{window: window, clients: clients, m: make(map[string]*clientSeqs)}
+}
+
+// lookup classifies a sequence number: hit (already applied — replay
+// resp), tooOld (below the remembered window, so dedup can no longer be
+// proven), or neither (new — apply it).
+func (t *seqTable) lookup(client string, seq uint64) (resp []byte, hit, tooOld bool) {
+	cs := t.m[client]
+	if cs == nil || len(cs.Entries) == 0 {
+		return nil, false, false
+	}
+	i := sort.Search(len(cs.Entries), func(i int) bool { return cs.Entries[i].Seq >= seq })
+	if i < len(cs.Entries) && cs.Entries[i].Seq == seq {
+		return cs.Entries[i].Resp, true, false
+	}
+	if seq < cs.Entries[0].Seq {
+		return nil, false, true
+	}
+	return nil, false, false
+}
+
+// record remembers an acknowledged (seq, resp) for client, trimming the
+// window to its bound and evicting the least-recently-used client at the
+// client cap. lastUsed is the stream position after the batch — a value
+// both the live path and replay compute identically, which is what makes
+// eviction order (and therefore checkpoint bytes) deterministic across
+// leader, restarted leader, and follower.
+func (t *seqTable) record(client string, seq uint64, resp []byte, lastUsed uint64) {
+	cs := t.m[client]
+	if cs == nil {
+		if len(t.m) >= t.clients {
+			t.evictOldest()
+		}
+		cs = &clientSeqs{}
+		t.m[client] = cs
+	}
+	if lastUsed > cs.LastUsed {
+		cs.LastUsed = lastUsed
+	}
+	i := sort.Search(len(cs.Entries), func(i int) bool { return cs.Entries[i].Seq >= seq })
+	if i < len(cs.Entries) && cs.Entries[i].Seq == seq {
+		return // already remembered (replay over a checkpointed entry)
+	}
+	cs.Entries = append(cs.Entries, seqEntry{})
+	copy(cs.Entries[i+1:], cs.Entries[i:])
+	cs.Entries[i] = seqEntry{Seq: seq, Resp: resp}
+	if n := len(cs.Entries) - t.window; n > 0 {
+		cs.Entries = append(cs.Entries[:0], cs.Entries[n:]...)
+	}
+}
+
+// evictOldest drops the client with the smallest LastUsed (ties broken
+// by name, keeping eviction deterministic).
+func (t *seqTable) evictOldest() {
+	var victim string
+	var vLast uint64
+	first := true
+	for name, cs := range t.m {
+		if first || cs.LastUsed < vLast || (cs.LastUsed == vLast && name < victim) {
+			victim, vLast, first = name, cs.LastUsed, false
+		}
+	}
+	if !first {
+		delete(t.m, victim)
+	}
+}
+
+// persist flattens the table sorted by client name — the deterministic
+// form the checkpoint envelope carries.
+func (t *seqTable) persist() []persistedClient {
+	if len(t.m) == 0 {
+		return nil
+	}
+	out := make([]persistedClient, 0, len(t.m))
+	for name, cs := range t.m {
+		out = append(out, persistedClient{
+			Client:   name,
+			LastUsed: cs.LastUsed,
+			Entries:  append([]seqEntry(nil), cs.Entries...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// restore replaces the table's contents from a checkpoint.
+func (t *seqTable) restore(pcs []persistedClient) {
+	t.m = make(map[string]*clientSeqs, len(pcs))
+	for _, pc := range pcs {
+		t.m[pc.Client] = &clientSeqs{
+			LastUsed: pc.LastUsed,
+			Entries:  append([]seqEntry(nil), pc.Entries...),
+		}
+	}
+}
+
+// AttachWAL attaches a write-ahead log to the ingest path: every
+// acknowledged batch is appended and fsynced before its response.
+// Callers attach after any recovery replay (RecoverWAL), so the log is
+// positioned at the stream's durable tail.
+func (s *Server) AttachWAL(w *ckpt.WAL) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+	s.walBroken = false
+}
+
+// walAppend encodes and durably appends one record, marking the stream
+// broken on failure: acknowledging later batches after a lost record
+// would leave replicas silently divergent, so a failed append turns the
+// stream read-only (ingest answers 503) until the operator intervenes.
+// Caller holds s.mu.
+func (s *Server) walAppend(rec *walRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	b, err := encodeWALRecord(rec)
+	if err == nil {
+		err = s.wal.Append(rec.Start, b)
+	}
+	if err == nil {
+		err = s.wal.Sync()
+	}
+	if err != nil {
+		s.walBroken = true
+		slog.Error("server: wal append failed; stream is now read-only", "err", err)
+	}
+	return err
+}
+
+// streamPos returns the stream position of the last stride boundary for
+// the server's current engine state: the number of points that are
+// durable in window terms (pending partial strides excluded).
+func (s *Server) streamPos() uint64 {
+	strides := uint64(s.eng.Stats().Strides)
+	if strides == 0 {
+		return 0
+	}
+	return uint64(s.cfg.Window) + (strides-1)*uint64(s.cfg.Stride)
+}
+
+// beginWALReplay aligns the ingested counter with the durable stream
+// position before records are replayed. A checkpoint stores the ingested
+// counter as of snapshot time — including pending points it dropped —
+// so replaying the records that carry those points again would double
+// count; resetting to the stride-boundary position makes replay
+// re-increment through them exactly once. Caller holds s.mu.
+func (s *Server) beginWALReplay() uint64 {
+	pos := s.streamPos()
+	s.ingested = pos
+	if s.sm.Dedicated {
+		s.ingestMx.Set(int64(pos))
+	}
+	return pos
+}
+
+// applyRecord replays one WAL record: points the stream has already
+// applied (below s.ingested) are skipped, the rest are pushed through
+// the slider and engine exactly as live ingest would, and the record's
+// sequence number is folded into the dedup window. Caller holds s.mu.
+func (s *Server) applyRecord(rec *walRecord) error {
+	pos := s.ingested
+	if rec.Start > pos {
+		return fmt.Errorf("wal gap: record starts at position %d but the stream has only applied %d", rec.Start, pos)
+	}
+	if skip := pos - rec.Start; skip < uint64(len(rec.Points)) {
+		for _, p := range rec.Points[skip:] {
+			if step := s.slider.Push(p); step != nil {
+				if err := s.safeAdvance(step, nil, nil); err != nil {
+					s.slider.Rewind(step)
+					return fmt.Errorf("replaying stride at position %d: %w", s.ingested, err)
+				}
+				s.ingested++
+				s.ingestMx.Inc()
+				s.publish()
+				continue
+			}
+			s.ingested++
+			s.ingestMx.Inc()
+		}
+	}
+	if rec.HasSeq {
+		s.seqs.record(rec.Client, rec.Seq, rec.Resp, rec.Start+uint64(len(rec.Points)))
+	}
+	s.pending.Store(int64(s.slider.PendingLen()))
+	return nil
+}
+
+// walRecordMaxPayload bounds one decoded WAL record: a batch is capped
+// at MaxIngestBytes of JSON, and its gob form (points plus the stored
+// response body) stays within a small multiple of that.
+func (s *Server) walRecordMaxPayload() int64 {
+	return 4*s.cfg.MaxIngestBytes + (1 << 20)
+}
+
+// replayWAL drains records from r into the server until the log ends
+// (ckpt.ErrWALWait) or turns definitively corrupt — corruption stops
+// replay cleanly at the last valid record, which is exactly the boundary
+// OpenWAL repairs the log to. It returns the number of records applied.
+// Caller holds s.mu.
+func (s *Server) replayWAL(r *ckpt.WALReader, logger *slog.Logger) (int, error) {
+	applied := 0
+	for {
+		_, payload, err := r.Next()
+		if err != nil {
+			if errors.Is(err, ckpt.ErrWALWait) {
+				return applied, nil
+			}
+			if errors.Is(err, ckpt.ErrWALCorrupt) {
+				if logger != nil {
+					logger.Warn("wal replay stopped at corrupt record; later records are unrecoverable",
+						"records_applied", applied, "err", err)
+				}
+				return applied, nil
+			}
+			return applied, err
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			if logger != nil {
+				logger.Warn("wal replay stopped at undecodable record", "records_applied", applied, "err", err)
+			}
+			return applied, nil
+		}
+		if err := s.applyRecord(rec); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+}
+
+// RecoverWAL replays the log in dir from the server's durable stream
+// position — after a checkpoint restore (or from the stream's beginning
+// when no checkpoint existed) — bringing back every acknowledged batch
+// the newest checkpoint had not yet captured, pending partial strides
+// included. Call it before AttachWAL; the open-for-append tail repair
+// and replay stop at the same boundary, so the log and the recovered
+// state agree.
+func (s *Server) RecoverWAL(dir string, logger *slog.Logger) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pos := s.beginWALReplay()
+	r := ckpt.OpenWALReader(dir, pos, s.walRecordMaxPayload())
+	defer r.Close()
+	return s.replayWAL(r, logger)
+}
